@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Cliques vs CKD: the paper's experimental comparison, in miniature.
+
+Reproduces the heart of Section 6 at the command line: for a range of
+group sizes, run a join and a leave under both key management modules,
+report the serial exponentiation counts against the paper's formulas
+(Table 4) and the modeled CPU time on the paper's two platforms
+(Figure 4).
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.bench.expcount import table4
+from repro.bench.platform_model import PENTIUM_II_450, SUN_ULTRA2
+from repro.bench.reporting import Table
+from repro.bench.testbed import ProtocolGroup
+
+SIZES = [3, 5, 10, 15]
+
+
+def serial_join(protocol: str, n: int) -> int:
+    group = ProtocolGroup(protocol)
+    group.grow_to(n - 1)
+    controller = group.key_controller
+    with group.counter_of(controller).window() as window:
+        joiner = group.join()
+    return window.total + group.counter_of(joiner).total
+
+
+def serial_controller_leave(protocol: str, n: int) -> int:
+    group = ProtocolGroup(protocol)
+    group.grow_to(n)
+    leaver = group.key_controller
+    performer = group.members[-2] if protocol == "cliques" else group.members[1]
+    with group.counter_of(performer).window() as window:
+        group.leave(leaver)
+    return window.total - window.get("controller_hello")
+
+
+def main() -> None:
+    counts = Table(
+        "Serial exponentiations: measured vs paper (Table 4)",
+        ["n", "protocol", "join (meas/paper)", "ctrl-leave (meas/paper)"],
+    )
+    modeled = Table(
+        "Modeled CPU time for a join (seconds, Figure 4)",
+        ["n", "protocol", SUN_ULTRA2.name, PENTIUM_II_450.name],
+    )
+    for n in SIZES:
+        paper = table4(n)
+        for protocol, label in (("cliques", "Cliques"), ("ckd", "CKD")):
+            join_count = serial_join(protocol, n)
+            leave_count = serial_controller_leave(protocol, n)
+            counts.add(
+                n,
+                label,
+                f"{join_count}/{paper[label]['Join']}",
+                f"{leave_count}/{paper[label]['Controller leaves']}",
+            )
+            modeled.add(
+                n,
+                label,
+                SUN_ULTRA2.time_for(join_count),
+                PENTIUM_II_450.time_for(join_count),
+            )
+    counts.show()
+    modeled.show()
+
+    print(
+        "Reading: Cliques joins cost ~3n exponentiations but distribute trust\n"
+        "(every member contributes to the key and can be individually\n"
+        "authenticated); CKD joins cost ~n+6 but depend on one controller,\n"
+        "whose departure costs 3n-5.  The paper's conclusion — distributed\n"
+        "key agreement is affordable — falls out of the numbers above."
+    )
+    print("protocol comparison OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — Secure Group Communication in Asynchronous Networks with
+Failures (ICDCS 2000), reproduced in Python.
+
+The package rebuilds the whole system the paper describes:
+
+* :mod:`repro.sim` / :mod:`repro.net` — deterministic discrete-event
+  simulation of an asynchronous network with crashes and partitions;
+* :mod:`repro.spread` — a Spread-like group communication toolkit
+  (daemons, clients, ordering, membership, Extended Virtual Synchrony,
+  the Flush/View-Synchrony layer);
+* :mod:`repro.crypto` — from-scratch Blowfish, SHA-1/HMAC, safe-prime
+  Diffie-Hellman, with exponentiation counting;
+* :mod:`repro.cliques` / :mod:`repro.ckd` — the two group key
+  management protocols the paper evaluates;
+* :mod:`repro.secure` — the paper's contribution: the secure group
+  communication layer;
+* :mod:`repro.bench` — the harness regenerating every table and figure
+  of the paper's evaluation.
+
+Quickest start::
+
+    from repro.bench.testbed import SecureTestbed
+    testbed = SecureTestbed()
+    alice = testbed.add_member("alice", "d0", group="chat")
+    testbed.wait_secure_view(["alice"], group="chat")
+
+See README.md, DESIGN.md and docs/ARCHITECTURE.md.
+"""
+
+__version__ = "1.0.0"
+__all__ = ["__version__"]

@@ -1,0 +1,39 @@
+"""Benchmark harness: everything needed to regenerate the paper's
+tables and figures.
+
+* :mod:`repro.bench.platform_model` — per-exponentiation cost models for
+  the paper's two platforms (SUN Ultra-2, Pentium II 450) plus live
+  calibration of the machine running the benchmark.
+* :mod:`repro.bench.expcount` — the analytic serial-exponentiation
+  formulas of Tables 2-4.
+* :mod:`repro.bench.testbed` — a simulated deployment (3 daemons, as in
+  the paper's setup) with secure members, used by the figure benches.
+* :mod:`repro.bench.runner` — batched measurement (50 repetitions per
+  batch, averaged, as in Section 6).
+* :mod:`repro.bench.reporting` — aligned text tables with
+  paper-vs-measured columns.
+"""
+
+from repro.bench.platform_model import (
+    PENTIUM_II_450,
+    SUN_ULTRA2,
+    PlatformModel,
+    calibrate_local_machine,
+)
+from repro.bench.expcount import table2, table3, table4
+from repro.bench.testbed import SecureTestbed
+from repro.bench.runner import BatchTimer
+from repro.bench.reporting import Table
+
+__all__ = [
+    "PlatformModel",
+    "SUN_ULTRA2",
+    "PENTIUM_II_450",
+    "calibrate_local_machine",
+    "table2",
+    "table3",
+    "table4",
+    "SecureTestbed",
+    "BatchTimer",
+    "Table",
+]

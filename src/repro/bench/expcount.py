@@ -1,0 +1,126 @@
+"""Analytic exponentiation-count formulas: Tables 2, 3 and 4.
+
+Each function returns the per-row breakdown exactly as the paper prints
+it, so the benches can show the analytic expectation next to the counts
+measured from the implementation's instrumented counters.
+
+``n`` follows the paper's convention (footnote 8): it includes the
+joining member during a join and the leaving member during a leave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+Row = Tuple[str, int]
+
+
+def table2_cliques_controller(n: int) -> List[Row]:
+    """Join, Cliques, current controller."""
+    return [
+        ("Update key share with every member", n - 1),
+        ("Long term key computation with new member", 1),
+        ("New session key computation", 1),
+        ("Total", n + 1),
+    ]
+
+
+def table2_cliques_new_member(n: int) -> List[Row]:
+    """Join, Cliques, joining member (the new controller)."""
+    return [
+        ("Long term key computations", n - 1),
+        ("Encryption of session key", n - 1),
+        ("New session key computation", 1),
+        ("Total", 2 * n - 1),
+    ]
+
+
+def table2_ckd_controller(n: int) -> List[Row]:
+    """Join, CKD, controller."""
+    return [
+        ("Long term key computation with new member", 1),
+        ("Pairwise key computation with new member", 1),
+        ("New session key computation", 1),
+        ("Encryption of session key", n - 1),
+        ("Total", n + 2),
+    ]
+
+
+def table2_ckd_new_member(n: int) -> List[Row]:
+    """Join, CKD, joining member."""
+    return [
+        ("Long term key computation with controller", 1),
+        ("Pairwise key computation with controller", 1),
+        ("Encryption of pairwise secret for controller", 1),
+        ("Decryption of session key", 1),
+        ("Total", 4),
+    ]
+
+
+def table3_cliques(n: int) -> List[Row]:
+    """Leave, Cliques (performed by the newest surviving member)."""
+    return [
+        ("Remove long term key with previous controller", 1),
+        ("New session key computation", 1),
+        ("Encryption of session key", n - 2),
+        ("Total", n),
+    ]
+
+
+def table3_ckd(n: int) -> List[Row]:
+    """Leave, CKD (regular member leaves)."""
+    return [
+        ("New session key computation", 1),
+        ("Encryption of session key", n - 2),
+        ("Total", n - 1),
+    ]
+
+
+def table3_ckd_controller_leaves(n: int) -> List[Row]:
+    """Leave, CKD, when the controller leaves (new controller's cost)."""
+    return [
+        ("Long term key computations", n - 2),
+        ("Pairwise key computation with new user", n - 2),
+        ("New session key computation", 1),
+        ("Encryption of session key", n - 2),
+        ("Total", 3 * n - 5),
+    ]
+
+
+def table4(n: int) -> Dict[str, Dict[str, int]]:
+    """Total serial exponentiations (Table 4).
+
+    Join totals sum the controller's and the new member's serial work;
+    the remaining members' single key computation runs in parallel and,
+    as in the paper, is not counted.
+    """
+    return {
+        "Cliques": {
+            "Join": 3 * n,
+            "Leave": n,
+            "Controller leaves": n,
+        },
+        "CKD": {
+            "Join": (n + 2) + 4,
+            "Leave": n - 1,
+            "Controller leaves": 3 * n - 5,
+        },
+    }
+
+
+# Convenience aliases used by the benches.
+def table2(n: int) -> Dict[str, List[Row]]:
+    return {
+        "Cliques / Controller": table2_cliques_controller(n),
+        "Cliques / New member": table2_cliques_new_member(n),
+        "CKD / Controller": table2_ckd_controller(n),
+        "CKD / New member": table2_ckd_new_member(n),
+    }
+
+
+def table3(n: int) -> Dict[str, List[Row]]:
+    return {
+        "Cliques": table3_cliques(n),
+        "CKD": table3_ckd(n),
+        "CKD, when controller leaves": table3_ckd_controller_leaves(n),
+    }

@@ -1,0 +1,58 @@
+"""Batched measurement, the way the paper measured.
+
+Section 6: "The timings were obtained by performing multiple batches of
+each operation 50 times and then averaging across batches."
+:class:`BatchTimer` reproduces that scheme for any measurement callable.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Aggregated timing for one measured operation."""
+
+    mean: float
+    stdev: float
+    batch_means: List[float]
+    samples: int
+
+    def describe(self, unit: str = "s") -> str:
+        return (
+            f"{self.mean:.6f}{unit}"
+            f" (±{self.stdev:.6f} across {len(self.batch_means)} batches,"
+            f" {self.samples} samples)"
+        )
+
+
+class BatchTimer:
+    """Runs a measurement in batches and averages across batches."""
+
+    def __init__(self, batches: int = 3, per_batch: int = 50) -> None:
+        if batches < 1 or per_batch < 1:
+            raise ValueError("batches and per_batch must be positive")
+        self.batches = batches
+        self.per_batch = per_batch
+
+    def measure(self, operation: Callable[[], float]) -> BatchResult:
+        """``operation`` performs one instance and returns its duration.
+
+        (Durations come from the caller — virtual time for simulations,
+        ``perf_counter`` deltas for real CPU measurements.)
+        """
+        batch_means: List[float] = []
+        for __ in range(self.batches):
+            durations = [operation() for __ in range(self.per_batch)]
+            batch_means.append(sum(durations) / len(durations))
+        mean = sum(batch_means) / len(batch_means)
+        stdev = statistics.pstdev(batch_means) if len(batch_means) > 1 else 0.0
+        return BatchResult(
+            mean=mean,
+            stdev=stdev,
+            batch_means=batch_means,
+            samples=self.batches * self.per_batch,
+        )

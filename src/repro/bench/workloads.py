@@ -1,0 +1,129 @@
+"""Declarative workload generators for experiments.
+
+The paper characterizes the target applications' behaviour (§1): joins
+and leaves "at most a few per second", network partitions/merges "at
+most a few an hour", many-to-many traffic in between.  A
+:class:`WorkloadSpec` expresses such a mix; :func:`generate_events`
+turns it into a reproducible timeline of churn/fault/traffic events that
+drivers (benches, soak tests) can apply to a testbed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.rng import DeterministicRng
+
+
+class WorkloadEventKind(enum.Enum):
+    JOIN = "join"
+    LEAVE = "leave"
+    SEND = "send"
+    PARTITION = "partition"
+    HEAL = "heal"
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One scheduled workload action."""
+
+    at: float
+    kind: WorkloadEventKind
+    payload_size: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Rates (events per second) for a synthetic application's behaviour.
+
+    Defaults approximate the paper's "practical setting": around one
+    membership change per second, steady small-message traffic, rare
+    partitions.
+    """
+
+    duration: float = 60.0
+    join_rate: float = 0.5
+    leave_rate: float = 0.5
+    send_rate: float = 20.0
+    partition_rate: float = 0.01
+    heal_delay: float = 5.0
+    payload_size: int = 256
+    min_members: int = 2
+    max_members: int = 12
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        for rate_name in ("join_rate", "leave_rate", "send_rate", "partition_rate"):
+            if getattr(self, rate_name) < 0:
+                raise ValueError(f"{rate_name} must be non-negative")
+        if not 1 <= self.min_members <= self.max_members:
+            raise ValueError("need 1 <= min_members <= max_members")
+
+
+def _poisson_times(
+    rng: DeterministicRng, rate: float, duration: float
+) -> List[float]:
+    """Event times of a Poisson process over [0, duration)."""
+    if rate <= 0:
+        return []
+    times = []
+    t = rng.expovariate(rate)
+    while t < duration:
+        times.append(t)
+        t += rng.expovariate(rate)
+    return times
+
+
+def generate_events(spec: WorkloadSpec, rng: DeterministicRng) -> List[WorkloadEvent]:
+    """A reproducible event timeline for the spec, sorted by time.
+
+    Membership events are generated independently per kind (Poisson);
+    the driver is responsible for respecting the min/max member bounds
+    (it may skip a leave that would underflow, etc.).  Every partition
+    is paired with a heal ``heal_delay`` later.
+    """
+    events: List[WorkloadEvent] = []
+    for t in _poisson_times(rng.child("joins"), spec.join_rate, spec.duration):
+        events.append(WorkloadEvent(at=t, kind=WorkloadEventKind.JOIN))
+    for t in _poisson_times(rng.child("leaves"), spec.leave_rate, spec.duration):
+        events.append(WorkloadEvent(at=t, kind=WorkloadEventKind.LEAVE))
+    for t in _poisson_times(rng.child("sends"), spec.send_rate, spec.duration):
+        events.append(
+            WorkloadEvent(
+                at=t, kind=WorkloadEventKind.SEND, payload_size=spec.payload_size
+            )
+        )
+    for t in _poisson_times(
+        rng.child("partitions"), spec.partition_rate, spec.duration
+    ):
+        events.append(WorkloadEvent(at=t, kind=WorkloadEventKind.PARTITION))
+        events.append(
+            WorkloadEvent(at=t + spec.heal_delay, kind=WorkloadEventKind.HEAL)
+        )
+    events.sort(key=lambda e: (e.at, e.kind.value))
+    return events
+
+
+@dataclass
+class WorkloadStats:
+    """What a workload run achieved (filled in by the driver)."""
+
+    joins_applied: int = 0
+    leaves_applied: int = 0
+    sends_applied: int = 0
+    partitions_applied: int = 0
+    rekeys_completed: int = 0
+    messages_delivered: int = 0
+    final_member_count: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"joins={self.joins_applied} leaves={self.leaves_applied}"
+            f" sends={self.sends_applied} partitions={self.partitions_applied}"
+            f" rekeys={self.rekeys_completed}"
+            f" delivered={self.messages_delivered}"
+            f" final_members={self.final_member_count}"
+        )

@@ -1,0 +1,19 @@
+"""CKD: Centralized Key Distribution (the paper's Appendix A).
+
+The comparison baseline for Cliques: a centralized protocol in which the
+*oldest* group member acts as controller, generates the group secret
+unilaterally after every membership change, and distributes it over
+blinded pairwise Diffie-Hellman channels.  It offers the same key
+independence / key confirmation / PFS / known-key resistance properties
+as Cliques, but is not contributory and authenticates membership rather
+than individual members.
+"""
+
+from repro.ckd.protocol import (
+    CKDContext,
+    CKDHello,
+    CKDKeyDist,
+    CKDResponse,
+)
+
+__all__ = ["CKDContext", "CKDHello", "CKDResponse", "CKDKeyDist"]

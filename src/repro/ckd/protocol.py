@@ -1,0 +1,486 @@
+"""The CKD protocol: contexts, tokens, and the three protocol rounds.
+
+Protocol (Table 5 of the paper), for a join of ``M_{n+1}`` to a group
+controlled by ``M_1`` (the oldest member):
+
+* **Round 1** — ``M_1 -> M_{n+1}``: ``alpha^{r_1}`` (``r_1`` is selected
+  once per controller tenure).
+* **Round 2** — ``M_{n+1} -> M_1``: ``alpha^{r_{n+1} * K_{1,n+1}}`` where
+  ``K_{1,n+1}`` is their long-term pairwise DH key (authentication).
+  Both sides now share the blinded pairwise key
+  ``R_{n+1} = alpha^{r_1 * r_{n+1}}``.
+* **Round 3** — ``M_1`` selects a fresh random group secret ``Ks`` and
+  broadcasts ``Ks ^ {R_i}`` for every member ``i``; each member recovers
+  ``Ks`` with one exponentiation by ``R_i^{-1} mod q``.
+
+The pairwise keys ``R_i`` live as long as both endpoints stay in the
+group; rounds 1-2 therefore run only at joins and controller takeovers,
+and a leave costs only round 3.
+
+Exponentiation accounting (labels = the tables' rows):
+
+* JOIN, controller:     1 long_term_key + 1 pairwise_key + 1 session_key
+                        + (n-1) encrypt_session_key          = n + 2
+* JOIN, new member:     1 long_term_key + 1 pairwise_key
+                        + 1 encrypt_pairwise + 1 decrypt_session_key = 4
+* LEAVE, controller:    1 session_key + (n-2) encrypt_session_key = n - 1
+* CONTROLLER LEAVE, new controller: (n-2) long_term_key
+                        + (n-2) pairwise_key + 1 session_key
+                        + (n-2) encrypt_session_key          = 3n - 5
+  (plus one ``controller_hello`` exponentiation to publish the fresh
+  ``alpha^{r_1'}``, which the paper's table treats as part of the
+  once-per-tenure setup and does not count; recorded separately.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cliques.directory import KeyDirectory
+from repro.crypto.bigint import mod_inverse
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import RandomSource, SystemSource
+from repro.errors import CKDError, ControllerError, TokenError
+
+
+# ---------------------------------------------------------------------------
+# tokens
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CKDHello:
+    """Round 1: controller's public ephemeral ``alpha^{r_1}``.
+
+    ``respond`` lists the members that must establish (or re-establish)
+    a pairwise key with the controller by answering with round 2: the
+    joining/merging members, or every survivor at a controller takeover
+    (``takeover=True``).  Members not listed keep their existing
+    pairwise keys and simply await round 3.
+    """
+
+    group: str
+    sender: str
+    epoch: int
+    members: Tuple[str, ...]
+    public_r: int
+    takeover: bool = False
+    respond: Tuple[str, ...] = ()
+
+    def wire_size(self) -> int:
+        return 96 + 16 * (len(self.members) + len(self.respond))
+
+
+@dataclass(frozen=True)
+class CKDResponse:
+    """Round 2: member's blinded ephemeral ``alpha^{r_i * K_{1,i}}``."""
+
+    group: str
+    sender: str
+    epoch: int
+    blinded_public: int
+
+    def wire_size(self) -> int:
+        return 96
+
+
+@dataclass(frozen=True)
+class CKDKeyDist:
+    """Round 3: the group secret encrypted for every member:
+    ``entries[i] = Ks ^ {R_i}``."""
+
+    group: str
+    sender: str
+    epoch: int
+    members: Tuple[str, ...]
+    entries: Dict[str, int] = field(default_factory=dict)
+    operation: str = "join"  # "join" | "leave" | "refresh" | "takeover"
+
+    def wire_size(self) -> int:
+        return 64 + 72 * max(1, len(self.entries))
+
+
+# ---------------------------------------------------------------------------
+# context
+# ---------------------------------------------------------------------------
+
+
+class CKDContext:
+    """Per-member CKD state.
+
+    Unlike Cliques, the controller here is the **oldest** member
+    (``members[0]``); on controller failure the role passes to the oldest
+    survivor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: DHParams,
+        long_term: DHKeyPair,
+        directory: KeyDirectory,
+        source: Optional[RandomSource] = None,
+        counter: Optional[ExpCounter] = None,
+    ) -> None:
+        self.name = name
+        self.params = params
+        self.long_term = long_term
+        self.directory = directory
+        self.source = source if source is not None else SystemSource()
+        self.counter = counter if counter is not None else ExpCounter()
+
+        self.group: Optional[str] = None
+        self.members: List[str] = []
+        self.epoch = 0
+        self._group_secret: Optional[int] = None
+        # Controller-side: tenure ephemeral r1 and its public value.
+        self._r1: Optional[int] = None
+        self._public_r1: Optional[int] = None
+        # Pairwise blinded keys R (mod q): controller keys one per member;
+        # a member keys a single entry under the controller's name.
+        self._pairwise: Dict[str, int] = {}
+        # Member-side ephemeral toward the controller.
+        self._my_r: Optional[int] = None
+        self._ltk: Dict[str, int] = {}
+        # Takeover bookkeeping: members we still expect a response from.
+        self._awaiting: Set[str] = set()
+        self._pending_operation: Optional[str] = None
+        self._pending_members: Optional[List[str]] = None
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def controller(self) -> Optional[str]:
+        """The controller: always the oldest member."""
+        return self.members[0] if self.members else None
+
+    @property
+    def is_controller(self) -> bool:
+        return bool(self.members) and self.members[0] == self.name
+
+    @property
+    def has_key(self) -> bool:
+        return self._group_secret is not None
+
+    def secret(self) -> int:
+        if self._group_secret is None:
+            raise CKDError(f"{self.name}: no group secret established")
+        return self._group_secret
+
+    def reset(self) -> None:
+        """Drop all group state (cascade abort support)."""
+        self.group = None
+        self.members = []
+        self.epoch = 0
+        self._group_secret = None
+        self._r1 = None
+        self._public_r1 = None
+        self._pairwise = {}
+        self._my_r = None
+        self._awaiting = set()
+        self._pending_operation = None
+        self._pending_members = None
+
+    # -- helpers ------------------------------------------------------------
+
+    def _long_term_exponent(self, other: str) -> int:
+        cached = self._ltk.get(other)
+        if cached is not None:
+            return cached
+        shared = self.params.exp(
+            self.directory.lookup(other),
+            self.long_term.private,
+            self.counter,
+            "long_term_key",
+        )
+        reduced = shared % self.params.q
+        if reduced == 0:
+            raise CKDError(
+                f"degenerate long-term key between {self.name} and {other}"
+            )
+        self._ltk[other] = reduced
+        return reduced
+
+    def _fresh_session_secret(self) -> int:
+        """A fresh random group secret ``Ks = g^s`` (one exponentiation,
+        the tables' "new session key computation")."""
+        exponent = self.params.random_exponent(self.source)
+        return self.params.exp(
+            self.params.g, exponent, self.counter, "session_key"
+        )
+
+    def _distribute(self, members: List[str], operation: str) -> CKDKeyDist:
+        """Round 3: fresh ``Ks`` encrypted per member under ``R_i``."""
+        secret = self._fresh_session_secret()
+        entries: Dict[str, int] = {}
+        for member in members:
+            if member == self.name:
+                continue
+            pairwise = self._pairwise.get(member)
+            if pairwise is None:
+                raise CKDError(
+                    f"{self.name}: no pairwise key with {member}; round 1-2"
+                    " incomplete"
+                )
+            entries[member] = self.params.exp(
+                secret, pairwise, self.counter, "encrypt_session_key"
+            )
+        self._group_secret = secret
+        self.members = list(members)
+        self.epoch += 1
+        return CKDKeyDist(
+            group=self.group,
+            sender=self.name,
+            epoch=self.epoch,
+            members=tuple(members),
+            entries=entries,
+            operation=operation,
+        )
+
+    def _require_controller(self) -> None:
+        if not self.is_controller:
+            raise ControllerError(
+                f"{self.name} is not the CKD controller"
+                f" ({self.controller} is)"
+            )
+
+    # -- group creation -------------------------------------------------------
+
+    def create_first(self, group: str) -> None:
+        """Become the first member (and controller) of a new group."""
+        if self.group is not None:
+            raise CKDError(f"{self.name}: already in group {self.group!r}")
+        self.group = group
+        self.members = [self.name]
+        self._r1 = self.params.random_exponent(self.source)
+        self._public_r1 = self.params.exp(
+            self.params.g, self._r1, self.counter, "controller_hello"
+        )
+        self._group_secret = self._fresh_session_secret()
+        self.epoch = 1
+
+    # -- membership changes (controller side) ------------------------------------
+
+    def start_change(
+        self,
+        departed: Sequence[str] = (),
+        arrived: Sequence[str] = (),
+        takeover: bool = False,
+        operation: Optional[str] = None,
+    ) -> Tuple[Optional[CKDHello], Optional[CKDKeyDist]]:
+        """General controller-side membership change.
+
+        Drops the leavers' pairwise keys; at a takeover starts a fresh
+        tenure (new ``r_1``, all pairwise keys renegotiated).  Returns
+        ``(hello, keydist)``: the hello when any member must answer
+        round 2 first (``keydist`` then comes from
+        :meth:`process_response`), or the keydist directly when no new
+        pairwise keys are needed (pure leave / refresh).
+        """
+        departed_set = set(departed)
+        unknown = departed_set - set(self.members)
+        if unknown:
+            raise CKDError(f"cannot remove non-members: {sorted(unknown)}")
+        if self.name in departed_set:
+            raise CKDError("the controller cannot remove itself")
+        duplicates = set(arrived) & set(self.members)
+        if duplicates:
+            raise CKDError(f"already members: {sorted(duplicates)}")
+        survivors = [m for m in self.members if m not in departed_set]
+        if takeover:
+            if not survivors or survivors[0] != self.name:
+                raise ControllerError(f"{self.name} is not the oldest survivor")
+            self._r1 = self.params.random_exponent(self.source)
+            self._public_r1 = self.params.exp(
+                self.params.g, self._r1, self.counter, "controller_hello"
+            )
+            self._pairwise = {}
+            responders = [m for m in survivors if m != self.name] + list(arrived)
+        else:
+            self._require_controller()
+            for member in departed_set:
+                self._pairwise.pop(member, None)
+            responders = list(arrived)
+        if self._public_r1 is None:
+            raise CKDError("controller tenure not initialized")
+        new_members = survivors + sorted(arrived)
+        self.members = survivors
+        if operation is None:
+            if takeover:
+                operation = "takeover"
+            elif arrived and departed_set:
+                operation = "change"
+            elif arrived:
+                operation = "join"
+            else:
+                operation = "leave"
+        if not responders:
+            return None, self._distribute(new_members, operation)
+        self._pending_operation = operation
+        self._pending_members = new_members
+        self._awaiting = set(responders)
+        hello = CKDHello(
+            group=self.group,
+            sender=self.name,
+            epoch=self.epoch,
+            members=tuple(survivors),
+            public_r=self._public_r1,
+            takeover=takeover,
+            respond=tuple(sorted(responders)),
+        )
+        return hello, None
+
+    def start_join(self, new_member: str) -> CKDHello:
+        """Controller, round 1: send ``alpha^{r_1}`` to the joiner.
+
+        ``r_1`` was selected once at tenure start, so no exponentiation
+        is charged here (Table 5: "this selection is performed only
+        once").
+        """
+        hello, __ = self.start_change(arrived=[new_member], operation="join")
+        assert hello is not None
+        return hello
+
+    def process_hello(self, hello: CKDHello) -> Optional[CKDResponse]:
+        """Member, round 2: blind a fresh ephemeral with the long-term key
+        and respond; also derive the pairwise key ``R``.
+
+        Members not listed in ``hello.respond`` keep their existing
+        pairwise key and return None (they await round 3).
+
+        Join cost at the new member so far: 1 long_term_key
+        + 1 pairwise_key + 1 encrypt_pairwise (decryption comes later).
+        """
+        if self.group is None:
+            # A joining/merging member learns the group from the hello.
+            self.group = hello.group
+            self.members = list(hello.members) + [self.name]
+        elif self.group != hello.group:
+            raise TokenError(f"{self.name}: hello for wrong group")
+        elif hello.takeover:
+            self.members = list(hello.members)
+        if self.name not in hello.respond:
+            return None
+        controller = hello.sender
+        ltk = self._long_term_exponent(controller)
+        self._my_r = self.params.random_exponent(self.source)
+        # R = (alpha^{r1})^{r_i}: the blinded pairwise channel key.
+        pairwise = self.params.exp(
+            hello.public_r, self._my_r, self.counter, "pairwise_key"
+        )
+        reduced = pairwise % self.params.q
+        if reduced == 0:
+            raise CKDError("degenerate pairwise key")
+        self._pairwise = {controller: reduced}
+        blinded = self.params.exp(
+            self.params.g,
+            (self._my_r * ltk) % self.params.q,
+            self.counter,
+            "encrypt_pairwise",
+        )
+        return CKDResponse(
+            group=hello.group,
+            sender=self.name,
+            epoch=hello.epoch,
+            blinded_public=blinded,
+        )
+
+    def process_response(self, response: CKDResponse) -> Optional[CKDKeyDist]:
+        """Controller: recover the member's pairwise key; once every
+        awaited response is in, run round 3.
+
+        For a join this is: 1 long_term_key + 1 pairwise_key, then
+        1 session_key + (n-1) encrypt_session_key in round 3.
+        """
+        self._require_controller()
+        if self.group != response.group:
+            raise TokenError("response for wrong group")
+        if response.sender not in self._awaiting:
+            raise TokenError(
+                f"unexpected CKD response from {response.sender}"
+            )
+        ltk = self._long_term_exponent(response.sender)
+        # R_i = (alpha^{r_i * K})^{r_1 * K^{-1}} = alpha^{r_1 * r_i}.
+        exponent = (self._r1 * mod_inverse(ltk, self.params.q)) % self.params.q
+        pairwise = self.params.exp(
+            response.blinded_public, exponent, self.counter, "pairwise_key"
+        )
+        reduced = pairwise % self.params.q
+        if reduced == 0:
+            raise CKDError("degenerate pairwise key")
+        self._pairwise[response.sender] = reduced
+        self._awaiting.discard(response.sender)
+        if self._awaiting:
+            return None
+        operation = self._pending_operation or "join"
+        members = self._pending_members or self.members
+        self._pending_operation = None
+        self._pending_members = None
+        return self._distribute(members, operation)
+
+    def process_keydist(self, token: CKDKeyDist) -> None:
+        """Member: recover ``Ks`` from the broadcast (1 exponentiation)."""
+        if self.group != token.group:
+            raise TokenError(f"{self.name}: key distribution for wrong group")
+        if self.name not in token.members:
+            raise TokenError(f"{self.name} not in distributed membership")
+        if token.sender == self.name:
+            raise TokenError("controller does not process its own keydist")
+        if token.epoch <= self.epoch:
+            raise TokenError(
+                f"stale CKD keydist (epoch {token.epoch} <= {self.epoch})"
+            )
+        entry = token.entries.get(self.name)
+        if entry is None:
+            raise TokenError(f"no key entry for {self.name}")
+        pairwise = self._pairwise.get(token.sender)
+        if pairwise is None:
+            raise CKDError(f"{self.name}: no pairwise key with {token.sender}")
+        self._group_secret = self.params.exp(
+            entry,
+            mod_inverse(pairwise, self.params.q),
+            self.counter,
+            "decrypt_session_key",
+        )
+        self.members = list(token.members)
+        self.epoch = token.epoch
+
+    # -- LEAVE / REFRESH ------------------------------------------------------------
+
+    def leave(self, leaving: Sequence[str]) -> CKDKeyDist:
+        """Controller: drop the leavers' pairwise keys and redistribute a
+        fresh secret.  Cost: 1 session_key + (n-2) encrypt_session_key
+        for a single leaver (Table 3: n-1 total)."""
+        __, keydist = self.start_change(departed=leaving, operation="leave")
+        assert keydist is not None
+        return keydist
+
+    def refresh(self) -> CKDKeyDist:
+        """Controller: redistribute a fresh secret to the same members."""
+        self._require_controller()
+        return self._distribute(list(self.members), "refresh")
+
+    # -- controller takeover -----------------------------------------------------------
+
+    def start_takeover(
+        self, departed: Sequence[str], arrived: Sequence[str] = ()
+    ) -> Optional[CKDHello]:
+        """Oldest survivor: begin tenure after the controller left.
+
+        Broadcasts a fresh ``alpha^{r_1'}``; every remaining member (and
+        any simultaneously merging member) responds as in round 2.  The
+        ``controller_hello`` exponentiation is tenure setup, outside the
+        tables' 3n-5 (recorded separately).  Returns None when this
+        member is the lone survivor (the singleton re-keys immediately).
+        """
+        if self.group is None:
+            raise CKDError(f"{self.name}: not in a group")
+        departed_set = set(departed)
+        if self.controller not in departed_set:
+            raise CKDError("takeover only applies when the controller left")
+        hello, __ = self.start_change(
+            departed=departed, arrived=arrived, takeover=True
+        )
+        return hello

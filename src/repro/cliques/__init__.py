@@ -1,0 +1,42 @@
+"""Cliques: authenticated contributory group key agreement (A-GDH.2).
+
+The Cliques protocol suite (Steiner-Tsudik-Waidner; Ateniese et al.) is a
+group extension of Diffie-Hellman.  The group secret for ``n`` members is
+``g^(N1*N2*...*Nn) mod p`` where ``N_i`` is member ``M_i``'s private
+share.  The *controller* — always the newest member — initiates key
+adjustments after membership changes but has no other privileges.
+
+This package implements the pure protocol: contexts, tokens and the
+CLQ_API-style call surface.  It performs no I/O; the secure group layer
+(:mod:`repro.secure`) moves tokens over the group communication system.
+
+Guaranteed invariants (tested in ``tests/cliques``):
+
+* all members always agree on the controller (the newest member);
+* the group secret is contributed to by every member's private share;
+* key independence: every operation folds in a fresh random factor, so
+  past members cannot compute future keys and future members cannot
+  compute past keys (PFS at the group-key level).
+"""
+
+from repro.cliques.context import CliquesContext
+from repro.cliques.directory import KeyDirectory
+from repro.cliques.tokens import (
+    DownflowToken,
+    MergeChainToken,
+    MergeCollectToken,
+    MergeResponseToken,
+    UpflowToken,
+)
+from repro.cliques import api
+
+__all__ = [
+    "CliquesContext",
+    "KeyDirectory",
+    "UpflowToken",
+    "DownflowToken",
+    "MergeChainToken",
+    "MergeCollectToken",
+    "MergeResponseToken",
+    "api",
+]

@@ -1,0 +1,110 @@
+"""CLQ_API: the eight-call surface of the Cliques key agreement API.
+
+The paper describes CLQ_API as "small and concise containing only eight
+function calls".  This module mirrors that surface as thin wrappers over
+:class:`~repro.cliques.context.CliquesContext`, for users porting code
+that was written against the original C API.  New code can use the
+context methods directly.
+
+Call map (original -> here):
+
+====================  =====================================
+``clq_new_ctx``        :func:`clq_new_ctx`
+``clq_first_member``   :func:`clq_first_member`
+``clq_update_ctx``     :func:`clq_update_ctx` (join prep)
+``clq_join``           :func:`clq_join`
+``clq_leave``          :func:`clq_leave`
+``clq_merge``          :func:`clq_merge`
+``clq_refresh_key``    :func:`clq_refresh_key`
+``clq_process_token``  :func:`clq_process_token`
+====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.cliques.context import CliquesContext
+from repro.cliques.directory import KeyDirectory
+from repro.cliques.tokens import (
+    DownflowToken,
+    MergeChainToken,
+    MergeCollectToken,
+    MergeResponseToken,
+    UpflowToken,
+)
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import RandomSource
+from repro.errors import TokenError
+
+Token = Union[
+    UpflowToken, DownflowToken, MergeChainToken, MergeCollectToken, MergeResponseToken
+]
+
+
+def clq_new_ctx(
+    name: str,
+    params: DHParams,
+    long_term: DHKeyPair,
+    directory: KeyDirectory,
+    source: Optional[RandomSource] = None,
+    counter: Optional[ExpCounter] = None,
+) -> CliquesContext:
+    """Create a member context (``clq_new_ctx``)."""
+    return CliquesContext(name, params, long_term, directory, source, counter)
+
+
+def clq_first_member(ctx: CliquesContext, group: str) -> None:
+    """Create a singleton group (``clq_first_member``)."""
+    ctx.create_first(group)
+
+
+def clq_update_ctx(ctx: CliquesContext, new_member: str) -> UpflowToken:
+    """Controller: produce the upflow token for a joining member."""
+    return ctx.prep_join(new_member)
+
+
+def clq_join(ctx: CliquesContext, upflow: UpflowToken) -> DownflowToken:
+    """Joining member: consume the upflow, produce the downflow."""
+    return ctx.process_upflow(upflow)
+
+
+def clq_leave(ctx: CliquesContext, leaving: Sequence[str]) -> DownflowToken:
+    """Newest surviving member: remove members, produce the downflow."""
+    return ctx.leave(leaving)
+
+
+def clq_merge(ctx: CliquesContext, new_members: Sequence[str]) -> MergeChainToken:
+    """Controller: start a merge of ``new_members``."""
+    return ctx.prep_merge(new_members)
+
+
+def clq_refresh_key(ctx: CliquesContext) -> DownflowToken:
+    """Controller: force a new group secret."""
+    return ctx.refresh()
+
+
+def clq_process_token(ctx: CliquesContext, token: Token) -> Optional[Token]:
+    """Dispatch any received token to the appropriate handler.
+
+    Returns the token this member must send next (if any):
+
+    * ``UpflowToken``         -> the downflow to broadcast
+    * ``MergeChainToken``     -> the next chain/collect token to send
+    * ``MergeCollectToken``   -> the response to unicast to the collector
+    * ``MergeResponseToken``  -> the downflow, once all responses arrived
+    * ``DownflowToken``       -> ``None`` (the key is now established)
+    """
+    if isinstance(token, UpflowToken):
+        return ctx.process_upflow(token)
+    if isinstance(token, MergeChainToken):
+        return ctx.process_merge_chain(token)
+    if isinstance(token, MergeCollectToken):
+        return ctx.process_merge_collect(token)
+    if isinstance(token, MergeResponseToken):
+        return ctx.process_merge_response(token)
+    if isinstance(token, DownflowToken):
+        ctx.process_downflow(token)
+        return None
+    raise TokenError(f"unknown token type: {type(token).__name__}")

@@ -1,0 +1,583 @@
+"""The Cliques member context: state machine + cryptographic operations.
+
+One :class:`CliquesContext` lives in each group member.  It implements the
+four operations of Section 4 of the paper — JOIN, MERGE, LEAVE and KEY
+REFRESH — as pure functions from tokens to tokens (no I/O).
+
+Mathematical shape
+------------------
+The group secret for members with effective private shares ``N_i`` is
+``S = g^(prod N_i) mod p``.  For each member the *partial key* is
+``p_i = g^(prod N / N_i)``; broadcast entries carry ``p_i`` raised to the
+long-term pairwise keys ``K_{i,c}`` of the controllers that produced them
+(the A-GDH.2 authentication), recorded in the entry's ``auth_tags``.
+Member ``i`` recovers the secret with a single exponentiation:
+``entry_i ^ (N_i * inverse(prod K) mod q)``.
+
+Exponentiation accounting
+-------------------------
+Every exponentiation carries the label of the corresponding row in the
+paper's Tables 2-3 (``update_share``, ``long_term_key``,
+``encrypt_session_key``, ``session_key``, ``remove_long_term_key``), so
+benchmarks can reproduce the tables from the *measured* counters:
+
+* JOIN, controller:      (n-1) update_share + 1 long_term_key
+                         + 1 session_key                       = n + 1
+* JOIN, new member:      (n-1) long_term_key + (n-1) encrypt_session_key
+                         + 1 session_key                       = 2n - 1
+* LEAVE (of the controller), performed by the newest surviving member:
+                         1 remove_long_term_key + 1 session_key
+                         + (n-2) encrypt_session_key           = n
+
+(n counts the joining/leaving member, as in the paper.)  When a *sitting*
+controller — whose own partial key is already un-authenticated — removes
+a regular member, this implementation skips the then-unnecessary
+``remove_long_term_key`` exponentiation and performs ``n - 1``; the
+benches report both cases and EXPERIMENTS.md records the delta.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cliques.directory import KeyDirectory
+from repro.cliques.tokens import (
+    AuthenticatedEntry,
+    DownflowToken,
+    MergeChainToken,
+    MergeCollectToken,
+    MergeResponseToken,
+    UpflowToken,
+)
+from repro.crypto.bigint import mod_inverse
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import RandomSource, SystemSource
+from repro.errors import CliquesError, ControllerError, TokenError
+
+
+@dataclass
+class _MergeState:
+    """Transient state held by the last merging member while it collects
+    factored-out responses (MERGE step 4)."""
+
+    collect_value: int
+    expected: Tuple[str, ...]
+    responses: Dict[str, int] = field(default_factory=dict)
+
+
+class CliquesContext:
+    """Per-member Cliques state and operations.
+
+    Parameters
+    ----------
+    name:
+        This member's unique name.
+    params:
+        The Diffie-Hellman group.
+    long_term:
+        This member's long-term key pair (authentication).
+    directory:
+        Authentic long-term public keys of all potential members.
+    source:
+        Randomness for private shares (tests pass a deterministic one).
+    counter:
+        This member's exponentiation counter; a fresh one is created when
+        not supplied.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: DHParams,
+        long_term: DHKeyPair,
+        directory: KeyDirectory,
+        source: Optional[RandomSource] = None,
+        counter: Optional[ExpCounter] = None,
+    ) -> None:
+        self.name = name
+        self.params = params
+        self.long_term = long_term
+        self.directory = directory
+        self.source = source if source is not None else SystemSource()
+        self.counter = counter if counter is not None else ExpCounter()
+
+        self.group: Optional[str] = None
+        self.members: List[str] = []
+        self.epoch = 0
+        self._my_share: Optional[int] = None
+        self._group_secret: Optional[int] = None
+        # Plain (un-authenticated) own partial key p_me; held while acting
+        # as controller.
+        self._own_base: Optional[int] = None
+        # Last broadcast entries, cached by every member (any member may
+        # become controller after a leave).
+        self._entries: Dict[str, AuthenticatedEntry] = {}
+        # Cache of long-term pairwise keys, reduced mod q for exponent use.
+        self._ltk: Dict[str, int] = {}
+        self._merge_state: Optional[_MergeState] = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def controller(self) -> Optional[str]:
+        """The current controller: always the newest member."""
+        return self.members[-1] if self.members else None
+
+    @property
+    def is_controller(self) -> bool:
+        return bool(self.members) and self.members[-1] == self.name
+
+    @property
+    def has_key(self) -> bool:
+        return self._group_secret is not None
+
+    def secret(self) -> int:
+        """The agreed group secret; raises until agreement completes."""
+        if self._group_secret is None:
+            raise CliquesError(f"{self.name}: no group secret established")
+        return self._group_secret
+
+    def reset(self) -> None:
+        """Drop all group state (used when a cascaded event aborts an
+        agreement and the group restarts from a merge)."""
+        self.group = None
+        self.members = []
+        self.epoch = 0
+        self._my_share = None
+        self._group_secret = None
+        self._own_base = None
+        self._entries = {}
+        self._merge_state = None
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+
+    def _fresh_share(self) -> int:
+        return self.params.random_exponent(self.source)
+
+    def _long_term_exponent(self, other: str) -> int:
+        """``K_{me,other} mod q``; computed once and cached.
+
+        One counted exponentiation per distinct peer (the tables' rows
+        named "long term key computation").
+        """
+        cached = self._ltk.get(other)
+        if cached is not None:
+            return cached
+        peer_public = self.directory.lookup(other)
+        shared = self.params.exp(
+            peer_public, self.long_term.private, self.counter, "long_term_key"
+        )
+        reduced = shared % self.params.q
+        if reduced == 0 or math.gcd(reduced, self.params.q) != 1:
+            raise CliquesError(
+                f"degenerate long-term key between {self.name} and {other}"
+            )
+        self._ltk[other] = reduced
+        return reduced
+
+    def _strip_exponent(self, tags: Sequence[str]) -> int:
+        """``inverse(prod K_{me,tag}) mod q`` for the entry's tag set."""
+        product = 1
+        for tag in tags:
+            product = (product * self._long_term_exponent(tag)) % self.params.q
+        return mod_inverse(product, self.params.q)
+
+    def _require_group(self, group: str) -> None:
+        if self.group != group:
+            raise TokenError(
+                f"{self.name}: token for group {group!r} but context is in"
+                f" {self.group!r}"
+            )
+
+    def _check_token_epoch(self, token_epoch: int) -> None:
+        if token_epoch != self.epoch + 1:
+            raise TokenError(
+                f"{self.name}: token epoch {token_epoch} does not follow"
+                f" local epoch {self.epoch}"
+            )
+
+    # ------------------------------------------------------------------
+    # group creation
+    # ------------------------------------------------------------------
+
+    def create_first(self, group: str) -> None:
+        """Become the first (and only) member of a new group."""
+        if self.group is not None:
+            raise CliquesError(f"{self.name}: already in group {self.group!r}")
+        self.group = group
+        self.members = [self.name]
+        self._my_share = self._fresh_share()
+        self._group_secret = self.params.exp(
+            self.params.g, self._my_share, self.counter, "session_key"
+        )
+        self._own_base = self.params.g
+        self._entries = {}
+        self.epoch = 1
+
+    # ------------------------------------------------------------------
+    # JOIN (Section 4.1)
+    # ------------------------------------------------------------------
+
+    def prep_join(self, new_member: str) -> UpflowToken:
+        """Controller step: refresh own share, hand partial keys to the
+        joining member (who becomes the new controller).
+
+        Cost (n = group size including the joiner): (n-1) update_share
+        + 1 long_term_key + 1 session_key = n + 1.
+        """
+        if not self.is_controller:
+            raise ControllerError(
+                f"{self.name} is not the controller of {self.group!r}"
+            )
+        if new_member in self.members:
+            raise CliquesError(f"{new_member!r} is already a member")
+        if self._own_base is None or self._group_secret is None:
+            raise CliquesError(f"{self.name}: controller state incomplete")
+
+        refresh = self._fresh_share()
+        entries: Dict[str, AuthenticatedEntry] = {}
+        for member in self.members:
+            if member == self.name:
+                # Own partial key: the fresh factor cancels against the
+                # refreshed share, so the plain base is reused unchanged.
+                entries[member] = AuthenticatedEntry(self._own_base, frozenset())
+            else:
+                old = self._entries[member]
+                entries[member] = AuthenticatedEntry(
+                    self.params.exp(old.value, refresh, self.counter, "update_share"),
+                    old.auth_tags,
+                )
+        full_value = self.params.exp(
+            self._group_secret, refresh, self.counter, "update_share"
+        )
+        # Long-term key with the joiner, needed to recover the new secret
+        # from its downflow (computed now, per the paper's accounting).
+        self._long_term_exponent(new_member)
+
+        self._my_share = (self._my_share * refresh) % self.params.q
+        self._group_secret = None  # stale until the joiner's downflow
+        return UpflowToken(
+            group=self.group,
+            sender=self.name,
+            epoch=self.epoch + 1,
+            members=tuple(self.members),
+            entries=entries,
+            full_value=full_value,
+        )
+
+    def process_upflow(self, token: UpflowToken) -> DownflowToken:
+        """Joining member step: add own share, authenticate every partial
+        key, broadcast the downflow.  The joiner becomes the controller.
+
+        Cost: (n-1) long_term_key + (n-1) encrypt_session_key
+        + 1 session_key = 2n - 1.
+        """
+        if self.group is not None:
+            raise CliquesError(
+                f"{self.name}: cannot join {token.group!r}; already in"
+                f" {self.group!r}"
+            )
+        if self.name in token.members:
+            raise TokenError(f"{self.name} already listed in upflow members")
+
+        self.group = token.group
+        self.members = list(token.members) + [self.name]
+        self._my_share = self._fresh_share()
+
+        entries: Dict[str, AuthenticatedEntry] = {}
+        for member, entry in token.entries.items():
+            ltk = self._long_term_exponent(member)
+            exponent = (self._my_share * ltk) % self.params.q
+            entries[member] = AuthenticatedEntry(
+                self.params.exp(
+                    entry.value, exponent, self.counter, "encrypt_session_key"
+                ),
+                entry.auth_tags | {self.name},
+            )
+        self._group_secret = self.params.exp(
+            token.full_value, self._my_share, self.counter, "session_key"
+        )
+        # The received full value is exactly alpha^(prod/my share).
+        self._own_base = token.full_value
+        self._entries = entries
+        self.epoch = token.epoch
+        return DownflowToken(
+            group=self.group,
+            sender=self.name,
+            epoch=self.epoch,
+            members=tuple(self.members),
+            entries=entries,
+            operation="join",
+        )
+
+    # ------------------------------------------------------------------
+    # downflow processing (shared by JOIN / LEAVE / MERGE / REFRESH)
+    # ------------------------------------------------------------------
+
+    def process_downflow(self, token: DownflowToken) -> None:
+        """Recover the new group secret from a broadcast downflow.
+
+        Cost per member: one session_key exponentiation, plus one
+        long_term_key exponentiation per not-yet-cached controller tag.
+        """
+        if self.group is None and token.operation == "merge":
+            # A merging member learns its new group from the downflow.
+            self.group = token.group
+        self._require_group(token.group)
+        if self.name not in token.members:
+            raise TokenError(
+                f"{self.name} not a member of the new view in downflow"
+            )
+        if token.sender == self.name:
+            raise TokenError("controller must not process its own downflow")
+        self._check_token_epoch(token.epoch)
+
+        entry = token.entries.get(self.name)
+        if entry is None:
+            raise TokenError(f"downflow carries no entry for {self.name}")
+        strip = self._strip_exponent(sorted(entry.auth_tags))
+        exponent = (self._my_share * strip) % self.params.q
+        self._group_secret = self.params.exp(
+            entry.value, exponent, self.counter, "session_key"
+        )
+        self.members = list(token.members)
+        self._entries = dict(token.entries)
+        self._own_base = None  # only the controller keeps a plain base
+        self._merge_state = None
+        self.epoch = token.epoch
+
+    # ------------------------------------------------------------------
+    # LEAVE (Section 4.3) and KEY REFRESH (Section 4.4)
+    # ------------------------------------------------------------------
+
+    def leave(self, leaving: Sequence[str]) -> DownflowToken:
+        """Remove ``leaving`` members and refresh the key.
+
+        Performed by the newest *surviving* member (the new controller).
+        Cost for a single leaver, when the performer must first strip its
+        own partial key (the controller left): 1 remove_long_term_key
+        + 1 session_key + (n-2) encrypt_session_key = n.
+        """
+        leaving_set = set(leaving)
+        if self.group is None:
+            raise CliquesError(f"{self.name}: not in any group")
+        unknown = leaving_set - set(self.members)
+        if unknown:
+            raise CliquesError(f"cannot remove non-members: {sorted(unknown)}")
+        if self.name in leaving_set:
+            raise CliquesError("a leaving member cannot perform the leave")
+        remaining = [m for m in self.members if m not in leaving_set]
+        if remaining[-1] != self.name:
+            raise ControllerError(
+                f"{self.name} is not the newest surviving member"
+                f" ({remaining[-1]} is)"
+            )
+        return self._rekey_as_controller(remaining, operation="leave")
+
+    def refresh(self) -> DownflowToken:
+        """Generate a new group secret (LEAVE with no leavers)."""
+        if not self.is_controller:
+            raise ControllerError(f"{self.name} is not the controller")
+        return self._rekey_as_controller(list(self.members), operation="refresh")
+
+    def _rekey_as_controller(
+        self, remaining: List[str], operation: str
+    ) -> DownflowToken:
+        if self._own_base is None:
+            # Became controller through this operation: recover the plain
+            # partial key by removing the previous controllers' long-term
+            # key factors from the cached own entry (one exponentiation,
+            # the tables' "remove long term key with previous controller").
+            own = self._entries.get(self.name)
+            if own is None:
+                raise CliquesError(
+                    f"{self.name}: no cached partial key to take over as"
+                    " controller"
+                )
+            self._own_base = self.params.exp(
+                own.value,
+                self._strip_exponent(sorted(own.auth_tags)),
+                self.counter,
+                "remove_long_term_key",
+            )
+        refresh = self._fresh_share()
+        new_secret = self.params.exp(
+            self._own_base,
+            (self._my_share * refresh) % self.params.q,
+            self.counter,
+            "session_key",
+        )
+        entries: Dict[str, AuthenticatedEntry] = {}
+        for member in remaining:
+            if member == self.name:
+                continue
+            old = self._entries[member]
+            entries[member] = AuthenticatedEntry(
+                self.params.exp(old.value, refresh, self.counter, "encrypt_session_key"),
+                old.auth_tags,
+            )
+        self._my_share = (self._my_share * refresh) % self.params.q
+        self._group_secret = new_secret
+        self.members = remaining
+        self._entries = dict(entries)
+        self._entries[self.name] = AuthenticatedEntry(self._own_base, frozenset())
+        self.epoch += 1
+        return DownflowToken(
+            group=self.group,
+            sender=self.name,
+            epoch=self.epoch,
+            members=tuple(remaining),
+            entries=entries,
+            operation=operation,
+        )
+
+    # ------------------------------------------------------------------
+    # MERGE (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def prep_merge(self, new_members: Sequence[str]) -> MergeChainToken:
+        """Controller step 1: refresh own share, send the partial group
+        secret to the first merging member."""
+        if not self.is_controller:
+            raise ControllerError(f"{self.name} is not the controller")
+        if not new_members:
+            raise CliquesError("merge requires at least one new member")
+        duplicates = set(new_members) & set(self.members)
+        if duplicates:
+            raise CliquesError(f"already members: {sorted(duplicates)}")
+        if len(set(new_members)) != len(new_members):
+            raise CliquesError("duplicate names in merge list")
+        if self._group_secret is None:
+            raise CliquesError(f"{self.name}: no current secret to extend")
+        refresh = self._fresh_share()
+        value = self.params.exp(
+            self._group_secret, refresh, self.counter, "update_share"
+        )
+        self._my_share = (self._my_share * refresh) % self.params.q
+        self._group_secret = None
+        return MergeChainToken(
+            group=self.group,
+            sender=self.name,
+            epoch=self.epoch + 1,
+            members=tuple(self.members),
+            value=value,
+            chain=tuple(new_members),
+            position=0,
+        )
+
+    def process_merge_chain(
+        self, token: MergeChainToken
+    ) -> "MergeChainToken | MergeCollectToken":
+        """Merging member step: add own share and forward — except the
+        last chain member, who broadcasts the collect token instead."""
+        if self.group is not None:
+            raise CliquesError(
+                f"{self.name}: cannot merge into {token.group!r}; already in"
+                f" {self.group!r}"
+            )
+        if token.position >= len(token.chain) or token.chain[token.position] != self.name:
+            raise TokenError(
+                f"merge chain token at position {token.position} is not for"
+                f" {self.name}"
+            )
+        self.group = token.group
+        self.members = list(token.members) + list(token.chain)
+        self.epoch = token.epoch - 1  # the downflow will advance us
+        self._my_share = self._fresh_share()
+        is_last = token.position == len(token.chain) - 1
+        if not is_last:
+            value = self.params.exp(
+                token.value, self._my_share, self.counter, "add_share"
+            )
+            return MergeChainToken(
+                group=token.group,
+                sender=self.name,
+                epoch=token.epoch,
+                members=token.members,
+                value=value,
+                chain=token.chain,
+                position=token.position + 1,
+            )
+        # Last merging member: slated to become the controller; do not add
+        # the share yet — broadcast and wait for factored-out responses.
+        expected = tuple(m for m in self.members if m != self.name)
+        self._merge_state = _MergeState(collect_value=token.value, expected=expected)
+        return MergeCollectToken(
+            group=token.group,
+            sender=self.name,
+            epoch=token.epoch,
+            members=tuple(self.members),
+            value=token.value,
+        )
+
+    def process_merge_collect(self, token: MergeCollectToken) -> MergeResponseToken:
+        """Every member except the new controller factors its share out of
+        the broadcast partial secret and returns the result."""
+        if self.group is None:
+            raise CliquesError(f"{self.name}: not in a group")
+        self._require_group(token.group)
+        if token.sender == self.name:
+            raise TokenError("the collecting member does not respond to itself")
+        if self._my_share is None:
+            raise CliquesError(f"{self.name}: no private share")
+        self.members = list(token.members)
+        value = self.params.exp(
+            token.value,
+            mod_inverse(self._my_share, self.params.q),
+            self.counter,
+            "factor_out",
+        )
+        return MergeResponseToken(
+            group=token.group,
+            sender=self.name,
+            epoch=token.epoch,
+            members=token.members,
+            value=value,
+            responder=self.name,
+        )
+
+    def process_merge_response(
+        self, token: MergeResponseToken
+    ) -> Optional[DownflowToken]:
+        """New controller: accumulate responses; when all have arrived,
+        authenticate them and broadcast the downflow (step 5)."""
+        state = self._merge_state
+        if state is None:
+            raise TokenError(f"{self.name} is not collecting merge responses")
+        self._require_group(token.group)
+        if token.responder not in state.expected:
+            raise TokenError(f"unexpected merge response from {token.responder}")
+        state.responses[token.responder] = token.value
+        if len(state.responses) < len(state.expected):
+            return None
+        entries: Dict[str, AuthenticatedEntry] = {}
+        for member, value in state.responses.items():
+            ltk = self._long_term_exponent(member)
+            exponent = (self._my_share * ltk) % self.params.q
+            entries[member] = AuthenticatedEntry(
+                self.params.exp(value, exponent, self.counter, "encrypt_session_key"),
+                frozenset({self.name}),
+            )
+        self._group_secret = self.params.exp(
+            state.collect_value, self._my_share, self.counter, "session_key"
+        )
+        self._own_base = state.collect_value
+        self._entries = dict(entries)
+        self._entries[self.name] = AuthenticatedEntry(self._own_base, frozenset())
+        self.epoch = self.epoch + 1
+        self._merge_state = None
+        return DownflowToken(
+            group=self.group,
+            sender=self.name,
+            epoch=self.epoch,
+            members=tuple(self.members),
+            entries=entries,
+            operation="merge",
+        )

@@ -1,0 +1,58 @@
+"""Long-term public key directory.
+
+The paper defers group/member *certification* to future work and assumes
+long-term DH public keys are known authentically (e.g. via certificates).
+:class:`KeyDirectory` is that assumption made explicit: a shared map from
+member name to long-term public key.  A PKI would replace this object
+without touching protocol code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.errors import KeyAgreementError
+
+
+class KeyDirectory:
+    """Authentic long-term DH public keys, indexed by member name."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[str, int] = {}
+
+    def register(self, name: str, public_key: int) -> None:
+        """Publish a member's long-term public key.
+
+        Re-registering the same key is idempotent; changing an existing
+        key is rejected — a directory is append-only like a certificate
+        log, and a silent key swap is exactly the attack it exists to
+        prevent.
+        """
+        existing = self._keys.get(name)
+        if existing is not None and existing != public_key:
+            raise KeyAgreementError(
+                f"long-term key for {name!r} already registered with a"
+                " different value"
+            )
+        self._keys[name] = public_key
+
+    def lookup(self, name: str) -> int:
+        """The public key for ``name``; raises if unknown."""
+        try:
+            return self._keys[name]
+        except KeyError:
+            raise KeyAgreementError(
+                f"no long-term public key registered for {name!r}"
+            ) from None
+
+    def knows(self, name: str) -> bool:
+        return name in self._keys
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._keys
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)

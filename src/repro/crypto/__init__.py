@@ -1,0 +1,51 @@
+"""Cryptographic substrate, implemented from scratch.
+
+Everything the secure group layer needs:
+
+* :mod:`repro.crypto.counters` — modular-exponentiation instrumentation.
+  The paper's evaluation (Tables 2-4, Figure 4) is driven by serial
+  exponentiation counts, so every ``mod_exp`` in the library routes
+  through a counter.
+* :mod:`repro.crypto.bigint` — counted modular arithmetic helpers.
+* :mod:`repro.crypto.primes` — Miller-Rabin and safe-prime generation.
+* :mod:`repro.crypto.dh` — Diffie-Hellman parameters and key pairs
+  (fixed 512-bit parameters matching the paper's setting, plus larger
+  published groups).
+* :mod:`repro.crypto.blowfish` — Bruce Schneier's Blowfish block cipher
+  (the paper's bulk cipher), with its P/S boxes derived from the hex
+  digits of pi exactly as specified.
+* :mod:`repro.crypto.modes` — CBC mode with PKCS#7 padding.
+* :mod:`repro.crypto.sha1` / :mod:`repro.crypto.hmac_mac` — SHA-1 and
+  HMAC for message integrity.
+* :mod:`repro.crypto.kdf` — key derivation from the group secret.
+* :mod:`repro.crypto.random_source` — CSPRNG with a deterministic test
+  mode.
+"""
+
+from repro.crypto.bigint import mod_exp, mod_inverse
+from repro.crypto.blowfish import Blowfish
+from repro.crypto.counters import ExpCounter, global_counter
+from repro.crypto.dh import DHParams, DHKeyPair
+from repro.crypto.hmac_mac import hmac_digest, hmac_verify
+from repro.crypto.kdf import derive_keys, SessionKeys
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.crypto.random_source import DeterministicSource, RandomSource, SystemSource
+
+__all__ = [
+    "mod_exp",
+    "mod_inverse",
+    "Blowfish",
+    "ExpCounter",
+    "global_counter",
+    "DHParams",
+    "DHKeyPair",
+    "hmac_digest",
+    "hmac_verify",
+    "derive_keys",
+    "SessionKeys",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "RandomSource",
+    "SystemSource",
+    "DeterministicSource",
+]

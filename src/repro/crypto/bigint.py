@@ -1,0 +1,71 @@
+"""Counted big-integer modular arithmetic.
+
+All modular exponentiations in the library go through :func:`mod_exp`
+so that the per-participant :class:`~repro.crypto.counters.ExpCounter`
+instrumentation sees them (see Tables 2-4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.counters import ExpCounter, global_counter
+from repro.errors import ParameterError
+
+
+def mod_exp(
+    base: int,
+    exponent: int,
+    modulus: int,
+    counter: Optional[ExpCounter] = None,
+    label: str = "exp",
+) -> int:
+    """Modular exponentiation ``base ** exponent mod modulus``, counted.
+
+    Parameters
+    ----------
+    counter:
+        The participant's exponentiation counter.  When ``None`` the
+        process-wide :func:`~repro.crypto.counters.global_counter` is used
+        so no exponentiation ever goes unrecorded.
+    label:
+        What this exponentiation is for; benches aggregate by label to
+        reproduce the paper's per-row breakdowns.
+    """
+    if modulus <= 0:
+        raise ParameterError(f"modulus must be positive, got {modulus}")
+    (counter if counter is not None else global_counter()).record(label)
+    return pow(base, exponent, modulus)
+
+
+def mod_inverse(value: int, modulus: int) -> int:
+    """Multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Used by Cliques members to *factor out* their private share from a
+    partial group secret during MERGE (inverses are taken modulo the group
+    order ``q``, in the exponent).  Not counted as an exponentiation: the
+    paper's cost model counts only modular exponentiations, and inverse
+    cost (extended gcd) is negligible next to a 512-bit exponentiation.
+    """
+    if modulus <= 0:
+        raise ParameterError(f"modulus must be positive, got {modulus}")
+    try:
+        return pow(value, -1, modulus)
+    except ValueError:
+        raise ParameterError(
+            f"{value} has no inverse modulo {modulus} (not coprime)"
+        ) from None
+
+
+def int_to_bytes(value: int, length: Optional[int] = None) -> bytes:
+    """Big-endian byte encoding; minimal length when not given."""
+    if value < 0:
+        raise ParameterError("cannot encode negative integer")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Big-endian byte decoding."""
+    return int.from_bytes(data, "big")

@@ -1,0 +1,85 @@
+"""Modular-exponentiation counting.
+
+The paper's cost model (Tables 2-4) counts *serial modular exponentiations*
+per protocol role; Figure 4 converts counts to CPU time at a per-platform
+cost.  To reproduce those tables against the real implementation — not a
+re-derivation — every exponentiation in the library is recorded on an
+:class:`ExpCounter`.
+
+Each protocol participant owns a counter; labels record what the
+exponentiation was for (``"update_share"``, ``"session_key"``...), so the
+benches can print the same per-row breakdowns the paper's tables do.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class ExpCounter:
+    """Counts modular exponentiations, bucketed by label."""
+
+    total: int = 0
+    by_label: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, label: str = "exp", count: int = 1) -> None:
+        """Record ``count`` exponentiations under ``label``."""
+        self.total += count
+        self.by_label[label] = self.by_label.get(label, 0) + count
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.total = 0
+        self.by_label.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the per-label counts (for assertions/reports)."""
+        return dict(self.by_label)
+
+    def get(self, label: str) -> int:
+        """Count recorded under one label (0 when never recorded)."""
+        return self.by_label.get(label, 0)
+
+    def merge(self, other: "ExpCounter") -> None:
+        """Add another counter's totals into this one."""
+        self.total += other.total
+        for label, count in other.by_label.items():
+            self.by_label[label] = self.by_label.get(label, 0) + count
+
+    @contextmanager
+    def window(self) -> Iterator["ExpCounter"]:
+        """Context manager yielding a counter of only the ops inside it.
+
+        Usage::
+
+            with member.counter.window() as during:
+                member.do_join(...)
+            assert during.total == n + 1
+        """
+        before_total = self.total
+        before_labels = dict(self.by_label)
+        delta = ExpCounter()
+        try:
+            yield delta
+        finally:
+            delta.total = self.total - before_total
+            delta.by_label = {
+                label: count - before_labels.get(label, 0)
+                for label, count in self.by_label.items()
+                if count - before_labels.get(label, 0)
+            }
+
+
+_GLOBAL = ExpCounter()
+
+
+def global_counter() -> ExpCounter:
+    """The process-wide fallback counter.
+
+    Used when an operation has no participant-scoped counter; benches that
+    measure whole-system totals read it.
+    """
+    return _GLOBAL

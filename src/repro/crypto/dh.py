@@ -1,0 +1,166 @@
+"""Diffie-Hellman parameters and key pairs.
+
+Both key agreement protocols in the paper are built on Diffie-Hellman in
+the prime-order subgroup of ``Z_p*`` with ``p`` a safe prime: Cliques uses
+its group extension (A-GDH.2), CKD uses pairwise DH plus a blinded channel
+for distributing the controller's group secret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.bigint import mod_exp
+from repro.crypto.counters import ExpCounter
+from repro.crypto.primes import (
+    GENERATOR_512,
+    RFC2409_GROUP2_G,
+    RFC2409_GROUP2_P,
+    RFC2409_GROUP2_Q,
+    SAFE_PRIME_512,
+    SAFE_PRIME_512_Q,
+    is_safe_prime,
+)
+from repro.crypto.random_source import RandomSource, SystemSource
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class DHParams:
+    """A Diffie-Hellman group: modulus ``p``, subgroup order ``q``,
+    generator ``g`` of the order-``q`` subgroup.
+    """
+
+    p: int
+    q: int
+    g: int
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.p <= 3 or self.q <= 1:
+            raise ParameterError("degenerate DH parameters")
+        if self.p != 2 * self.q + 1:
+            raise ParameterError("p must equal 2q + 1 (safe prime group)")
+        if not 1 < self.g < self.p - 1:
+            raise ParameterError(f"generator {self.g} out of range")
+
+    @classmethod
+    def paper_512(cls) -> "DHParams":
+        """The 512-bit group matching the paper's experimental setting."""
+        return cls(
+            p=SAFE_PRIME_512, q=SAFE_PRIME_512_Q, g=GENERATOR_512, name="paper-512"
+        )
+
+    @classmethod
+    def rfc2409_group2(cls) -> "DHParams":
+        """RFC 2409 Oakley group 2 (1024-bit)."""
+        return cls(
+            p=RFC2409_GROUP2_P,
+            q=RFC2409_GROUP2_Q,
+            g=RFC2409_GROUP2_G,
+            name="rfc2409-group2",
+        )
+
+    @classmethod
+    def rfc3526_group14(cls) -> "DHParams":
+        """RFC 3526 group 14 (2048-bit), for modern deployments."""
+        from repro.crypto.primes import (
+            RFC3526_GROUP14_G,
+            RFC3526_GROUP14_P,
+            RFC3526_GROUP14_Q,
+        )
+
+        return cls(
+            p=RFC3526_GROUP14_P,
+            q=RFC3526_GROUP14_Q,
+            g=RFC3526_GROUP14_G,
+            name="rfc3526-group14",
+        )
+
+    @classmethod
+    def tiny_test(cls) -> "DHParams":
+        """A deliberately small group for fast unit tests (INSECURE).
+
+        Only ~1000 distinct secrets exist in this group, so birthday
+        collisions across re-keys are expected; tests asserting key
+        *uniqueness* should use :meth:`small_test` instead.
+        """
+        # p = 2 * 1019 + 1 = 2039 is a safe prime; 4 generates the
+        # order-1019 subgroup.
+        return cls(p=2039, q=1019, g=4, name="tiny-test")
+
+    @classmethod
+    def small_test(cls) -> "DHParams":
+        """A 64-bit safe-prime group: still fast, but large enough that
+        accidental secret collisions never occur in tests (INSECURE)."""
+        p = 0xABA5ABD8BECC230B
+        return cls(p=p, q=(p - 1) // 2, g=4, name="small-test")
+
+    def validate(self) -> None:
+        """Full (slow) validation: safe-prime check and generator order."""
+        if not is_safe_prime(self.p):
+            raise ParameterError("p is not a safe prime")
+        if pow(self.g, self.q, self.p) != 1:
+            raise ParameterError("g does not generate the order-q subgroup")
+
+    def random_exponent(self, source: RandomSource) -> int:
+        """A uniformly random private share in ``[2, q-1]``."""
+        return source.randint(2, self.q - 1)
+
+    def exp(
+        self,
+        base: int,
+        exponent: int,
+        counter: Optional[ExpCounter] = None,
+        label: str = "exp",
+    ) -> int:
+        """Counted exponentiation modulo ``p``."""
+        return mod_exp(base, exponent, self.p, counter=counter, label=label)
+
+    @property
+    def bits(self) -> int:
+        return self.p.bit_length()
+
+
+@dataclass
+class DHKeyPair:
+    """A long-term DH key pair ``(x, g^x mod p)``.
+
+    Long-term keys authenticate members: in A-GDH.2 the controller and a
+    member derive the shared ``K_ij = g^(xi*xj)`` and fold it into the key
+    tokens; in CKD they authenticate the pairwise channels.
+    """
+
+    params: DHParams
+    private: int
+    public: int
+
+    @classmethod
+    def generate(
+        cls,
+        params: DHParams,
+        source: Optional[RandomSource] = None,
+        counter: Optional[ExpCounter] = None,
+    ) -> "DHKeyPair":
+        """Generate a fresh key pair.
+
+        The initial public-key computation is *not* charged to any
+        protocol operation counter: long-term keys are created once at
+        member start-up, outside the per-operation costs the paper counts.
+        """
+        source = source if source is not None else SystemSource()
+        private = params.random_exponent(source)
+        public = pow(params.g, private, params.p)
+        return cls(params=params, private=private, public=public)
+
+    def shared_secret(
+        self,
+        peer_public: int,
+        counter: Optional[ExpCounter] = None,
+        label: str = "long_term_key",
+    ) -> int:
+        """The pairwise DH secret ``peer_public ** private mod p``."""
+        if not 1 < peer_public < self.params.p - 1:
+            raise ParameterError("peer public key out of range")
+        return self.params.exp(peer_public, self.private, counter, label)

@@ -1,0 +1,31 @@
+"""HMAC (RFC 2104) over the from-scratch SHA-1.
+
+Provides the data-integrity service of the secure layer: every protected
+group message carries ``HMAC(mac_key, header || ciphertext)``.
+Verification is constant-time.
+"""
+
+from __future__ import annotations
+
+import hmac as _stdlib_hmac  # only for compare_digest (constant time)
+
+from repro.crypto.sha1 import BLOCK_SIZE, sha1
+
+_IPAD = 0x36
+_OPAD = 0x5C
+
+DIGEST_SIZE = 20
+
+
+def hmac_digest(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA1 of ``message`` under ``key``."""
+    if len(key) > BLOCK_SIZE:
+        key = sha1(key)
+    key = key.ljust(BLOCK_SIZE, b"\x00")
+    inner = sha1(bytes(byte ^ _IPAD for byte in key) + message)
+    return sha1(bytes(byte ^ _OPAD for byte in key) + inner)
+
+
+def hmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time verification of an HMAC tag."""
+    return _stdlib_hmac.compare_digest(hmac_digest(key, message), tag)

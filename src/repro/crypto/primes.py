@@ -1,0 +1,129 @@
+"""Primality testing and safe-prime generation.
+
+Diffie-Hellman in Cliques and CKD operates in the prime-order-``q``
+subgroup of ``Z_p*`` where ``p = 2q + 1`` is a *safe prime*.  This module
+provides Miller-Rabin probabilistic primality testing, safe-prime
+generation (for users who want fresh parameters) and the fixed, published
+parameter sets the library ships with (the paper used a 512-bit modulus).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.sim.rng import DeterministicRng
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+
+def is_probable_prime(
+    candidate: int,
+    rounds: int = 40,
+    rng: Optional[DeterministicRng] = None,
+) -> bool:
+    """Miller-Rabin primality test.
+
+    With 40 rounds the error probability is below 2^-80, far below any
+    other failure mode in the system.  ``rng`` selects the witnesses; a
+    fixed default keeps the whole library deterministic.
+    """
+    if candidate < 2:
+        return False
+    for small in _SMALL_PRIMES:
+        if candidate % small == 0:
+            return candidate == small
+    rng = rng if rng is not None else DeterministicRng(0xC0FFEE, "miller-rabin")
+    # write candidate - 1 as d * 2^r with d odd
+    d, r = candidate - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = 2 + rng.randint(0, candidate - 4)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def is_safe_prime(p: int, rounds: int = 40) -> bool:
+    """True when ``p`` and ``(p-1)/2`` are both (probably) prime."""
+    return p % 2 == 1 and is_probable_prime(p, rounds) and is_probable_prime(
+        (p - 1) // 2, rounds
+    )
+
+
+def generate_safe_prime(bits: int, rng: DeterministicRng) -> Tuple[int, int]:
+    """Generate a ``bits``-bit safe prime ``p = 2q + 1``.
+
+    Returns ``(p, q)``.  This is slow for large sizes (it is the same
+    search OpenSSL performs); the library normally uses the fixed
+    parameters below, exactly as deployments share published groups.
+    """
+    if bits < 16:
+        raise ParameterError(f"safe prime size too small: {bits} bits")
+    while True:
+        q = rng.getrandbits(bits - 1) | (1 << (bits - 2)) | 1
+        if not is_probable_prime(q, rounds=8, rng=rng):
+            continue
+        p = 2 * q + 1
+        if is_probable_prime(p, rounds=8, rng=rng):
+            if is_probable_prime(q, rng=rng) and is_probable_prime(p, rng=rng):
+                return p, q
+
+
+# ---------------------------------------------------------------------------
+# Fixed parameter sets
+# ---------------------------------------------------------------------------
+
+#: 512-bit safe prime matching the paper's experimental setting ("one
+#: Diffie-Hellman exponentiation with 512-bit modulus").  Generated once
+#: with :func:`generate_safe_prime` and embedded; p = 2q + 1, generator 4
+#: generates the order-q subgroup.
+SAFE_PRIME_512 = int(
+    "0x85e877a1fd58eb2127082c76301c7e9410d411333a17dde60f74ebfa65b3b96d"
+    "67d039e064c8e52819d4560f7836af8ea60e62ffbf0fb7cac6d35817d263da2f",
+    16,
+)
+SAFE_PRIME_512_Q = (SAFE_PRIME_512 - 1) // 2
+GENERATOR_512 = 4
+
+#: The 2048-bit MODP group from RFC 3526 (group 14) — the contemporary
+#: recommendation for deployments that outgrew the paper's 512-bit
+#: setting.
+RFC3526_GROUP14_P = int(
+    "0xFFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+RFC3526_GROUP14_Q = (RFC3526_GROUP14_P - 1) // 2
+RFC3526_GROUP14_G = 2
+
+#: The 1024-bit MODP group from RFC 2409 (Oakley group 2) — a published,
+#: widely deployed safe prime, offered for users wanting a larger modulus.
+RFC2409_GROUP2_P = int(
+    "0xFFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+    16,
+)
+RFC2409_GROUP2_Q = (RFC2409_GROUP2_P - 1) // 2
+RFC2409_GROUP2_G = 2

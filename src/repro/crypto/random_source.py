@@ -1,0 +1,55 @@
+"""Random sources: system CSPRNG plus a deterministic test double.
+
+Protocol code takes a :class:`RandomSource` so tests and the simulation
+can substitute a seeded source and get reproducible keys, while real
+deployments use :class:`SystemSource` (backed by :mod:`secrets`).
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Protocol
+
+from repro.sim.rng import DeterministicRng
+
+
+class RandomSource(Protocol):
+    """Minimal interface protocol code needs from a randomness source."""
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        ...
+
+    def token_bytes(self, count: int) -> bytes:
+        """``count`` random bytes."""
+        ...
+
+
+class SystemSource:
+    """Cryptographically secure randomness from the operating system."""
+
+    def randint(self, low: int, high: int) -> int:
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return low + secrets.randbelow(high - low + 1)
+
+    def token_bytes(self, count: int) -> bytes:
+        return secrets.token_bytes(count)
+
+
+class DeterministicSource:
+    """Seeded randomness for tests and reproducible simulations.
+
+    NOT cryptographically secure — never use outside tests/benchmarks.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = DeterministicRng(seed, label="random-source")
+
+    def randint(self, low: int, high: int) -> int:
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return self._rng.randint(low, high)
+
+    def token_bytes(self, count: int) -> bytes:
+        return bytes(self._rng.randint(0, 255) for _ in range(count))

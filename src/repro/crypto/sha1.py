@@ -1,0 +1,95 @@
+"""SHA-1, from scratch.
+
+Used as the hash inside HMAC for message integrity and inside the KDF
+that turns a Diffie-Hellman group secret into cipher/MAC keys — the same
+role the era's deployments gave it.  (SHA-1 is no longer collision
+resistant; for HMAC and KDF use its known weaknesses do not apply, and it
+is what a faithful reproduction of a 2000 system uses.  Swapping the hash
+is a one-line change in :mod:`repro.crypto.hmac_mac`.)
+
+Verified against :mod:`hashlib` by the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+
+DIGEST_SIZE = 20
+BLOCK_SIZE = 64
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+class SHA1:
+    """Incremental SHA-1 hash object (hashlib-style interface)."""
+
+    digest_size = DIGEST_SIZE
+    block_size = BLOCK_SIZE
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._h = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Feed more message bytes."""
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= BLOCK_SIZE:
+            self._process(self._buffer[:BLOCK_SIZE])
+            self._buffer = self._buffer[BLOCK_SIZE:]
+
+    def _process(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for t in range(16, 80):
+            w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+        a, b, c, d, e = self._h
+        for t in range(80):
+            if t < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif t < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif t < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_rotl(a, 5) + f + e + k + w[t]) & _MASK32
+            e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+        self._h = tuple((x + y) & _MASK32 for x, y in zip(self._h, (a, b, c, d, e)))
+
+    def digest(self) -> bytes:
+        """The 20-byte digest (does not consume the object)."""
+        clone = SHA1()
+        clone._h = self._h
+        clone._buffer = self._buffer
+        clone._length = self._length
+        # Padding: 0x80, zeros, 64-bit big-endian bit length.
+        bit_length = clone._length * 8
+        clone.update(b"\x80")
+        pad = (56 - clone._length % BLOCK_SIZE) % BLOCK_SIZE
+        # update() already consumed full blocks; pad so 8 bytes remain.
+        clone._buffer += b"\x00" * pad
+        clone._buffer += struct.pack(">Q", bit_length)
+        while clone._buffer:
+            clone._process(clone._buffer[:BLOCK_SIZE])
+            clone._buffer = clone._buffer[BLOCK_SIZE:]
+        return b"".join(struct.pack(">I", h) for h in clone._h)
+
+    def hexdigest(self) -> str:
+        """The digest as lowercase hex."""
+        return self.digest().hex()
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1."""
+    return SHA1(data).digest()

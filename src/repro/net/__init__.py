@@ -1,0 +1,14 @@
+"""Asynchronous network substrate with failures.
+
+Models the environment the paper assumes: an asynchronous network in which
+messages can be delayed, reordered and lost, nodes fail by crashing (and
+may recover), and the network can partition into components and later
+re-merge.  Built on the :mod:`repro.sim` kernel so every scenario is
+deterministic and replayable.
+"""
+
+from repro.net.link import LinkModel
+from repro.net.network import Network
+from repro.net.fault import FaultSchedule, FaultInjector
+
+__all__ = ["LinkModel", "Network", "FaultSchedule", "FaultInjector"]

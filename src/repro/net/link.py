@@ -1,0 +1,91 @@
+"""Link delay/loss models.
+
+A :class:`LinkModel` computes, per datagram, whether the datagram is lost
+and how long it takes to arrive.  Presets model the paper's testbeds
+(switched Ethernet LANs) and a lossy WAN for robustness experiments.
+
+The latency model is ``base + size/bandwidth + jitter`` where jitter is a
+uniform draw, which is enough to exercise reordering without modelling
+queues explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import LinkError
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Per-link delivery characteristics.
+
+    Parameters
+    ----------
+    base_latency:
+        Fixed one-way propagation + protocol-stack delay in seconds.
+    bandwidth:
+        Bytes per second; serialization delay is ``size / bandwidth``.
+        ``None`` means infinite bandwidth (no serialization delay).
+    jitter:
+        Max uniform extra delay in seconds (draws in ``[0, jitter]``).
+    loss_rate:
+        Probability in ``[0, 1]`` that a datagram is silently dropped.
+    """
+
+    base_latency: float = 0.0001
+    bandwidth: Optional[float] = None
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0:
+            raise LinkError(f"negative base latency: {self.base_latency}")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise LinkError(f"non-positive bandwidth: {self.bandwidth}")
+        if self.jitter < 0:
+            raise LinkError(f"negative jitter: {self.jitter}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise LinkError(f"loss rate outside [0,1]: {self.loss_rate}")
+
+    def is_lost(self, rng: DeterministicRng) -> bool:
+        """Decide whether one datagram is dropped."""
+        return self.loss_rate > 0 and rng.random() < self.loss_rate
+
+    def delay_for(self, size_bytes: int, rng: DeterministicRng) -> float:
+        """One-way delay for a datagram of the given size."""
+        delay = self.base_latency
+        if self.bandwidth is not None:
+            delay += size_bytes / self.bandwidth
+        if self.jitter > 0:
+            delay += rng.uniform(0.0, self.jitter)
+        return delay
+
+    # -- presets -------------------------------------------------------------
+
+    @classmethod
+    def ethernet_10base_t(cls) -> "LinkModel":
+        """10BaseT LAN, as connected the paper's SUN Ultra-2 machines."""
+        return cls(base_latency=0.0005, bandwidth=10e6 / 8, jitter=0.0001)
+
+    @classmethod
+    def ethernet_100base_t(cls) -> "LinkModel":
+        """100BaseT LAN, as connected the paper's Pentium II machines."""
+        return cls(base_latency=0.0002, bandwidth=100e6 / 8, jitter=0.00005)
+
+    @classmethod
+    def local_ipc(cls) -> "LinkModel":
+        """Same-machine daemon<->client IPC (loopback / unix socket)."""
+        return cls(base_latency=0.00005, bandwidth=None, jitter=0.00001)
+
+    @classmethod
+    def wan(cls, loss_rate: float = 0.01) -> "LinkModel":
+        """A lossy wide-area link for robustness experiments."""
+        return cls(
+            base_latency=0.040,
+            bandwidth=1.5e6 / 8,
+            jitter=0.010,
+            loss_rate=loss_rate,
+        )

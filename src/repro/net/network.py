@@ -1,0 +1,208 @@
+"""The simulated network: nodes, links, partitions.
+
+A :class:`Network` connects named :class:`~repro.sim.process.SimProcess`
+nodes.  Datagrams are unicast; multicast to a set of destinations is
+modelled as independent unicasts (Spread itself uses unicast on the WAN
+and the paper's testbed is a small switched LAN, so this is faithful for
+the quantities measured).
+
+Partitions are expressed as a set of disjoint components over node names;
+a datagram whose source and destination are in different components is
+silently dropped, which is exactly how an asynchronous network failure
+presents to the endpoints.  Healing the partition restores full
+connectivity and lets daemon membership merge the components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PartitionError, UnknownAddressError
+from repro.net.link import LinkModel
+from repro.sim.kernel import Kernel
+from repro.sim.process import SimProcess
+from repro.types import PRIORITY_NETWORK
+
+DEFAULT_DATAGRAM_SIZE = 256
+
+
+class Network:
+    """A latency/loss/partition-modelled datagram network."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        default_link: Optional[LinkModel] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.default_link = default_link or LinkModel()
+        self._nodes: Dict[str, SimProcess] = {}
+        self._links: Dict[Tuple[str, str], LinkModel] = {}
+        # None means fully connected; otherwise node -> component index.
+        self._component_of: Optional[Dict[str, int]] = None
+        self._rng = kernel.rng.child("network")
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_dropped = 0
+        self.bytes_sent = 0
+
+    # -- topology -------------------------------------------------------------
+
+    def add_node(self, node: SimProcess) -> None:
+        """Register a node; its process name is its address."""
+        self._nodes[node.name] = node
+
+    def remove_node(self, name: str) -> None:
+        """Unregister a node (messages to it are then address errors)."""
+        self._nodes.pop(name, None)
+
+    def node(self, name: str) -> SimProcess:
+        """Look up a node by address."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownAddressError(name) from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def node_names(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def set_link(self, a: str, b: str, model: LinkModel) -> None:
+        """Override the link model between two nodes (symmetric)."""
+        self._links[(a, b)] = model
+        self._links[(b, a)] = model
+
+    def link_between(self, a: str, b: str) -> LinkModel:
+        """The link model in effect between two nodes."""
+        return self._links.get((a, b), self.default_link)
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, components: Sequence[Iterable[str]]) -> None:
+        """Split the network into disjoint components.
+
+        Nodes not named in any component keep full connectivity with every
+        component they were implicitly grouped with -- to avoid surprises
+        we instead place all unnamed nodes into their own extra component
+        together, which matches the common "cut these machines off" use.
+        """
+        component_of: Dict[str, int] = {}
+        for index, group in enumerate(components):
+            for name in group:
+                if name in component_of:
+                    raise PartitionError(f"node {name!r} in two components")
+                component_of[name] = index
+        rest = [name for name in self._nodes if name not in component_of]
+        rest_index = len(components)
+        for name in rest:
+            component_of[name] = rest_index
+        self._component_of = component_of
+        self.kernel.tracer.record(
+            "net.partition",
+            components=[sorted(g) for g in components] + [sorted(rest)],
+        )
+
+    def heal(self) -> None:
+        """Restore full connectivity."""
+        self._component_of = None
+        self.kernel.tracer.record("net.heal")
+
+    def reachable(self, a: str, b: str) -> bool:
+        """True when a datagram from ``a`` can currently reach ``b``."""
+        if a == b:
+            return True
+        if self._component_of is None:
+            return True
+        return self._component_of.get(a, -1) == self._component_of.get(b, -2)
+
+    @property
+    def partitioned(self) -> bool:
+        return self._component_of is not None
+
+    def component_members(self, name: str) -> Set[str]:
+        """Names of all nodes currently reachable from ``name``."""
+        return {other for other in self._nodes if self.reachable(name, other)}
+
+    # -- datagram service ---------------------------------------------------------
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        size: Optional[int] = None,
+    ) -> None:
+        """Queue one datagram for delivery (or loss) after the link delay."""
+        if destination not in self._nodes:
+            raise UnknownAddressError(destination)
+        self.datagrams_sent += 1
+        wire_size = size if size is not None else _size_of(payload)
+        self.bytes_sent += wire_size
+        if not self.reachable(source, destination):
+            self.datagrams_dropped += 1
+            self.kernel.tracer.record(
+                "net.drop_partition", source=source, destination=destination
+            )
+            return
+        link = self.link_between(source, destination)
+        if link.is_lost(self._rng):
+            self.datagrams_dropped += 1
+            self.kernel.tracer.record(
+                "net.drop_loss", source=source, destination=destination
+            )
+            return
+        delay = link.delay_for(wire_size, self._rng)
+        self.kernel.call_later(
+            delay,
+            lambda: self._deliver(source, destination, payload),
+            priority=PRIORITY_NETWORK,
+            label=f"net:{source}->{destination}",
+        )
+
+    def multicast(
+        self,
+        source: str,
+        destinations: Iterable[str],
+        payload: Any,
+        size: Optional[int] = None,
+    ) -> None:
+        """Send the same payload to several destinations (skipping source)."""
+        for destination in destinations:
+            if destination != source:
+                self.send(source, destination, payload, size)
+
+    def _deliver(self, source: str, destination: str, payload: Any) -> None:
+        node = self._nodes.get(destination)
+        if node is None:
+            self.datagrams_dropped += 1
+            return
+        # A partition that formed while the datagram was in flight cuts it
+        # off too; this models the switch going dark, and keeps partition
+        # semantics clean (no stragglers from the other side).
+        if not self.reachable(source, destination):
+            self.datagrams_dropped += 1
+            self.kernel.tracer.record(
+                "net.drop_partition_inflight",
+                source=source,
+                destination=destination,
+            )
+            return
+        self.datagrams_delivered += 1
+        node.deliver(source, payload)
+
+
+def _size_of(payload: Any) -> int:
+    """Best-effort wire size estimate for a payload object."""
+    size = getattr(payload, "wire_size", None)
+    if callable(size):
+        return int(size())
+    if isinstance(size, int):
+        return size
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode())
+    return DEFAULT_DATAGRAM_SIZE

@@ -1,0 +1,79 @@
+"""Cascading-event recovery: control messages and the restart rule.
+
+The paper identifies cascading membership events — a new view arriving
+while the key agreement for the previous one is still running — as the
+central integration challenge (§5.4) and leaves robust handling as work
+in progress.  This module implements that handling:
+
+* Every agreement message is wrapped in an :class:`AgreementEnvelope`
+  tagged with the VS view it belongs to and an *attempt* counter;
+  tokens from superseded views or attempts are discarded.
+* A member that reaches a new view while its previous agreement never
+  completed broadcasts a :class:`RestartRequest`.  Because control
+  messages flow through the agreed-order stream, every member processes
+  the request at the same point and bumps to the same attempt; the
+  *founder* (smallest member name) then re-keys the view from scratch
+  via the merge protocol.
+* After computing a key, each member broadcasts a :class:`KeyConfirm`
+  with the key fingerprint.  Application traffic unblocks only when
+  every view member confirmed the same fingerprint — so data can never
+  be sent under a key some member abandoned (and the group gets explicit
+  key confirmation, one of Cliques' stated guarantees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.spread.events import GroupViewId
+
+
+@dataclass(frozen=True)
+class AgreementEnvelope:
+    """A key agreement token bound to (view, attempt)."""
+
+    view_key: GroupViewId
+    attempt: int
+    token: Any
+
+    def wire_size(self) -> int:
+        inner = getattr(self.token, "wire_size", None)
+        return 32 + (int(inner()) if callable(inner) else 96)
+
+
+@dataclass(frozen=True)
+class RestartRequest:
+    """Abort attempt ``from_attempt`` of the agreement for ``view_key``
+    and restart from scratch as attempt ``from_attempt + 1``."""
+
+    view_key: GroupViewId
+    from_attempt: int
+
+    def wire_size(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class RefreshAnnounce:
+    """The controller is about to re-key the current view voluntarily;
+    move to attempt ``from_attempt + 1``."""
+
+    view_key: GroupViewId
+    from_attempt: int
+
+    def wire_size(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class KeyConfirm:
+    """Key confirmation: the sender holds the group key for
+    (view, attempt) with this fingerprint."""
+
+    view_key: GroupViewId
+    attempt: int
+    fingerprint: str
+
+    def wire_size(self) -> int:
+        return 56

@@ -1,0 +1,93 @@
+"""Bulk data protection: Blowfish-CBC encryption + HMAC integrity.
+
+Every secure application message is sealed under the group's current
+session keys and bound to the group, view and key epoch, so a message
+can never validate outside the exact secure view it was sent in.
+Encrypt-then-MAC; constant-time verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmac_mac import hmac_digest, hmac_verify
+from repro.crypto.kdf import SessionKeys
+from repro.crypto.random_source import RandomSource
+from repro.errors import IntegrityError, StaleKeyError
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """An encrypted group message with its integrity tag."""
+
+    group: str
+    epoch_label: str
+    sender: str
+    ciphertext: bytes
+    tag: bytes
+
+    def wire_size(self) -> int:
+        return 64 + len(self.ciphertext) + len(self.tag)
+
+    def header(self) -> bytes:
+        return "|".join((self.group, self.epoch_label, self.sender)).encode()
+
+
+class DataProtector:
+    """Seals/unseals messages under one secure view's session keys.
+
+    ``cipher`` selects the bulk cipher suite (default: the paper's
+    Blowfish-CBC); integrity is always encrypt-then-HMAC on top.
+    """
+
+    def __init__(
+        self, keys: SessionKeys, epoch_label: str, cipher: str = "blowfish-cbc"
+    ) -> None:
+        from repro.secure.ciphers import get_cipher_suite
+
+        self.keys = keys
+        self.epoch_label = epoch_label
+        self.suite = get_cipher_suite(cipher)
+
+    def seal(
+        self,
+        group: str,
+        sender: str,
+        plaintext: bytes,
+        random_source: RandomSource,
+    ) -> SealedMessage:
+        """Encrypt and authenticate one application payload."""
+        ciphertext = self.suite.encrypt(
+            self.keys.encryption_key, plaintext, random_source
+        )
+        header = "|".join((group, self.epoch_label, sender)).encode()
+        tag = hmac_digest(self.keys.mac_key, header + ciphertext)
+        return SealedMessage(
+            group=group,
+            epoch_label=self.epoch_label,
+            sender=sender,
+            ciphertext=ciphertext,
+            tag=tag,
+        )
+
+    def unseal(self, message: SealedMessage) -> bytes:
+        """Verify and decrypt; raises on any mismatch.
+
+        :class:`~repro.errors.StaleKeyError` — sealed under a different
+        key epoch (View Synchrony should make this impossible for honest
+        traffic).
+        :class:`~repro.errors.IntegrityError` — tag verification failed
+        (tampering or corruption).
+        """
+        if message.epoch_label != self.epoch_label:
+            raise StaleKeyError(
+                f"message sealed under epoch {message.epoch_label!r};"
+                f" current is {self.epoch_label!r}"
+            )
+        if not hmac_verify(
+            self.keys.mac_key, message.header() + message.ciphertext, message.tag
+        ):
+            raise IntegrityError(
+                f"MAC verification failed for message from {message.sender}"
+            )
+        return self.suite.decrypt(self.keys.encryption_key, message.ciphertext)

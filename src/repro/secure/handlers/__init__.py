@@ -1,0 +1,19 @@
+"""Pluggable key agreement modules.
+
+Per the paper's modular architecture (§5.1-5.2), the secure layer calls
+a module for key management without knowing its internals; modules are
+chosen per group at run time.  Two are provided, exactly as in the
+paper: distributed Cliques (group Diffie-Hellman) and centralized CKD.
+"""
+
+from repro.secure.handlers.base import KeyAgreementModule, OutMessage, ViewChange
+from repro.secure.handlers.cliques_handler import CliquesModule
+from repro.secure.handlers.ckd_handler import CKDModule
+
+__all__ = [
+    "KeyAgreementModule",
+    "OutMessage",
+    "ViewChange",
+    "CliquesModule",
+    "CKDModule",
+]

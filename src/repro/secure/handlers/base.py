@@ -1,0 +1,132 @@
+"""The key agreement module interface.
+
+A module encapsulates one key agreement protocol for one member of one
+group.  The session layer feeds it view changes and protocol tokens; the
+module answers with messages to send and, eventually, a group secret.
+
+Modules are pure protocol drivers: they never touch the network (the
+session sends their :class:`OutMessage` results) and never see
+application data.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Tuple
+
+from repro.secure.events import KeyOperation
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """A VS membership change, as the module sees it.
+
+    All names are process-id strings.  ``members`` is the new view,
+    sorted (the order all members agree on); ``previous_members`` is this
+    member's prior view (empty when it just joined the group).
+    """
+
+    group: str
+    members: Tuple[str, ...]
+    joined: FrozenSet[str]
+    left: FrozenSet[str]
+    me: str
+    previous_members: FrozenSet[str]
+    operation: KeyOperation
+
+    @property
+    def anchor(self) -> str:
+        """The deterministic anchor member: the component containing it
+        keeps its key state; all other members re-enter through the
+        merge protocol.
+
+        For a voluntary JOIN the joiners are excluded (they have no
+        state to keep), so the anchor is the smallest *pre-existing*
+        member; for network events the anchor is the smallest member of
+        the new view — a value every component computes identically.
+        """
+        if self.operation == KeyOperation.JOIN:
+            candidates = [m for m in self.members if m not in self.joined]
+            if candidates:
+                return min(candidates)
+        return min(self.members)
+
+    @property
+    def alone(self) -> bool:
+        return len(self.members) == 1
+
+
+@dataclass(frozen=True)
+class OutMessage:
+    """A protocol token the module wants transmitted.
+
+    ``target`` is a process-id string for unicast, or None to multicast
+    to the whole group.
+    """
+
+    token: Any
+    target: Optional[str] = None
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.target is None
+
+
+class KeyAgreementModule(abc.ABC):
+    """Base class for key agreement modules.
+
+    Lifecycle per VS view: the session calls exactly one of
+    :meth:`on_view` (normal path) or :meth:`on_restart` (cascade
+    recovery), then forwards protocol tokens to :meth:`on_token` until
+    :attr:`ready` is True, after which :meth:`secret` yields the agreed
+    group secret.
+    """
+
+    #: Registry name ("cliques", "ckd") — set by subclasses.
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def ready(self) -> bool:
+        """True once this member holds the group secret for the current
+        agreement."""
+
+    @abc.abstractmethod
+    def secret(self) -> int:
+        """The agreed group secret (raises until :attr:`ready`)."""
+
+    @abc.abstractmethod
+    def on_view(self, view: ViewChange) -> List[OutMessage]:
+        """React to a membership change with the incremental protocol
+        operation this member's role requires (possibly none: followers
+        simply wait for tokens)."""
+
+    @abc.abstractmethod
+    def on_restart(self, view: ViewChange) -> List[OutMessage]:
+        """Cascade recovery: drop all state and re-key the view from
+        scratch.  The member with the smallest name founds the group and
+        merges everyone else in; other members reset and follow."""
+
+    @abc.abstractmethod
+    def on_token(self, sender: str, token: Any) -> List[OutMessage]:
+        """Process one protocol token; returns follow-up messages."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Drop all group key state."""
+
+    @abc.abstractmethod
+    def refresh(self) -> List[OutMessage]:
+        """Start a voluntary key refresh (controller only)."""
+
+    @property
+    @abc.abstractmethod
+    def is_controller(self) -> bool:
+        """Whether this member currently plays the controller role."""
+
+    @property
+    @abc.abstractmethod
+    def has_state(self) -> bool:
+        """Whether this member carries key state from a previous view
+        (a fresh joiner does not)."""

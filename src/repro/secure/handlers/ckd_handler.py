@@ -1,0 +1,170 @@
+"""The CKD (centralized) key management module.
+
+Drives a :class:`~repro.ckd.protocol.CKDContext` from VS view changes —
+the paper's comparison module ("simple centralized key management",
+Appendix A):
+
+* the controller is the **oldest** member; it generates and distributes
+  the group secret after every membership change;
+* a join/merge needs one pairwise-key round with the new members only;
+* a leave is a single key distribution round;
+* when the controller departs, the oldest survivor takes over, running
+  the pairwise round with everybody.
+
+The anchor/restart conventions match the Cliques module, so the session
+layer treats both identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.ckd.protocol import CKDContext, CKDHello, CKDKeyDist, CKDResponse
+from repro.cliques.directory import KeyDirectory
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import RandomSource
+from repro.errors import TokenError
+from repro.secure.handlers.base import KeyAgreementModule, OutMessage, ViewChange
+
+
+class CKDModule(KeyAgreementModule):
+    """Centralized key distribution, as a pluggable secure-layer module."""
+
+    name = "ckd"
+
+    def __init__(
+        self,
+        member: str,
+        params: DHParams,
+        long_term: DHKeyPair,
+        directory: KeyDirectory,
+        source: Optional[RandomSource] = None,
+        counter: Optional[ExpCounter] = None,
+    ) -> None:
+        self.ctx = CKDContext(
+            name=member,
+            params=params,
+            long_term=long_term,
+            directory=directory,
+            source=source,
+            counter=counter,
+        )
+        self._ready = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+    def secret(self) -> int:
+        return self.ctx.secret()
+
+    @property
+    def is_controller(self) -> bool:
+        return self.ctx.is_controller
+
+    @property
+    def has_state(self) -> bool:
+        return self.ctx.group is not None
+
+    @property
+    def counter(self) -> ExpCounter:
+        return self.ctx.counter
+
+    def reset(self) -> None:
+        self.ctx.reset()
+        self._ready = False
+
+    # -- view handling ------------------------------------------------------------
+
+    def _emit(self, hello: Optional[CKDHello], keydist: Optional[CKDKeyDist]
+              ) -> List[OutMessage]:
+        out: List[OutMessage] = []
+        if hello is not None:
+            out.append(OutMessage(hello))
+        if keydist is not None:
+            self._ready = True
+            out.append(OutMessage(keydist))
+        return out
+
+    def on_view(self, view: ViewChange) -> List[OutMessage]:
+        self._ready = False
+        me = self.ctx.name
+        if self.ctx.group is None:
+            if view.alone:
+                self.ctx.create_first(view.group)
+                self._ready = True
+            return []
+        my_old = set(self.ctx.members)
+        new_set = set(view.members)
+        if view.anchor not in my_old:
+            self.reset()
+            return []
+        departed = sorted(my_old - new_set)
+        arrived = sorted(new_set - my_old)
+        if not departed and not arrived:
+            if self.ctx.has_key:
+                self._ready = True
+            return []
+        controller_departed = self.ctx.controller in departed
+        if controller_departed:
+            survivors = [m for m in self.ctx.members if m not in set(departed)]
+            if survivors and survivors[0] == me:
+                hello, keydist = self.ctx.start_change(
+                    departed=departed, arrived=arrived, takeover=True
+                )
+                return self._emit(hello, keydist)
+            return []  # wait for the new controller's takeover hello
+        if self.ctx.controller == me:
+            hello, keydist = self.ctx.start_change(
+                departed=departed, arrived=arrived
+            )
+            return self._emit(hello, keydist)
+        return []
+
+    def on_restart(self, view: ViewChange) -> List[OutMessage]:
+        self.reset()
+        me = self.ctx.name
+        if view.anchor != me:
+            return []
+        self.ctx.create_first(view.group)
+        others = [m for m in view.members if m != me]
+        if not others:
+            self._ready = True
+            return []
+        hello, keydist = self.ctx.start_change(arrived=others)
+        return self._emit(hello, keydist)
+
+    def refresh(self) -> List[OutMessage]:
+        keydist = self.ctx.refresh()
+        self._ready = True
+        return [OutMessage(keydist)]
+
+    # -- token handling ---------------------------------------------------------------
+
+    def on_token(self, sender: str, token: Any) -> List[OutMessage]:
+        me = self.ctx.name
+        if sender == me:
+            return []
+        if isinstance(token, CKDHello):
+            response = self.ctx.process_hello(token)
+            if response is None:
+                return []
+            return [OutMessage(response, target=sender)]
+        if isinstance(token, CKDResponse):
+            if not self.ctx.is_controller:
+                return []
+            keydist = self.ctx.process_response(token)
+            if keydist is None:
+                return []
+            self._ready = True
+            return [OutMessage(keydist)]
+        if isinstance(token, CKDKeyDist):
+            if self.ctx.group is None or me not in token.members:
+                return []
+            self.ctx.process_keydist(token)
+            self._ready = True
+            return []
+        raise TokenError(f"unexpected CKD token: {type(token).__name__}")

@@ -1,0 +1,192 @@
+"""The Cliques (distributed, contributory) key agreement module.
+
+Drives a :class:`~repro.cliques.context.CliquesContext` from VS view
+changes, per the paper's Section 5.3:
+
+* single JOIN — the controller (newest member) hands the upflow to the
+  joiner, who broadcasts the downflow (Section 4.1);
+* LEAVE / DISCONNECT / PARTITION — the newest surviving member removes
+  the leavers and broadcasts the downflow (Section 4.3);
+* MERGE — the controller chains the partial secret through the new
+  members; the last one collects factored-out responses and broadcasts
+  the downflow (Section 4.2);
+* PARTITION + MERGE — leave then merge, back to back (Table 1).
+
+At a network merge both sides see the other as "joined"; the component
+containing the **anchor** (smallest process name, computable by everyone
+from the new view) keeps its key state and acts as the existing group;
+members of every other component reset and re-enter through the merge
+chain.  On cascade restart the smallest member founds a fresh group and
+merges everyone else in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.cliques.context import CliquesContext
+from repro.cliques.directory import KeyDirectory
+from repro.cliques.tokens import (
+    DownflowToken,
+    MergeChainToken,
+    MergeCollectToken,
+    MergeResponseToken,
+    UpflowToken,
+)
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import RandomSource
+from repro.errors import TokenError
+from repro.secure.events import KeyOperation
+from repro.secure.handlers.base import KeyAgreementModule, OutMessage, ViewChange
+
+
+class CliquesModule(KeyAgreementModule):
+    """Cliques key agreement, as a pluggable secure-layer module."""
+
+    name = "cliques"
+
+    def __init__(
+        self,
+        member: str,
+        params: DHParams,
+        long_term: DHKeyPair,
+        directory: KeyDirectory,
+        source: Optional[RandomSource] = None,
+        counter: Optional[ExpCounter] = None,
+    ) -> None:
+        self.ctx = CliquesContext(
+            name=member,
+            params=params,
+            long_term=long_term,
+            directory=directory,
+            source=source,
+            counter=counter,
+        )
+        self._ready = False
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+    def secret(self) -> int:
+        return self.ctx.secret()
+
+    @property
+    def is_controller(self) -> bool:
+        return self.ctx.is_controller
+
+    @property
+    def has_state(self) -> bool:
+        return self.ctx.group is not None
+
+    @property
+    def counter(self) -> ExpCounter:
+        return self.ctx.counter
+
+    def reset(self) -> None:
+        self.ctx.reset()
+        self._ready = False
+
+    # -- view handling ------------------------------------------------------------
+
+    def on_view(self, view: ViewChange) -> List[OutMessage]:
+        self._ready = False
+        me = self.ctx.name
+        if self.ctx.group is None:
+            if view.alone:
+                self.ctx.create_first(view.group)
+                self._ready = True
+            # Otherwise: we are the joining/merging side; tokens will come.
+            return []
+        my_old = set(self.ctx.members)
+        new_set = set(view.members)
+        if view.anchor not in my_old:
+            # Another component holds the anchor: re-enter through merge.
+            self.reset()
+            return []
+        out: List[OutMessage] = []
+        departed = sorted(my_old - new_set)
+        arrived = sorted(new_set - my_old)
+        if departed:
+            remaining = [m for m in self.ctx.members if m not in set(departed)]
+            if remaining and remaining[-1] == me:
+                token = self.ctx.leave(departed)
+                out.append(OutMessage(token))
+                if not arrived:
+                    self._ready = True  # the performer re-keyed synchronously
+            # Followers wait for the leave downflow.
+        if arrived:
+            if (
+                view.operation == KeyOperation.JOIN
+                and len(arrived) == 1
+                and not departed
+            ):
+                if self.ctx.controller == me:
+                    upflow = self.ctx.prep_join(arrived[0])
+                    out.append(OutMessage(upflow, target=arrived[0]))
+            else:
+                if self.ctx.controller == me:
+                    chain = self.ctx.prep_merge(arrived)
+                    out.append(OutMessage(chain, target=chain.chain[0]))
+        if not departed and not arrived and self.ctx.has_key:
+            # Membership unchanged from our perspective (e.g. a view
+            # where only other components changed): keep the key.
+            self._ready = True
+        return out
+
+    def on_restart(self, view: ViewChange) -> List[OutMessage]:
+        """Cascade recovery: founder re-creates the group and merges the
+        rest of the view in; everyone else resets and follows."""
+        self.reset()
+        me = self.ctx.name
+        if view.anchor != me:
+            return []
+        self.ctx.create_first(view.group)
+        others = [m for m in view.members if m != me]
+        if not others:
+            self._ready = True
+            return []
+        chain = self.ctx.prep_merge(others)
+        return [OutMessage(chain, target=chain.chain[0])]
+
+    def refresh(self) -> List[OutMessage]:
+        token = self.ctx.refresh()
+        self._ready = True
+        return [OutMessage(token)]
+
+    # -- token handling --------------------------------------------------------------
+
+    def on_token(self, sender: str, token: Any) -> List[OutMessage]:
+        me = self.ctx.name
+        if sender == me:
+            return []  # our own multicast, reflected back
+        if isinstance(token, UpflowToken):
+            downflow = self.ctx.process_upflow(token)
+            self._ready = True
+            return [OutMessage(downflow)]
+        if isinstance(token, MergeChainToken):
+            result = self.ctx.process_merge_chain(token)
+            if isinstance(result, MergeChainToken):
+                return [OutMessage(result, target=result.chain[result.position])]
+            return [OutMessage(result)]  # collect token: broadcast
+        if isinstance(token, MergeCollectToken):
+            if self.ctx.group is None or self.ctx._my_share is None:
+                return []  # not a participant of this agreement
+            response = self.ctx.process_merge_collect(token)
+            return [OutMessage(response, target=token.sender)]
+        if isinstance(token, MergeResponseToken):
+            downflow = self.ctx.process_merge_response(token)
+            if downflow is None:
+                return []
+            self._ready = True
+            return [OutMessage(downflow)]
+        if isinstance(token, DownflowToken):
+            if self.ctx.group is None or me not in token.members:
+                return []
+            self.ctx.process_downflow(token)
+            self._ready = True
+            return []
+        raise TokenError(f"unexpected Cliques token: {type(token).__name__}")

@@ -1,0 +1,72 @@
+"""Module selection policy.
+
+The paper's architecture chooses security modules *at run time as new
+groups are created* (§5.2): one group can run distributed Cliques while
+another runs centralized CKD in the same system.  The registry maps
+module names to factories; a policy hook decides which module a group
+gets (default: whatever the application asked for, falling back to
+Cliques).
+
+Access control and richer policy are explicitly out of scope in the
+paper (§1.2); :class:`AllowAllPolicy` marks the seam where such a
+framework would plug in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ModuleNotFoundError_
+from repro.secure.handlers.base import KeyAgreementModule
+from repro.secure.handlers.ckd_handler import CKDModule
+from repro.secure.handlers.cliques_handler import CliquesModule
+
+ModuleFactory = Callable[..., KeyAgreementModule]
+
+DEFAULT_MODULE = "cliques"
+
+
+class ModuleRegistry:
+    """Name -> key agreement module factory."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, ModuleFactory] = {}
+
+    def register(self, name: str, factory: ModuleFactory) -> None:
+        """Add (or replace) a module factory — the paper's "drop-in
+        replacement" point for new key agreement protocols."""
+        self._factories[name] = factory
+
+    def create(self, name: str, **kwargs) -> KeyAgreementModule:
+        factory = self._factories.get(name)
+        if factory is None:
+            raise ModuleNotFoundError_(
+                f"no key agreement module named {name!r};"
+                f" known: {sorted(self._factories)}"
+            )
+        return factory(**kwargs)
+
+    def names(self):
+        return sorted(self._factories)
+
+
+def default_registry() -> ModuleRegistry:
+    """The registry shipped with secure Spread: Cliques and CKD."""
+    registry = ModuleRegistry()
+    registry.register("cliques", CliquesModule)
+    registry.register("ckd", CKDModule)
+    return registry
+
+
+class AllowAllPolicy:
+    """The placeholder group policy: everyone may join/create any group.
+
+    A deployment would substitute an object with the same two methods to
+    enforce access control — the coupling point the paper anticipates.
+    """
+
+    def may_join(self, member: str, group: str) -> bool:
+        return True
+
+    def module_for(self, group: str, requested: Optional[str]) -> str:
+        return requested if requested is not None else DEFAULT_MODULE

@@ -1,0 +1,723 @@
+"""The secure group session layer: secure Spread's event loop.
+
+:class:`SecureClient` is the application's connection; it owns one
+:class:`SecureGroupSession` per joined group.  The session is the
+paper's "event handling loop" (§5.2): it consumes flush-layer events,
+maps memberships to key operations (Table 1), drives the group's key
+agreement module, runs the cascade/confirmation machinery of
+:mod:`repro.secure.cascade`, and seals/unseals application data.
+
+Timing hook: a :class:`CryptoCostModel` can charge virtual time for the
+modular exponentiations each protocol step performs, so simulated
+end-to-end timings (Figure 3) include the serial crypto path exactly as
+the real system's wall clock did.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.cliques.directory import KeyDirectory
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.kdf import derive_keys
+from repro.crypto.random_source import RandomSource, SystemSource
+from repro.errors import (
+    ControllerError,
+    NoGroupKeyError,
+    ReproError,
+    SecureGroupError,
+    SendBlockedError,
+)
+from repro.secure.cascade import (
+    AgreementEnvelope,
+    KeyConfirm,
+    RefreshAnnounce,
+    RestartRequest,
+)
+from repro.secure.dataprotect import DataProtector, SealedMessage
+from repro.secure.events import (
+    KeyOperation,
+    RekeyStartedEvent,
+    SecureDataEvent,
+    SecureMembershipEvent,
+    classify_event,
+)
+from repro.secure.handlers.base import KeyAgreementModule, OutMessage, ViewChange
+from repro.secure.policy import AllowAllPolicy, ModuleRegistry, default_registry
+from repro.spread.events import (
+    DataEvent,
+    FlushRequestEvent,
+    GroupViewId,
+    MembershipEvent,
+    SelfLeaveEvent,
+)
+from repro.spread.flush import FlushClient
+from repro.types import GroupId, ProcessId, ServiceType
+
+STATE_IDLE = "idle"
+STATE_AGREEING = "agreeing"
+STATE_CONFIRMED = "confirmed"
+
+
+class CryptoCostModel:
+    """Charges virtual time for modular exponentiations.
+
+    ``exp_cost`` is seconds per exponentiation — e.g. 0.0025 for the
+    paper's 450 MHz Pentium II with a 512-bit modulus, 0.012 for the
+    SUN Ultra-2.  Zero cost sends protocol messages immediately.
+    """
+
+    def __init__(self, exp_cost: float = 0.0) -> None:
+        self.exp_cost = exp_cost
+
+    def delay(self, exponentiations: int) -> float:
+        return exponentiations * self.exp_cost
+
+
+class SecureGroupSession:
+    """Security state and event loop for one member of one group."""
+
+    def __init__(
+        self,
+        group: str,
+        module: KeyAgreementModule,
+        flush: FlushClient,
+        emit: Callable[[Any], None],
+        random_source: RandomSource,
+        cost_model: Optional[CryptoCostModel] = None,
+        params: Optional[DHParams] = None,
+        long_term: Optional[DHKeyPair] = None,
+        directory: Optional[KeyDirectory] = None,
+        cipher: str = "blowfish-cbc",
+    ) -> None:
+        self.group = group
+        self.module = module
+        self.flush = flush
+        self._emit = emit
+        self._random = random_source
+        self.cost_model = cost_model or CryptoCostModel()
+        # Identity material for intra-group member authentication.
+        self.params = params
+        self.long_term = long_term
+        self.directory = directory
+        # Bulk cipher suite for this group (§5.1 drop-in modularity).
+        self.cipher = cipher
+
+        self.state = STATE_IDLE
+        self.view: Optional[MembershipEvent] = None
+        self.attempt = 0
+        self.operation = KeyOperation.NONE
+        self._confirms: Dict[str, str] = {}  # sender -> fingerprint
+        self._protector: Optional[DataProtector] = None
+        self._session_keys = None
+        self._confirm_sent = False
+        self.rekeys_completed = 0
+        self._auth_pairwise: Dict[str, int] = {}
+        self._pending_challenges: Dict[bytes, Any] = {}
+
+    # -- identity helpers -----------------------------------------------------
+
+    @property
+    def me(self) -> str:
+        return str(self.flush.pid)
+
+    @property
+    def view_key(self) -> Optional[GroupViewId]:
+        return self.view.view_id if self.view is not None else None
+
+    @property
+    def epoch_label(self) -> str:
+        return f"{self.group}|{self.view_key}|{self.attempt}"
+
+    @property
+    def has_key(self) -> bool:
+        return self.state == STATE_CONFIRMED
+
+    def members(self) -> List[str]:
+        if self.view is None:
+            return []
+        return sorted(str(m) for m in self.view.members)
+
+    # -- application data ---------------------------------------------------------
+
+    def send(self, payload: bytes) -> None:
+        """Seal and multicast application data in the current secure view."""
+        if self.state != STATE_CONFIRMED or self._protector is None:
+            raise NoGroupKeyError(
+                f"group {self.group!r} has no confirmed key"
+                f" (state={self.state})"
+            )
+        sealed = self._protector.seal(self.group, self.me, payload, self._random)
+        self.flush.multicast(self.group, sealed)
+
+    def refresh(self) -> None:
+        """Voluntary re-key (controller only), per Section 4.4."""
+        if self.state != STATE_CONFIRMED:
+            raise NoGroupKeyError("cannot refresh while agreement in progress")
+        if not self.module.is_controller:
+            raise ControllerError(f"{self.me} is not the group controller")
+        self._safe_multicast(RefreshAnnounce(self.view_key, self.attempt))
+        self._begin_attempt(self.attempt + 1, KeyOperation.REFRESH)
+        messages, exps = self._run_module(self.module.refresh)
+        self._dispatch_module_messages(messages, exps)
+
+    def enable_auto_refresh(self, period: float) -> None:
+        """Refresh the group key periodically (Section 4.4's unilateral
+        controller refresh, on a timer).
+
+        Every member may arm this: on each tick, only the member that is
+        currently the controller (and has a confirmed key) performs the
+        refresh, so exactly one re-key happens per period regardless of
+        who else armed the timer.
+        """
+        if period <= 0:
+            raise ValueError("refresh period must be positive")
+        kernel = self.flush.client.kernel
+
+        def tick() -> None:
+            if self.state == STATE_CONFIRMED and self.module.is_controller:
+                self.refresh()
+            kernel.call_later(period, tick, label=f"secure.{self.group}.refresh")
+
+        kernel.call_later(period, tick, label=f"secure.{self.group}.refresh")
+
+    # -- intra-group member authentication (§8) -----------------------------------
+
+    def _auth_material_ready(self) -> bool:
+        return (
+            self.params is not None
+            and self.long_term is not None
+            and self.directory is not None
+        )
+
+    def _auth_shared_secret(self, peer: str) -> int:
+        cached = self._auth_pairwise.get(peer)
+        if cached is not None:
+            return cached
+        counter = getattr(self.module, "counter", None)
+        shared = self.params.exp(
+            self.directory.lookup(peer),
+            self.long_term.private,
+            counter,
+            "member_auth",
+        )
+        self._auth_pairwise[peer] = shared
+        return shared
+
+    def _auth_key(self, peer: str) -> bytes:
+        from repro.secure.member_auth import response_key
+
+        low, high = sorted((self.me, peer))
+        return response_key(
+            self._auth_shared_secret(peer),
+            self.group,
+            self.view_key,
+            self.attempt,
+            self._session_keys.fingerprint(),
+            low,
+            high,
+        )
+
+    def challenge_member(self, peer: str) -> None:
+        """Challenge ``peer`` to prove it is the authentic member holding
+        the current group key; the verdict arrives as a
+        :class:`~repro.secure.member_auth.MemberAuthenticatedEvent`."""
+        from repro.secure.member_auth import MemberAuthChallenge
+
+        if self.state != STATE_CONFIRMED:
+            raise NoGroupKeyError("cannot authenticate without a secure view")
+        if not self._auth_material_ready():
+            raise NoGroupKeyError("session lacks identity material")
+        if peer not in {str(m) for m in self.view.members}:
+            raise NoGroupKeyError(f"{peer} is not a member of {self.group!r}")
+        nonce = self._random.token_bytes(16)
+        challenge = MemberAuthChallenge(
+            group=self.group,
+            view_key=self.view_key,
+            attempt=self.attempt,
+            nonce=nonce,
+            challenger=self.me,
+            target=peer,
+        )
+        self._pending_challenges[nonce] = challenge
+        self.flush.unicast(ProcessId.parse(peer), challenge)
+
+    def _on_auth_challenge(self, challenge) -> None:
+        from repro.secure.member_auth import MemberAuthResponse, make_proof
+
+        if (
+            self.state != STATE_CONFIRMED
+            or not self._auth_material_ready()
+            or challenge.target != self.me
+            or challenge.view_key != self.view_key
+            or challenge.attempt != self.attempt
+        ):
+            return
+        proof = make_proof(self._auth_key(challenge.challenger), challenge)
+        response = MemberAuthResponse(
+            group=self.group,
+            view_key=challenge.view_key,
+            attempt=challenge.attempt,
+            nonce=challenge.nonce,
+            responder=self.me,
+            proof=proof,
+        )
+        self.flush.unicast(ProcessId.parse(challenge.challenger), response)
+
+    def _on_auth_response(self, response) -> None:
+        from repro.secure.member_auth import (
+            MemberAuthenticatedEvent,
+            verify_proof,
+        )
+
+        challenge = self._pending_challenges.pop(response.nonce, None)
+        if challenge is None or self.state != STATE_CONFIRMED:
+            return
+        ok = verify_proof(
+            self._auth_key(challenge.target), challenge, response
+        )
+        self._emit(
+            MemberAuthenticatedEvent(
+                group=GroupId(self.group),
+                peer=challenge.target,
+                authenticated=ok,
+            )
+        )
+
+    # -- event intake (called by SecureClient) ----------------------------------------
+
+    def handle_event(self, event: Any) -> None:
+        if isinstance(event, FlushRequestEvent):
+            # §5.4: the layer cannot know yet what the membership change
+            # is, so it must always let it proceed.
+            self.flush.flush_ok(self.group)
+            return
+        if isinstance(event, MembershipEvent):
+            from repro.types import MembershipCause
+
+            if event.cause == MembershipCause.TRANSITIONAL:
+                # EVS transitional signal: advisory; the re-key happens on
+                # the regular membership that follows.
+                self._emit(event)
+                return
+            self._on_view(event)
+            return
+        if isinstance(event, SelfLeaveEvent):
+            self.state = STATE_IDLE
+            self.module.reset()
+            self._emit(event)
+            return
+        if isinstance(event, DataEvent):
+            self._on_data(event)
+            return
+        self._emit(event)
+
+    # -- membership handling --------------------------------------------------------
+
+    def _on_view(self, event: MembershipEvent) -> None:
+        had_state = self.module.ready or self.state == STATE_AGREEING
+        previous_complete = self.module.ready
+        previous_members = (
+            frozenset(str(m) for m in self.view.members)
+            if self.view is not None
+            else frozenset()
+        )
+        self.view = event
+        self.operation = classify_event(event)
+        self._begin_attempt(0, self.operation)
+        self._emit(RekeyStartedEvent(group=event.group, operation=self.operation))
+
+        view_change = ViewChange(
+            group=self.group,
+            members=tuple(sorted(str(m) for m in event.members)),
+            joined=frozenset(str(m) for m in event.joined),
+            left=frozenset(str(m) for m in event.left),
+            me=self.me,
+            previous_members=previous_members,
+            operation=self.operation,
+        )
+        if had_state and not previous_complete:
+            # Cascaded event: the previous agreement never finished here.
+            # Ask the whole view to restart from scratch.
+            self._safe_multicast(RestartRequest(event.view_id, from_attempt=0))
+            return
+        messages, exps = self._run_module(lambda: self.module.on_view(view_change))
+        self._dispatch_module_messages(messages, exps)
+        if (
+            not self.module.ready
+            and not self.module.has_state
+            and view_change.me == view_change.anchor
+            and len(view_change.members) > 1
+        ):
+            # Pathological merge: the anchor member itself carries no key
+            # state (e.g. it entered the group during the partition), so
+            # no component can claim the base role.  Fall back to the
+            # restart protocol, which needs no prior state.
+            self._safe_multicast(RestartRequest(event.view_id, from_attempt=0))
+            return
+        self._maybe_confirm()
+
+    def _begin_attempt(self, attempt: int, operation: KeyOperation) -> None:
+        self.state = STATE_AGREEING
+        self.attempt = attempt
+        self.operation = operation
+        self._confirms = {}
+        self._confirm_sent = False
+        self._protector = None
+        self._session_keys = None
+        self._pending_challenges = {}  # stale challenges die with the view
+
+    def _current_view_change(self) -> ViewChange:
+        event = self.view
+        return ViewChange(
+            group=self.group,
+            members=tuple(sorted(str(m) for m in event.members)),
+            joined=frozenset(str(m) for m in event.joined),
+            left=frozenset(str(m) for m in event.left),
+            me=self.me,
+            previous_members=frozenset(),
+            operation=self.operation,
+        )
+
+    # -- data / control message handling ------------------------------------------------
+
+    def _on_data(self, event: DataEvent) -> None:
+        from repro.secure.member_auth import (
+            MemberAuthChallenge,
+            MemberAuthResponse,
+        )
+
+        payload = event.payload
+        sender = str(event.sender)
+        if isinstance(payload, AgreementEnvelope):
+            self._on_envelope(sender, payload)
+        elif isinstance(payload, RestartRequest):
+            self._on_restart_request(payload)
+        elif isinstance(payload, RefreshAnnounce):
+            self._on_refresh_announce(sender, payload)
+        elif isinstance(payload, KeyConfirm):
+            self._on_key_confirm(sender, payload)
+        elif isinstance(payload, SealedMessage):
+            self._on_sealed(event.group, sender, payload)
+        elif isinstance(payload, MemberAuthChallenge):
+            self._on_auth_challenge(payload)
+        elif isinstance(payload, MemberAuthResponse):
+            self._on_auth_response(payload)
+        else:
+            self._emit(event)
+
+    def _on_envelope(self, sender: str, envelope: AgreementEnvelope) -> None:
+        if envelope.view_key != self.view_key or envelope.attempt != self.attempt:
+            return  # superseded agreement
+        try:
+            messages, exps = self._run_module(
+                lambda: self.module.on_token(sender, envelope.token)
+            )
+        except ReproError:
+            # A token the protocol state cannot absorb: recover by
+            # restarting the agreement for this view.
+            self._safe_multicast(RestartRequest(self.view_key, self.attempt))
+            return
+        self._dispatch_module_messages(messages, exps)
+        self._maybe_confirm()
+
+    def _on_restart_request(self, request: RestartRequest) -> None:
+        if request.view_key != self.view_key or request.from_attempt != self.attempt:
+            return  # stale request
+        self._begin_attempt(self.attempt + 1, self.operation)
+        messages, exps = self._run_module(
+            lambda: self.module.on_restart(self._current_view_change())
+        )
+        self._dispatch_module_messages(messages, exps)
+        self._maybe_confirm()
+
+    def _on_refresh_announce(self, sender: str, announce: RefreshAnnounce) -> None:
+        if sender == self.me:
+            return  # we already bumped before broadcasting
+        if announce.view_key != self.view_key or announce.from_attempt != self.attempt:
+            return
+        self._begin_attempt(self.attempt + 1, KeyOperation.REFRESH)
+
+    def _on_key_confirm(self, sender: str, confirm: KeyConfirm) -> None:
+        if confirm.view_key != self.view_key or confirm.attempt != self.attempt:
+            return
+        self._confirms[sender] = confirm.fingerprint
+        self._maybe_complete()
+
+    def _on_sealed(self, group: GroupId, sender: str, sealed: SealedMessage) -> None:
+        if self._protector is None:
+            return  # no key (superseded traffic); VS makes this benign
+        try:
+            plaintext = self._protector.unseal(sealed)
+        except ReproError:
+            return  # wrong epoch or MAC: drop silently, as a router would
+        self._emit(
+            SecureDataEvent(
+                group=group,
+                sender=ProcessId.parse(sender),
+                payload=plaintext,
+                epoch_label=sealed.epoch_label,
+            )
+        )
+
+    # -- module plumbing ------------------------------------------------------------------
+
+    def _run_module(self, call: Callable[[], List[OutMessage]]):
+        counter = getattr(self.module, "counter", None)
+        before = counter.total if counter is not None else 0
+        messages = call()
+        after = counter.total if counter is not None else 0
+        return messages, after - before
+
+    def _dispatch_module_messages(
+        self, messages: List[OutMessage], exponentiations: int = 0
+    ) -> None:
+        if not messages:
+            return
+        delay = self.cost_model.delay(exponentiations)
+        if delay > 0:
+            kernel = self.flush.client.kernel
+            kernel.call_later(
+                delay,
+                lambda: self._send_now(messages),
+                label=f"secure.{self.group}.crypto",
+            )
+        else:
+            self._send_now(messages)
+
+    def _send_now(self, messages: List[OutMessage]) -> None:
+        for message in messages:
+            envelope = AgreementEnvelope(self.view_key, self.attempt, message.token)
+            try:
+                if message.is_multicast:
+                    self.flush.multicast(self.group, envelope)
+                else:
+                    self.flush.unicast(
+                        ProcessId.parse(message.target),
+                        envelope,
+                        service=ServiceType.AGREED,
+                    )
+            except SendBlockedError:
+                # A newer membership is flushing; this agreement is about
+                # to be superseded anyway.
+                return
+
+    def _safe_multicast(self, payload: Any) -> None:
+        try:
+            self.flush.multicast(self.group, payload)
+        except SendBlockedError:
+            pass
+
+    # -- completion ----------------------------------------------------------------------
+
+    def _maybe_confirm(self) -> None:
+        """If the module just produced a key, derive session keys and
+        broadcast our key confirmation."""
+        if self._confirm_sent or not self.module.ready:
+            return
+        secret = self.module.secret()
+        keys = derive_keys(
+            secret, f"{self.group}|{self.view_key}|{self.cipher}", self.attempt
+        )
+        self._session_keys = keys
+        self._confirm_sent = True
+        self._safe_multicast(
+            KeyConfirm(self.view_key, self.attempt, keys.fingerprint())
+        )
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self.state != STATE_AGREEING or self._session_keys is None:
+            return
+        needed = {str(m) for m in self.view.members}
+        if not needed.issubset(self._confirms.keys()):
+            return
+        mine = self._session_keys.fingerprint()
+        if any(fp != mine for m, fp in self._confirms.items() if m in needed):
+            # Fingerprint mismatch: somebody computed a different key.
+            self._safe_multicast(RestartRequest(self.view_key, self.attempt))
+            return
+        self._protector = DataProtector(
+            self._session_keys, self.epoch_label, cipher=self.cipher
+        )
+        self.state = STATE_CONFIRMED
+        self.rekeys_completed += 1
+        self._emit(
+            SecureMembershipEvent(
+                group=self.view.group,
+                view_id=self.view.view_id,
+                members=self.view.members,
+                cause=self.view.cause,
+                operation=self.operation,
+                attempt=self.attempt,
+                key_fingerprint=mine,
+            )
+        )
+
+
+class SecureClient:
+    """Secure Spread's application API.
+
+    Wraps a :class:`~repro.spread.flush.FlushClient` with per-group
+    security sessions.  The API mirrors the insecure client —
+    ``join`` / ``leave`` / ``send`` / ``receive`` — plus ``refresh`` and
+    per-group module selection, exactly the surface the paper describes.
+    """
+
+    def __init__(
+        self,
+        flush: FlushClient,
+        params: DHParams,
+        long_term: DHKeyPair,
+        directory: KeyDirectory,
+        random_source: Optional[RandomSource] = None,
+        registry: Optional[ModuleRegistry] = None,
+        policy: Optional[AllowAllPolicy] = None,
+        cost_model: Optional[CryptoCostModel] = None,
+        counter: Optional[ExpCounter] = None,
+    ) -> None:
+        self.flush = flush
+        self.params = params
+        self.long_term = long_term
+        self.directory = directory
+        self.random_source = random_source or SystemSource()
+        self.registry = registry or default_registry()
+        self.policy = policy or AllowAllPolicy()
+        self.cost_model = cost_model
+        self.counter = counter if counter is not None else ExpCounter()
+        self.sessions: Dict[str, SecureGroupSession] = {}
+        self.queue: Deque[Any] = deque()
+        self._callbacks: List[Callable[[Any], None]] = []
+        flush.on_event(self._route)
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def pid(self) -> Optional[ProcessId]:
+        return self.flush.pid
+
+    @property
+    def me(self) -> str:
+        return str(self.flush.pid)
+
+    def publish_key(self) -> None:
+        """Register this member's long-term public key in the directory."""
+        self.directory.register(self.me, self.long_term.public)
+
+    # -- group operations -----------------------------------------------------------
+
+    def join(
+        self,
+        group: str,
+        module: Optional[str] = None,
+        cipher: str = "blowfish-cbc",
+    ) -> SecureGroupSession:
+        """Join a secure group, choosing its key agreement module and
+        bulk cipher suite (all members of a group must choose the same;
+        a mismatch aborts at key confirmation rather than corrupting
+        data)."""
+        if not self.policy.may_join(self.me, group):
+            raise SecureGroupError(
+                f"policy denies {self.me} joining secure group {group!r}"
+            )
+        module_name = self.policy.module_for(group, module)
+        handler = self.registry.create(
+            module_name,
+            member=self.me,
+            params=self.params,
+            long_term=self.long_term,
+            directory=self.directory,
+            source=self.random_source,
+            counter=self.counter,
+        )
+        session = SecureGroupSession(
+            group=group,
+            module=handler,
+            flush=self.flush,
+            emit=self._emit,
+            random_source=self.random_source,
+            cost_model=self.cost_model,
+            params=self.params,
+            long_term=self.long_term,
+            directory=self.directory,
+            cipher=cipher,
+        )
+        self.sessions[group] = session
+        self.flush.join(group)
+        return session
+
+    def leave(self, group: str) -> None:
+        self.flush.leave(group)
+
+    def disconnect(self) -> None:
+        self.flush.disconnect()
+
+    def send(self, group: str, payload: bytes) -> None:
+        """Encrypt-and-multicast application data."""
+        session = self._session(group)
+        session.send(payload)
+
+    def refresh(self, group: str) -> None:
+        """Force a key refresh (must be the group controller)."""
+        self._session(group).refresh()
+
+    def authenticate(self, group: str, peer: str) -> None:
+        """Challenge ``peer`` to prove membership AND identity in the
+        group's current secure view; the verdict is delivered as a
+        :class:`~repro.secure.member_auth.MemberAuthenticatedEvent`."""
+        self._session(group).challenge_member(peer)
+
+    def has_key(self, group: str) -> bool:
+        session = self.sessions.get(group)
+        return session is not None and session.has_key
+
+    def _session(self, group: str) -> SecureGroupSession:
+        session = self.sessions.get(group)
+        if session is None:
+            raise NoGroupKeyError(f"not joined to secure group {group!r}")
+        return session
+
+    # -- events -------------------------------------------------------------------------
+
+    def on_event(self, callback: Callable[[Any], None]) -> None:
+        self._callbacks.append(callback)
+
+    def receive(self) -> Optional[Any]:
+        if self.queue:
+            return self.queue.popleft()
+        return None
+
+    def drain(self) -> List[Any]:
+        events = list(self.queue)
+        self.queue.clear()
+        return events
+
+    def _emit(self, event: Any) -> None:
+        self.queue.append(event)
+        for callback in list(self._callbacks):
+            callback(event)
+
+    def _route(self, event: Any) -> None:
+        group = getattr(event, "group", None)
+        if group is not None:
+            session = self.sessions.get(str(group))
+            if session is not None:
+                session.handle_event(event)
+                return
+            if str(group).startswith("#"):
+                # Private message to us: find the session by content.
+                if isinstance(event, DataEvent):
+                    payload = event.payload
+                    target_group = getattr(payload, "view_key", None)
+                    inner_group = getattr(payload, "group", None)
+                    # Agreement envelopes carry tokens that know their
+                    # group; route by that.
+                    token = getattr(payload, "token", None)
+                    token_group = getattr(token, "group", None)
+                    for candidate in (inner_group, token_group):
+                        if candidate is not None and candidate in self.sessions:
+                            self.sessions[candidate].handle_event(event)
+                            return
+        self._emit(event)

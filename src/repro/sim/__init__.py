@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+The kernel provides a virtual clock, an ordered event queue and an actor
+model (:class:`~repro.sim.process.SimProcess`).  Everything above it —
+network, daemons, clients, the secure layer — runs as deterministic,
+single-threaded code over virtual time, which makes asynchronous-network
+scenarios (partitions, crashes, message reordering) reproducible in tests
+and benchmarks.
+"""
+
+from repro.sim.kernel import Event, Kernel
+from repro.sim.process import SimProcess
+from repro.sim.rng import DeterministicRng
+from repro.sim.timers import Timer, TimerWheel
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "Kernel",
+    "SimProcess",
+    "DeterministicRng",
+    "Timer",
+    "TimerWheel",
+    "TraceEvent",
+    "Tracer",
+]

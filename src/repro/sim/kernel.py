@@ -1,0 +1,202 @@
+"""The discrete-event simulation kernel: virtual clock plus event queue.
+
+The kernel is intentionally minimal.  An :class:`Event` is a callback
+scheduled at a virtual time with a priority; the kernel pops events in
+``(time, priority, sequence)`` order and invokes them.  Sequence numbers
+break ties deterministically, so two runs with the same seed produce the
+same trace.
+
+Typical use::
+
+    kernel = Kernel(seed=7)
+    kernel.call_at(1.5, lambda: print("fires at t=1.5"))
+    kernel.run()
+
+Higher layers rarely touch the kernel directly; they use
+:class:`~repro.sim.process.SimProcess` and :class:`~repro.sim.timers.Timer`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ClockError, DeadlockError
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import Tracer
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, priority, seq)``; the callback itself does not
+    participate in comparisons.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+
+class Kernel:
+    """A deterministic discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the kernel's deterministic RNG.  All randomized behaviour
+        in the simulation (link jitter, loss, fault schedules) should draw
+        from :attr:`rng` (or a child of it) so runs are reproducible.
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer` recording kernel activity.
+    """
+
+    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+        self.rng = DeterministicRng(seed)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events the kernel has executed so far."""
+        return self._events_processed
+
+    # -- scheduling -------------------------------------------------------
+
+    def call_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ClockError(
+                f"cannot schedule event at {when!r}; clock is at {self._now!r}"
+            )
+        event = Event(
+            time=when,
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ClockError(f"negative delay: {delay!r}")
+        return self.call_at(self._now + delay, callback, priority, label)
+
+    # -- execution --------------------------------------------------------
+
+    def _pop_runnable(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or None when drained."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+            # Cancelled events are simply discarded.
+        return None
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False when the queue is empty."""
+        event = self._pop_runnable()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        self.tracer.record("kernel.event", time=self._now, label=event.label)
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or the
+        event budget ``max_events`` is exhausted.
+
+        ``until`` is an absolute virtual time; when given, the clock is
+        advanced to exactly ``until`` even if the queue drains earlier
+        (like real time passing with nothing to do).
+        """
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    return
+                next_event = self._queue[0]
+                if next_event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and next_event.time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 3600.0,
+        max_events: int = 10_000_000,
+    ) -> None:
+        """Run until ``predicate()`` holds.
+
+        Raises :class:`~repro.errors.DeadlockError` if the event queue
+        drains, the virtual-time ``timeout`` elapses, or ``max_events``
+        fire before the predicate becomes true.
+        """
+        deadline = self._now + timeout
+        executed = 0
+        while not predicate():
+            if self._now > deadline:
+                raise DeadlockError(
+                    f"predicate not satisfied by t={deadline} (now {self._now})"
+                )
+            if executed >= max_events:
+                raise DeadlockError(
+                    f"predicate not satisfied after {max_events} events"
+                )
+            if not self.step():
+                raise DeadlockError(
+                    "event queue drained before run_until predicate held"
+                )
+            executed += 1
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,135 @@
+"""Actor-style simulated processes.
+
+A :class:`SimProcess` is anything with an identity that receives messages
+and owns timers: Spread daemons, client stubs, fault injectors.  The
+network substrate delivers to ``on_message``; crashing a process cancels
+its timers and drops subsequent deliveries, modelling fail-stop.  A crashed
+process may later ``recover`` (crash-and-recover model), starting from
+clean volatile state — ``on_recover`` is the hook where a subclass rebuilds
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ProcessError
+from repro.sim.kernel import Kernel
+from repro.sim.timers import TimerWheel
+
+
+class SimProcess:
+    """Base class for simulated actors.
+
+    Subclasses override :meth:`on_start`, :meth:`on_message`,
+    :meth:`on_crash` and :meth:`on_recover`.
+    """
+
+    def __init__(self, kernel: Kernel, name: str) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.timers = TimerWheel(kernel, owner=name)
+        self._alive = False
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the process is running (started and not crashed)."""
+        return self._alive
+
+    def start(self) -> None:
+        """Bring the process up.  Idempotent once started."""
+        if self._alive:
+            return
+        self._alive = True
+        self._started = True
+        self.kernel.tracer.record("process.start", name=self.name)
+        self.on_start()
+
+    def crash(self) -> None:
+        """Fail-stop the process: cancel timers, ignore future messages."""
+        if not self._alive:
+            return
+        self._alive = False
+        self.timers.cancel_all()
+        self.kernel.tracer.record("process.crash", name=self.name)
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart after a crash with fresh volatile state."""
+        if self._alive:
+            raise ProcessError(f"{self.name} is alive; cannot recover")
+        if not self._started:
+            raise ProcessError(f"{self.name} never started; cannot recover")
+        self._alive = True
+        self.timers = TimerWheel(self.kernel, owner=self.name)
+        self.kernel.tracer.record("process.recover", name=self.name)
+        self.on_recover()
+
+    # -- delivery -----------------------------------------------------------
+
+    def deliver(self, source: str, payload: Any) -> None:
+        """Entry point used by the network; drops messages while crashed."""
+        if not self._alive:
+            self.kernel.tracer.record(
+                "process.drop_dead", name=self.name, source=source
+            )
+            return
+        self.on_message(source, payload)
+
+    # -- hooks ----------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called when the process starts.  Default: nothing."""
+
+    def on_message(self, source: str, payload: Any) -> None:
+        """Called for each delivered message.  Default: nothing."""
+
+    def on_crash(self) -> None:
+        """Called when the process crashes.  Default: nothing."""
+
+    def on_recover(self) -> None:
+        """Called when a crashed process recovers.  Default: re-run start."""
+        self.on_start()
+
+    # -- conveniences ---------------------------------------------------------
+
+    def after(self, delay: float, callback, label: str = "") -> None:
+        """Schedule a callback that only fires if the process is alive."""
+
+        def guarded() -> None:
+            if self._alive:
+                callback()
+
+        self.kernel.call_later(delay, guarded, label=label or f"{self.name}.after")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "down"
+        return f"<{type(self).__name__} {self.name} ({state})>"
+
+
+class FunctionProcess(SimProcess):
+    """A SimProcess whose behaviour is provided as callables (test helper)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        on_message=None,
+        on_start=None,
+    ) -> None:
+        super().__init__(kernel, name)
+        self._on_message = on_message
+        self._on_start = on_start
+        self.inbox: list = []
+
+    def on_start(self) -> None:
+        if self._on_start is not None:
+            self._on_start()
+
+    def on_message(self, source: str, payload: Any) -> None:
+        self.inbox.append((source, payload))
+        if self._on_message is not None:
+            self._on_message(source, payload)

@@ -1,0 +1,124 @@
+"""Timers layered on the simulation kernel.
+
+:class:`Timer` is a restartable one-shot or periodic timer owned by a
+process (token-retransmission timeouts, heartbeats, key-refresh periods).
+:class:`TimerWheel` groups a process's timers so they can all be cancelled
+at once when the process crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ProcessError
+from repro.sim.kernel import Event, Kernel
+from repro.types import PRIORITY_TIMER
+
+
+class Timer:
+    """A restartable timer bound to a kernel.
+
+    A timer may be one-shot (``period=None``) or periodic.  ``start``
+    (re)arms it, ``cancel`` disarms it; firing a periodic timer re-arms it
+    automatically.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        callback: Callable[[], None],
+        delay: float,
+        period: Optional[float] = None,
+        label: str = "timer",
+    ) -> None:
+        self._kernel = kernel
+        self._callback = callback
+        self.delay = delay
+        self.period = period
+        self.label = label
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is scheduled to fire."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: Optional[float] = None) -> None:
+        """(Re)arm the timer; an already-armed timer is restarted."""
+        self.cancel()
+        fire_in = self.delay if delay is None else delay
+        self._event = self._kernel.call_later(
+            fire_in, self._fire, priority=PRIORITY_TIMER, label=self.label
+        )
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        if self.period is not None:
+            self.start(self.period)
+        self._callback()
+
+
+class TimerWheel:
+    """A named collection of timers with collective cancellation.
+
+    Processes register timers by name; :meth:`cancel_all` is called when
+    the owning process crashes so no stale callbacks fire afterwards.
+    """
+
+    def __init__(self, kernel: Kernel, owner: str = "") -> None:
+        self._kernel = kernel
+        self._owner = owner
+        self._timers: Dict[str, Timer] = {}
+        self._dead = False
+
+    def add(
+        self,
+        name: str,
+        callback: Callable[[], None],
+        delay: float,
+        period: Optional[float] = None,
+    ) -> Timer:
+        """Create (or replace) a named timer.  Does not start it."""
+        if self._dead:
+            raise ProcessError(f"timer wheel of {self._owner} is shut down")
+        if name in self._timers:
+            self._timers[name].cancel()
+        timer = Timer(
+            self._kernel,
+            callback,
+            delay,
+            period,
+            label=f"{self._owner}.{name}",
+        )
+        self._timers[name] = timer
+        return timer
+
+    def get(self, name: str) -> Timer:
+        """Look up a previously added timer."""
+        return self._timers[name]
+
+    def start(self, name: str, delay: Optional[float] = None) -> None:
+        """Start the named timer."""
+        self._timers[name].start(delay)
+
+    def cancel(self, name: str) -> None:
+        """Cancel the named timer if it exists."""
+        timer = self._timers.get(name)
+        if timer is not None:
+            timer.cancel()
+
+    def cancel_all(self) -> None:
+        """Cancel every timer (used on process crash/shutdown)."""
+        for timer in self._timers.values():
+            timer.cancel()
+
+    def shutdown(self) -> None:
+        """Cancel everything and refuse further registrations."""
+        self.cancel_all()
+        self._dead = True

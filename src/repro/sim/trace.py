@@ -1,0 +1,85 @@
+"""Structured tracing for simulations.
+
+A :class:`Tracer` collects :class:`TraceEvent` records (a kind string plus
+arbitrary fields).  Tests use it to assert on protocol behaviour ("exactly
+one membership install happened", "no data message crossed the partition")
+and benchmarks use it to count messages and rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One trace record: a kind tag plus free-form fields."""
+
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"TraceEvent({self.kind}: {parts})"
+
+
+class Tracer:
+    """Collects trace events, optionally filtered by kind prefix.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`record` is a no-op (the default for benchmark
+        runs where tracing overhead matters).
+    keep:
+        Optional predicate on the kind string; events whose kind fails the
+        predicate are dropped.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        keep: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._keep = keep
+        self.events: List[TraceEvent] = []
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Record one event (no-op when the tracer is disabled)."""
+        if not self.enabled:
+            return
+        if self._keep is not None and not self._keep(kind):
+            return
+        self.events.append(TraceEvent(kind=kind, fields=fields))
+
+    # -- queries ------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events whose kind equals ``kind``."""
+        return [event for event in self.events if event.kind == kind]
+
+    def with_prefix(self, prefix: str) -> List[TraceEvent]:
+        """All events whose kind starts with ``prefix``."""
+        return [event for event in self.events if event.kind.startswith(prefix)]
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,39 @@
+"""A Spread-like group communication toolkit over the simulated network.
+
+The substrate the paper builds on: a daemon-client architecture providing
+reliable multicast with selectable service levels (UNRELIABLE, RELIABLE,
+FIFO, CAUSAL, AGREED, SAFE), a daemon membership service that handles
+crashes, recoveries, partitions and merges, lightweight process groups,
+Extended Virtual Synchrony delivery semantics, and a Flush layer that
+provides View Synchrony on top — the model secure Spread requires.
+
+Layer map (bottom up):
+
+* :mod:`repro.spread.config`     — static daemon configuration (spread.conf)
+* :mod:`repro.spread.messages`   — daemon wire messages
+* :mod:`repro.spread.ordering`   — Lamport ordering engine (default)
+* :mod:`repro.spread.ring`       — Totem-style token-ring ordering engine
+* :mod:`repro.spread.groups`     — lightweight process-group state
+* :mod:`repro.spread.membership` — daemon membership (gather/propose/install)
+* :mod:`repro.spread.daemon`     — the daemon process
+* :mod:`repro.spread.client`     — the client library (SP_* equivalent)
+* :mod:`repro.spread.fragments`  — large-message fragmentation (SP_scat)
+* :mod:`repro.spread.events`     — application-facing messages/events
+* :mod:`repro.spread.flush`      — View Synchrony (flush protocol)
+* :mod:`repro.spread.monitor`    — deployment monitoring (spmonitor)
+"""
+
+from repro.spread.client import SpreadClient
+from repro.spread.config import SpreadConfig
+from repro.spread.daemon import SpreadDaemon
+from repro.spread.events import DataEvent, MembershipEvent
+from repro.spread.flush import FlushClient
+
+__all__ = [
+    "SpreadClient",
+    "SpreadConfig",
+    "SpreadDaemon",
+    "DataEvent",
+    "MembershipEvent",
+    "FlushClient",
+]

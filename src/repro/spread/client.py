@@ -1,0 +1,224 @@
+"""The Spread client library.
+
+A :class:`SpreadClient` is one application connection to its local
+daemon, mirroring the Spread C API surface: ``SP_connect``, ``SP_join``,
+``SP_leave``, ``SP_multicast``, ``SP_receive`` (here, an event queue plus
+optional callback), ``SP_disconnect``.
+
+The client talks to the daemon over a same-machine IPC channel modelled
+with a small fixed latency, matching the paper's daemon-client
+architecture: client operations never touch the network directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.errors import (
+    ConnectionClosedError,
+    DaemonDownError,
+    IllegalServiceError,
+    NotMemberError,
+)
+from repro.sim.kernel import Kernel
+from repro.sim.process import SimProcess
+from repro.spread.daemon import SpreadDaemon
+from repro.spread.events import DataEvent, MembershipEvent
+from repro.spread.fragments import MessageFragment, Reassembler, split_payload
+from repro.types import ProcessId, ServiceType
+
+EventCallback = Callable[[Any], None]
+
+
+class SpreadClient(SimProcess):
+    """One application connection to a Spread daemon."""
+
+    def __init__(self, kernel: Kernel, private_name: str, daemon: SpreadDaemon) -> None:
+        super().__init__(kernel, f"#{private_name}#{daemon.name}")
+        self.private_name = private_name
+        self.daemon = daemon
+        self.pid: Optional[ProcessId] = None
+        self.connected = False
+        self.queue: Deque[Any] = deque()
+        self._callbacks: List[EventCallback] = []
+        self._send_seq = 0
+        self._my_groups: set = set()
+        self._fragment_counter = 0
+        self._reassembler = Reassembler()
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self) -> ProcessId:
+        """Register with the daemon; returns the private group id."""
+        if self.connected:
+            return self.pid
+        if not self.daemon.alive:
+            raise DaemonDownError(f"daemon {self.daemon.name} is down")
+        self.pid = self.daemon.client_connect(self, self.private_name)
+        self.connected = True
+        self.start()
+        return self.pid
+
+    def disconnect(self) -> None:
+        """Voluntarily close the connection; the daemon announces the
+        departure from every joined group."""
+        if not self.connected:
+            return
+        self.connected = False
+        self._my_groups.clear()
+        self.after(
+            self.daemon.config.ipc_delay,
+            lambda: self.daemon.client_gone(self.private_name),
+            label=f"{self.name}.disconnect",
+        )
+
+    def daemon_down(self) -> None:
+        """Called by the daemon when it crashes."""
+        self.connected = False
+        self._my_groups.clear()
+        self._emit(_DaemonDownEvent())
+
+    def on_crash(self) -> None:
+        # A crashed client looks like a broken IPC channel to the daemon.
+        if self.connected:
+            self.connected = False
+            if self.daemon.alive:
+                self.kernel.call_later(
+                    self.daemon.config.ipc_delay,
+                    lambda: self.daemon.client_gone(self.private_name),
+                    label=f"{self.name}.crash_notify",
+                )
+
+    # ------------------------------------------------------------------
+    # group operations
+    # ------------------------------------------------------------------
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise ConnectionClosedError(f"{self.name} is not connected")
+        if not self.daemon.alive:
+            raise DaemonDownError(f"daemon {self.daemon.name} is down")
+
+    def _ipc(self, action: Callable[[], None]) -> None:
+        self.after(self.daemon.config.ipc_delay, action, label=f"{self.name}.ipc")
+
+    def join(self, group: str) -> None:
+        """Join a group (idempotent at the daemon)."""
+        self._require_connected()
+        self._my_groups.add(group)
+        self._ipc(lambda: self.daemon.client_join(self.pid, group))
+
+    def leave(self, group: str) -> None:
+        """Leave a group."""
+        self._require_connected()
+        if group not in self._my_groups:
+            raise NotMemberError(f"{self.name} never joined {group!r}")
+        self._my_groups.discard(group)
+        self._ipc(lambda: self.daemon.client_leave(self.pid, group))
+
+    def multicast(
+        self,
+        service: ServiceType,
+        group: str,
+        payload: Any,
+    ) -> int:
+        """Send to a group (or a private ``#name#daemon`` destination).
+
+        Byte payloads larger than the daemon's ``max_message_size`` are
+        fragmented and transparently reassembled at receivers (SP_scat
+        behaviour); this needs an ordered service (FIFO or stronger).
+        Returns this connection's last message sequence number.
+        """
+        self._require_connected()
+        limit = self.daemon.config.max_message_size
+        if isinstance(payload, (bytes, bytearray)) and len(payload) > limit:
+            if service.ordering_rank < ServiceType.FIFO.ordering_rank:
+                raise IllegalServiceError(
+                    "fragmented payloads need FIFO or stronger ordering"
+                )
+            self._fragment_counter += 1
+            fragments = split_payload(bytes(payload), limit, self._fragment_counter)
+            seq = 0
+            for fragment in fragments:
+                self._send_seq += 1
+                seq = self._send_seq
+                self._ipc(
+                    lambda f=fragment, s=seq: self.daemon.client_multicast(
+                        self.pid, service, group, f, s
+                    )
+                )
+            return seq
+        self._send_seq += 1
+        seq = self._send_seq
+        self._ipc(
+            lambda: self.daemon.client_multicast(self.pid, service, group, payload, seq)
+        )
+        return seq
+
+    def unicast(self, service: ServiceType, target: ProcessId, payload: Any) -> int:
+        """Send to a single process via its private group."""
+        return self.multicast(service, str(target), payload)
+
+    # ------------------------------------------------------------------
+    # receive side
+    # ------------------------------------------------------------------
+
+    def deliver_event(self, event: Any) -> None:
+        """Entry point used by the daemon's IPC push."""
+        if not self.alive or not self.connected:
+            return
+        if isinstance(event, DataEvent) and isinstance(
+            event.payload, MessageFragment
+        ):
+            whole = self._reassembler.accept(str(event.sender), event.payload)
+            if whole is None:
+                return  # more fragments coming
+            event = DataEvent(
+                group=event.group,
+                sender=event.sender,
+                service=event.service,
+                payload=whole,
+                seq=event.seq,
+            )
+        self._emit(event)
+
+    def _emit(self, event: Any) -> None:
+        self.queue.append(event)
+        for callback in list(self._callbacks):
+            callback(event)
+
+    def on_event(self, callback: EventCallback) -> None:
+        """Register a delivery callback (fires for every queued event)."""
+        self._callbacks.append(callback)
+
+    def receive(self) -> Optional[Any]:
+        """Pop the next delivered event, or None when the queue is empty."""
+        if self.queue:
+            return self.queue.popleft()
+        return None
+
+    def drain(self) -> List[Any]:
+        """Pop everything currently queued."""
+        events = list(self.queue)
+        self.queue.clear()
+        return events
+
+    # -- conveniences -------------------------------------------------------
+
+    def data_events(self) -> List[DataEvent]:
+        return [e for e in self.queue if isinstance(e, DataEvent)]
+
+    def membership_events(self) -> List[MembershipEvent]:
+        return [e for e in self.queue if isinstance(e, MembershipEvent)]
+
+
+class _DaemonDownEvent:
+    """Queued when the client's daemon crashes (connection lost)."""
+
+    is_membership = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<DaemonDownEvent>"

@@ -1,0 +1,631 @@
+"""The Spread daemon: ordering, groups, membership, client service.
+
+One daemon runs per simulated machine.  Clients connect to their local
+daemon over a same-machine IPC channel; daemons talk to each other over
+the simulated network.  The daemon composes:
+
+* a :class:`~repro.spread.ordering.ViewPipeline` per installed view,
+* the :class:`~repro.spread.groups.GroupTable` of lightweight groups,
+* the :class:`~repro.spread.membership.MembershipEngine`,
+* heartbeat / failure-detection / retransmission timers.
+
+Failure model: daemons are fail-stop and may recover with a fresh
+incarnation (volatile state lost); the network may partition and merge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SpreadError
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.process import SimProcess
+from repro.spread.config import SpreadConfig
+from repro.spread.events import (
+    DataEvent,
+    GroupViewId,
+    MembershipEvent,
+    SelfLeaveEvent,
+)
+from repro.spread.groups import GroupTable, daemon_of
+from repro.spread.membership import MembershipEngine, STATE_OP
+from repro.spread.messages import (
+    DataMessage,
+    GatherAnnounce,
+    Hello,
+    Install,
+    KIND_APP,
+    KIND_DISCONNECT,
+    KIND_GROUP_JOIN,
+    KIND_GROUP_LEAVE,
+    Nack,
+    Propose,
+    SyncInfo,
+)
+from repro.spread.ordering import ViewPipeline
+from repro.types import (
+    DaemonId,
+    GroupId,
+    MembershipCause,
+    ProcessId,
+    ServiceType,
+    ViewId,
+)
+
+UNRELIABLE_SEQ = 0  # sentinel: message bypasses the ordering pipeline
+
+
+class SpreadDaemon(SimProcess):
+    """A group communication daemon."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        network: Network,
+        config: SpreadConfig,
+    ) -> None:
+        super().__init__(kernel, name)
+        if name not in config.daemons:
+            raise SpreadError(f"daemon {name!r} missing from configuration")
+        self.network = network
+        self.config = config
+        self.daemon_id = DaemonId(name)
+        self.incarnation = 0
+        # Optional daemon-model security (repro.secure.daemon_model):
+        # seals inter-daemon data traffic under a per-view daemon key.
+        self.security = None
+        self._init_volatile_state()
+        network.add_node(self)
+
+    def _make_pipeline(self, view: ViewId, members, start_lamport: int):
+        """Build the configured total-order engine for a view."""
+        def send(destination, payload):
+            if destination is None:
+                self._broadcast_view(payload)
+            else:
+                self._send_to_daemon(destination, payload)
+
+        if self.config.ordering == "ring":
+            from repro.spread.ring import RingPipeline
+
+            return RingPipeline(
+                view,
+                members,
+                self.name,
+                self._deliver_ordered,
+                start_lamport=start_lamport,
+                send=send,
+                schedule=lambda delay, fn: self.after(delay, fn,
+                                                      label=f"{self.name}.ring"),
+                idle_delay=self.config.hello_interval,
+                token_timeout=self.config.fail_timeout,
+            )
+        return ViewPipeline(
+            view,
+            members,
+            self.name,
+            self._deliver_ordered,
+            start_lamport=start_lamport,
+            send=send,
+        )
+
+    def enable_security(self, security) -> None:
+        """Attach a daemon-model security layer (the paper's §5 "daemon
+        model"): all daemon-to-daemon data messages are sealed under a
+        daemon-group key renegotiated at each daemon view change."""
+        self.security = security
+        security.on_install(self.view, self.view_members)
+
+    def _init_volatile_state(self) -> None:
+        self.clients: Dict[str, "object"] = {}  # private name -> client
+        self.groups = GroupTable()
+        self.view = ViewId(epoch=0, counter=self.incarnation, coordinator=self.name)
+        self.view_members: Tuple[str, ...] = (self.name,)
+        self.pipeline = self._make_pipeline(self.view, self.view_members, 0)
+        self.last_heard: Dict[str, float] = {}
+        self._view_mismatch_since: Dict[str, float] = {}
+        self._pending_ops: List[Callable[[], None]] = []
+        self.engine = MembershipEngine(
+            me=self.name,
+            config=self.config,
+            send=self._engine_send,
+            broadcast_all=self._broadcast_everyone,
+            make_sync=self._make_sync,
+            commit=self._commit_install,
+            now=lambda: self.kernel.now,
+            schedule=self._engine_schedule,
+            alive_set=self._alive_set,
+            trace=self.kernel.tracer.record,
+        )
+        self.engine.incarnation = self.incarnation
+        self.views_installed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.timers.add("hello", self._send_hello, self.config.hello_interval,
+                        period=self.config.hello_interval)
+        self.timers.add("failcheck", self._check_failures,
+                        self.config.hello_interval,
+                        period=self.config.hello_interval)
+        self.timers.add("nack", self._check_gaps, self.config.nack_timeout,
+                        period=self.config.nack_timeout)
+        self.timers.start("hello")
+        self.timers.start("failcheck")
+        self.timers.start("nack")
+        self._send_hello()
+
+    def on_crash(self) -> None:
+        for client in list(self.clients.values()):
+            client.daemon_down()
+        self.clients = {}
+
+    def on_recover(self) -> None:
+        self.incarnation += 1
+        self._init_volatile_state()
+        if self.security is not None:
+            self.security.on_recover()
+        self.on_start()
+
+    # ------------------------------------------------------------------
+    # engine plumbing
+    # ------------------------------------------------------------------
+
+    def _engine_send(self, destination: str, payload: Any) -> None:
+        if destination == self.name:
+            return
+        self._send_to_daemon(destination, payload)
+
+    def _broadcast_everyone(self, payload: Any) -> None:
+        """Send to every configured daemon (membership control plane)."""
+        for daemon in self.config.daemons:
+            if daemon != self.name and self.network.has_node(daemon):
+                self._send_to_daemon(daemon, payload)
+
+    def _broadcast_view(self, payload: Any) -> None:
+        """Send to the other members of the current view (data plane)."""
+        for daemon in self.view_members:
+            if daemon != self.name and self.network.has_node(daemon):
+                self._send_to_daemon(daemon, payload)
+
+    def _send_to_daemon(self, destination: str, payload: Any) -> None:
+        """Daemon-to-daemon send; sealed by the security layer when
+        enabled — data under the per-view daemon-group key (queued while
+        that key is agreed), control under static pairwise channels."""
+        if self.security is not None:
+            if isinstance(payload, DataMessage):
+                payload = self.security.outbound(destination, payload)
+                if payload is None:
+                    return  # queued until the daemon-group key is ready
+            else:
+                payload = self.security.outbound_control(destination, payload)
+        self.network.send(self.name, destination, payload)
+
+    def _engine_schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        self.after(delay, callback, label=f"{self.name}.memb")
+
+    def _alive_set(self) -> Set[str]:
+        now = self.kernel.now
+        return {
+            daemon
+            for daemon, heard in self.last_heard.items()
+            if now - heard <= self.config.fail_timeout
+        }
+
+    def _make_sync(self, round_id: int, new_view: ViewId) -> SyncInfo:
+        undelivered, delivered_ts, delivered_fifo = self.pipeline.cut()
+        return SyncInfo(
+            sender=self.name,
+            round_id=round_id,
+            new_view=new_view,
+            old_view=self.view,
+            undelivered=undelivered,
+            delivered_ts=delivered_ts,
+            delivered_fifo=delivered_fifo,
+            groups=self.groups.snapshot(),
+            lamport=self.pipeline.lamport,
+        )
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+
+    def _send_hello(self) -> None:
+        hello = Hello(
+            sender=self.name,
+            view_id=self.view,
+            lamport=self.pipeline.lamport,
+            all_received=self.pipeline.my_all_received(),
+            incarnation=self.incarnation,
+            sent_seq=self.pipeline.send_seq,
+        )
+        self._broadcast_everyone(hello)
+
+    def _maybe_prompt_hello(self) -> None:
+        if self.pipeline.wants_prompt_hello:
+            self.pipeline.wants_prompt_hello = False
+            hello = Hello(
+                sender=self.name,
+                view_id=self.view,
+                lamport=self.pipeline.lamport,
+                all_received=self.pipeline.my_all_received(),
+                incarnation=self.incarnation,
+                sent_seq=self.pipeline.send_seq,
+            )
+            self._broadcast_view(hello)
+
+    def _check_failures(self) -> None:
+        if self.engine.state != STATE_OP:
+            return
+        now = self.kernel.now
+        for member in self.view_members:
+            if member == self.name:
+                continue
+            heard = self.last_heard.get(member)
+            if heard is None or now - heard > self.config.fail_timeout:
+                self.engine.trigger(f"silence:{member}")
+                return
+        for daemon, since in list(self._view_mismatch_since.items()):
+            if now - since > self.config.fail_timeout:
+                self._view_mismatch_since.pop(daemon, None)
+                self.engine.trigger(f"view-mismatch:{daemon}")
+                return
+
+    def _check_gaps(self) -> None:
+        self.pipeline.periodic(self.kernel.now, self.config.nack_timeout)
+
+    # ------------------------------------------------------------------
+    # network receive
+    # ------------------------------------------------------------------
+
+    def on_message(self, source: str, payload: Any) -> None:
+        self.last_heard[source] = self.kernel.now
+        if self.security is not None:
+            handled, unsealed = self.security.intercept(source, payload)
+            if unsealed is not None:
+                payload = unsealed
+            elif handled:
+                self._maybe_prompt_hello()
+                return
+        from repro.spread.ring import RingToken
+
+        if isinstance(payload, Hello):
+            self._on_hello(payload)
+        elif isinstance(payload, DataMessage):
+            self._on_data(payload)
+        elif isinstance(payload, RingToken):
+            if payload.view_id == self.view:
+                self.pipeline.on_token(payload)
+        elif isinstance(payload, Nack):
+            self._on_nack(payload)
+        elif isinstance(payload, GatherAnnounce):
+            self.engine.on_gather(payload)
+        elif isinstance(payload, Propose):
+            self.engine.on_propose(payload)
+        elif isinstance(payload, SyncInfo):
+            self.engine.on_sync(payload)
+        elif isinstance(payload, Install):
+            self.engine.on_install(payload)
+        else:
+            self.kernel.tracer.record(
+                "daemon.unknown_payload", me=self.name, type=type(payload).__name__
+            )
+        self._maybe_prompt_hello()
+
+    def _on_hello(self, hello: Hello) -> None:
+        if hello.sender not in self.view_members:
+            if self.engine.state == STATE_OP:
+                self.engine.trigger(f"foreign:{hello.sender}")
+            return
+        if hello.view_id == self.view:
+            self._view_mismatch_since.pop(hello.sender, None)
+            self.pipeline.note_hello(
+                hello.sender, hello.lamport, hello.all_received, hello.sent_seq
+            )
+        else:
+            # A view member speaking a different view: transient during
+            # install propagation, persistent after a quick crash/recover.
+            self._view_mismatch_since.setdefault(hello.sender, self.kernel.now)
+
+    def _on_data(self, message: DataMessage) -> None:
+        if message.seq == UNRELIABLE_SEQ:
+            self._deliver_ordered(message)
+            return
+        if message.view_id != self.view:
+            return  # stale or ahead; repaired after install via NACK
+        self.pipeline.ingest(message, now=self.kernel.now)
+
+    def _on_nack(self, nack: Nack) -> None:
+        if nack.view_id != self.view:
+            return
+        self.pipeline.on_nack(nack)
+
+    # ------------------------------------------------------------------
+    # client service (called by SpreadClient over the IPC channel)
+    # ------------------------------------------------------------------
+
+    def client_connect(self, client: "object", private_name: str) -> ProcessId:
+        if not self.alive:
+            raise SpreadError(f"daemon {self.name} is down")
+        if private_name in self.clients:
+            raise SpreadError(
+                f"private name {private_name!r} already connected to {self.name}"
+            )
+        self.clients[private_name] = client
+        return ProcessId(private_name=private_name, daemon=self.daemon_id)
+
+    def client_gone(self, private_name: str) -> None:
+        """IPC channel broke (disconnect or client crash)."""
+        if private_name not in self.clients:
+            return
+        del self.clients[private_name]
+        pid = str(ProcessId(private_name, self.daemon_id))
+        groups = self.groups.groups_of(pid)
+        if groups:
+            self._submit(
+                ServiceType.AGREED,
+                KIND_DISCONNECT,
+                group="",
+                origin=ProcessId(private_name, self.daemon_id),
+                origin_seq=0,
+                payload=tuple(groups),
+            )
+
+    def client_join(self, pid: ProcessId, group: str) -> None:
+        self._submit(ServiceType.AGREED, KIND_GROUP_JOIN, group, pid, 0, None)
+
+    def client_leave(self, pid: ProcessId, group: str) -> None:
+        self._submit(ServiceType.AGREED, KIND_GROUP_LEAVE, group, pid, 0, None)
+
+    def client_multicast(
+        self,
+        pid: ProcessId,
+        service: ServiceType,
+        group: str,
+        payload: Any,
+        origin_seq: int,
+    ) -> None:
+        if service & ServiceType.UNRELIABLE:
+            message = DataMessage(
+                sender_daemon=self.name,
+                view_id=self.view,
+                seq=UNRELIABLE_SEQ,
+                lamport=self.pipeline.lamport,
+                service=service,
+                kind=KIND_APP,
+                group=group,
+                origin=pid,
+                origin_seq=origin_seq,
+                payload=payload,
+            )
+            self._broadcast_view(message)
+            self._deliver_ordered(message)
+            return
+        self._submit(service, KIND_APP, group, pid, origin_seq, payload)
+
+    def _submit(
+        self,
+        service: ServiceType,
+        kind: str,
+        group: str,
+        origin: Optional[ProcessId],
+        origin_seq: int,
+        payload: Any,
+    ) -> None:
+        """Send through the ordered pipeline; queued during membership
+        transitions and replayed in the new view."""
+        if self.engine.state != STATE_OP:
+            self._pending_ops.append(
+                lambda: self._submit(service, kind, group, origin, origin_seq, payload)
+            )
+            return
+        self.pipeline.submit(service, kind, group, origin, origin_seq, payload)
+        self._maybe_prompt_hello()
+
+    # ------------------------------------------------------------------
+    # ordered delivery (pipeline callback)
+    # ------------------------------------------------------------------
+
+    def _deliver_ordered(self, message: DataMessage) -> None:
+        if message.kind == KIND_APP:
+            self._deliver_app(message)
+        elif message.kind == KIND_GROUP_JOIN:
+            self._apply_join(message)
+        elif message.kind == KIND_GROUP_LEAVE:
+            self._apply_leave(message, MembershipCause.LEAVE)
+        elif message.kind == KIND_DISCONNECT:
+            self._apply_disconnect(message)
+
+    def _local_members(self, group: str) -> List[Tuple[str, "object"]]:
+        """(pid string, client) for local clients that are in the group."""
+        result = []
+        for private_name, client in self.clients.items():
+            pid = str(ProcessId(private_name, self.daemon_id))
+            if self.groups.is_member(group, pid):
+                result.append((pid, client))
+        return result
+
+    def _push(self, client: "object", event: Any) -> None:
+        self.after(
+            self.config.ipc_delay,
+            lambda: client.deliver_event(event),
+            label=f"{self.name}.ipc",
+        )
+
+    def _deliver_app(self, message: DataMessage) -> None:
+        group = message.group
+        if group.startswith("#"):
+            # Private (unicast) message: deliver to the target client only.
+            try:
+                target = ProcessId.parse(group)
+            except ValueError:
+                return
+            if target.daemon.name != self.name:
+                return
+            client = self.clients.get(target.private_name)
+            if client is not None:
+                event = DataEvent(
+                    group=GroupId(group),
+                    sender=message.origin,
+                    service=message.service,
+                    payload=message.payload,
+                    seq=message.origin_seq,
+                )
+                self._push(client, event)
+            return
+        event = DataEvent(
+            group=GroupId(group),
+            sender=message.origin,
+            service=message.service,
+            payload=message.payload,
+            seq=message.origin_seq,
+        )
+        for pid, client in self._local_members(group):
+            if message.service & ServiceType.SELF_DISCARD and message.origin is not None:
+                if pid == str(message.origin):
+                    continue
+            self._push(client, event)
+
+    def _group_event(
+        self,
+        group: str,
+        cause: MembershipCause,
+        joined: Set[str],
+        left: Set[str],
+        counter: Optional[int] = None,
+    ) -> None:
+        if counter is None:
+            counter = self.groups.bump_change(group)
+        members = tuple(
+            ProcessId.parse(m) for m in self.groups.members_of(group)
+        )
+        event = MembershipEvent(
+            group=GroupId(group),
+            view_id=GroupViewId(self.view, counter),
+            members=members,
+            cause=cause,
+            joined=frozenset(ProcessId.parse(m) for m in joined),
+            left=frozenset(ProcessId.parse(m) for m in left),
+        )
+        self.kernel.tracer.record(
+            "daemon.group_event",
+            me=self.name,
+            group=group,
+            cause=cause.value,
+            size=len(members),
+        )
+        for __, client in self._local_members(group):
+            self._push(client, event)
+
+    def _apply_join(self, message: DataMessage) -> None:
+        pid = str(message.origin)
+        if self.groups.join(message.group, pid):
+            self._group_event(message.group, MembershipCause.JOIN, {pid}, set())
+
+    def _apply_leave(self, message: DataMessage, cause: MembershipCause) -> None:
+        pid = str(message.origin)
+        # The leaver gets a self-leave notification, not the new view.
+        if message.origin.daemon.name == self.name:
+            client = self.clients.get(message.origin.private_name)
+            if client is not None and self.groups.is_member(message.group, pid):
+                self._push(client, SelfLeaveEvent(group=GroupId(message.group)))
+        if self.groups.leave(message.group, pid):
+            self._group_event(message.group, cause, set(), {pid})
+
+    def _apply_disconnect(self, message: DataMessage) -> None:
+        pid = str(message.origin)
+        for group in message.payload:
+            if self.groups.leave(group, pid):
+                self._group_event(
+                    group, MembershipCause.DISCONNECT, set(), {pid}
+                )
+
+    # ------------------------------------------------------------------
+    # view installation
+    # ------------------------------------------------------------------
+
+    def _deliver_transitional(self, install: Install) -> None:
+        """EVS transitional configuration: for each group about to change,
+        local members learn the co-moving subset (current members whose
+        daemons travel with us to the new view) before the final old-view
+        messages arrive.  Messages delivered between this signal and the
+        regular membership are guaranteed shared exactly with that subset.
+        """
+        surviving = set(install.members)
+        for group in self.groups.groups():
+            current = self.groups.members_of(group)
+            comoving = tuple(
+                m for m in current if daemon_of(m) in surviving
+            )
+            if set(comoving) == set(install.groups.get(group, ())) and len(
+                comoving
+            ) == len(current):
+                continue  # nothing changes for this group
+            event = MembershipEvent(
+                group=GroupId(group),
+                view_id=GroupViewId(self.view, self.groups.change_counter.get(group, 0)),
+                members=tuple(ProcessId.parse(m) for m in comoving),
+                cause=MembershipCause.TRANSITIONAL,
+            )
+            for __, client in self._local_members(group):
+                self._push(client, event)
+
+    def _commit_install(self, install: Install) -> None:
+        # 0. Transitional configuration (EVS): before the final old-view
+        #    messages are flushed, tell affected local group members which
+        #    co-moving subset those messages are guaranteed shared with.
+        self._deliver_transitional(install)
+        # 1. Flush the old view: deliver the same old-view message set as
+        #    every daemon travelling with us (EVS).
+        complement = install.complements.get(self.view, ())
+        synced = install.synced.get(self.view, (self.name,))
+        self.pipeline.flush_with(complement, synced)
+        # 2. Compute group deltas between the pre-install table and the
+        #    merged table (after pruning departed daemons).
+        before = self.groups.snapshot()
+        after = install.groups
+        self.view = install.new_view
+        self.view_members = install.members
+        self.views_installed += 1
+        self.groups.replace(after)
+        self.pipeline = self._make_pipeline(
+            self.view, self.view_members, install.start_lamport
+        )
+        if hasattr(self.pipeline, "start_token"):
+            self.pipeline.start_token()
+        self._view_mismatch_since = {}
+        self.kernel.tracer.record(
+            "daemon.install",
+            me=self.name,
+            view=str(self.view),
+            members=list(install.members),
+        )
+        # Change counters must advance identically on every daemon of the
+        # new view (flush acknowledgements are keyed by them), so every
+        # group in the merged table gets exactly one install-time bump —
+        # the notification itself goes only to groups that changed here.
+        for group in sorted(after):
+            counter = self.groups.bump_change(group)
+            old_members = set(before.get(group, ()))
+            new_members = set(after.get(group, ()))
+            if old_members == new_members:
+                continue
+            self._group_event(
+                group,
+                MembershipCause.NETWORK,
+                joined=new_members - old_members,
+                left=old_members - new_members,
+                counter=counter,
+            )
+        # 3. Re-key the daemon group when daemon-model security is on.
+        if self.security is not None:
+            self.security.on_install(self.view, self.view_members)
+        # 4. Replay client operations queued during the transition.
+        pending, self._pending_ops = self._pending_ops, []
+        for operation in pending:
+            operation()
+        self._send_hello()

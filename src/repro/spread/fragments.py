@@ -1,0 +1,88 @@
+"""Large-message fragmentation and reassembly.
+
+Real Spread bounds a single message (~100 KB) and offers scatter/gather
+(``SP_scat``) for larger payloads.  This module gives the client library
+the same behaviour: byte payloads above the configured threshold are
+split into fragments that ride ordinary ordered multicast; receivers
+reassemble and deliver one event, transparently.
+
+Fragments of one logical message share the sender's fragment id; the
+per-sender ordering guarantees (FIFO and above) make reassembly a
+simple append — a gap or reordering within one sender's fragments is
+impossible at the service levels that deliver them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IllegalMessageError
+
+
+@dataclass(frozen=True)
+class MessageFragment:
+    """One slice of an oversized payload."""
+
+    fragment_id: int  # per-sender-connection counter
+    index: int
+    total: int
+    chunk: bytes
+
+    def wire_size(self) -> int:
+        return 32 + len(self.chunk)
+
+
+def split_payload(
+    payload: bytes, max_size: int, fragment_id: int
+) -> List[MessageFragment]:
+    """Split ``payload`` into fragments of at most ``max_size`` bytes."""
+    if max_size <= 0:
+        raise IllegalMessageError("fragment size must be positive")
+    total = max(1, (len(payload) + max_size - 1) // max_size)
+    return [
+        MessageFragment(
+            fragment_id=fragment_id,
+            index=index,
+            total=total,
+            chunk=payload[index * max_size : (index + 1) * max_size],
+        )
+        for index in range(total)
+    ]
+
+
+class Reassembler:
+    """Collects fragments per (sender, fragment id) into whole payloads."""
+
+    def __init__(self) -> None:
+        self._partial: Dict[Tuple[str, int], List[Optional[bytes]]] = {}
+
+    def accept(self, sender: str, fragment: MessageFragment) -> Optional[bytes]:
+        """Feed one fragment; returns the whole payload when complete."""
+        if fragment.total < 1 or not 0 <= fragment.index < fragment.total:
+            raise IllegalMessageError(
+                f"malformed fragment {fragment.index}/{fragment.total}"
+            )
+        key = (sender, fragment.fragment_id)
+        slots = self._partial.get(key)
+        if slots is None:
+            slots = [None] * fragment.total
+            self._partial[key] = slots
+        if len(slots) != fragment.total:
+            raise IllegalMessageError(
+                "fragment total changed mid-message"
+            )
+        slots[fragment.index] = fragment.chunk
+        if any(chunk is None for chunk in slots):
+            return None
+        del self._partial[key]
+        return b"".join(slots)
+
+    def pending_count(self) -> int:
+        """Messages currently awaiting fragments (for monitoring)."""
+        return len(self._partial)
+
+    def drop_sender(self, sender: str) -> None:
+        """Discard partial state from a departed sender (view change)."""
+        for key in [k for k in self._partial if k[0] == sender]:
+            del self._partial[key]

@@ -1,0 +1,117 @@
+"""Lightweight process-group state.
+
+Every daemon tracks the membership of every group (process ids, i.e.
+``#name#daemon`` strings).  Group changes flow through the agreed-order
+pipeline, so all daemons apply them in the same order; at daemon view
+changes the tables are merged/pruned by the membership protocol.  Both
+paths keep the tables identical across connected daemons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from repro.types import ProcessId
+
+
+def daemon_of(pid_string: str) -> str:
+    """The daemon component of a ``#name#daemon`` process id string."""
+    return ProcessId.parse(pid_string).daemon.name
+
+
+class GroupTable:
+    """Group name -> ordered tuple of process id strings.
+
+    Member order is deterministic (sorted by ``(daemon, name)``), so all
+    daemons present identical views to their clients.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, List[str]] = {}
+        # Per-group change counter within the current daemon view.
+        self.change_counter: Dict[str, int] = {}
+
+    @staticmethod
+    def _sort_key(pid_string: str) -> Tuple[str, str]:
+        pid = ProcessId.parse(pid_string)
+        return (pid.daemon.name, pid.private_name)
+
+    def members_of(self, group: str) -> Tuple[str, ...]:
+        return tuple(self._groups.get(group, ()))
+
+    def groups(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._groups))
+
+    def groups_of(self, pid_string: str) -> Tuple[str, ...]:
+        return tuple(
+            sorted(g for g, members in self._groups.items() if pid_string in members)
+        )
+
+    def is_member(self, group: str, pid_string: str) -> bool:
+        return pid_string in self._groups.get(group, ())
+
+    def bump_change(self, group: str) -> int:
+        counter = self.change_counter.get(group, 0) + 1
+        self.change_counter[group] = counter
+        return counter
+
+    # -- mutations (applied in agreed order) ---------------------------------
+
+    def join(self, group: str, pid_string: str) -> bool:
+        """Add a member; returns False when already present."""
+        members = self._groups.setdefault(group, [])
+        if pid_string in members:
+            return False
+        members.append(pid_string)
+        members.sort(key=self._sort_key)
+        return True
+
+    def leave(self, group: str, pid_string: str) -> bool:
+        """Remove a member; returns False when not present.  Empty groups
+        are garbage collected."""
+        members = self._groups.get(group)
+        if members is None or pid_string not in members:
+            return False
+        members.remove(pid_string)
+        if not members:
+            del self._groups[group]
+            self.change_counter.pop(group, None)
+        return True
+
+    def remove_process(self, pid_string: str) -> Tuple[str, ...]:
+        """Remove a process from every group; returns the affected groups."""
+        affected = []
+        for group in list(self._groups):
+            if self.leave(group, pid_string):
+                affected.append(group)
+        return tuple(affected)
+
+    # -- view changes --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Tuple[str, ...]]:
+        """Immutable copy for a SyncInfo message."""
+        return {group: tuple(members) for group, members in self._groups.items()}
+
+    @classmethod
+    def merged(
+        cls,
+        snapshots: Iterable[Mapping[str, Tuple[str, ...]]],
+        surviving_daemons: Iterable[str],
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Union the snapshots, keeping only processes on surviving daemons."""
+        survivors = set(surviving_daemons)
+        union: Dict[str, Set[str]] = {}
+        for snapshot in snapshots:
+            for group, members in snapshot.items():
+                keep = {m for m in members if daemon_of(m) in survivors}
+                if keep:
+                    union.setdefault(group, set()).update(keep)
+        return {
+            group: tuple(sorted(members, key=cls._sort_key))
+            for group, members in union.items()
+        }
+
+    def replace(self, table: Mapping[str, Tuple[str, ...]]) -> None:
+        """Adopt a merged table at view installation; counters restart."""
+        self._groups = {group: list(members) for group, members in table.items()}
+        self.change_counter = {}

@@ -1,0 +1,173 @@
+"""Deployment monitoring — the equivalent of Spread's ``spmonitor``.
+
+Snapshots per-daemon state (view, members, groups, traffic counters,
+membership-protocol status) and aggregates deployment-wide statistics.
+Used by operators of the real system to watch partitions heal and
+traffic flow; used here by tests, benches and examples to observe the
+simulation without poking daemon internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.net.network import Network
+from repro.spread.daemon import SpreadDaemon
+
+
+@dataclass(frozen=True)
+class DaemonStatus:
+    """One daemon's externally visible state."""
+
+    name: str
+    alive: bool
+    view: str
+    view_members: Tuple[str, ...]
+    engine_state: str
+    incarnation: int
+    views_installed: int
+    client_count: int
+    group_count: int
+    groups: Dict[str, Tuple[str, ...]]
+    lamport: int
+    pending_sends: int
+
+    @property
+    def operational(self) -> bool:
+        return self.alive and self.engine_state == "op"
+
+
+@dataclass(frozen=True)
+class DeploymentStatus:
+    """Aggregate over every daemon plus network counters."""
+
+    daemons: Tuple[DaemonStatus, ...]
+    datagrams_sent: int
+    datagrams_delivered: int
+    datagrams_dropped: int
+    bytes_sent: int
+    partitioned: bool
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for d in self.daemons if d.alive)
+
+    @property
+    def views(self) -> Tuple[str, ...]:
+        """Distinct views among alive daemons (1 = fully merged)."""
+        return tuple(sorted({d.view for d in self.daemons if d.alive}))
+
+    @property
+    def converged(self) -> bool:
+        """All alive daemons share one view and are operational."""
+        alive = [d for d in self.daemons if d.alive]
+        if not alive:
+            return True
+        return len({d.view for d in alive}) == 1 and all(
+            d.operational for d in alive
+        )
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / sent datagrams (1.0 on a clean network)."""
+        if self.datagrams_sent == 0:
+            return 1.0
+        return self.datagrams_delivered / self.datagrams_sent
+
+    def group_members(self, group: str) -> Tuple[str, ...]:
+        """The group's members per the first operational daemon."""
+        for daemon in self.daemons:
+            if daemon.operational and group in daemon.groups:
+                return daemon.groups[group]
+        return ()
+
+    def describe(self) -> str:
+        lines = [
+            f"deployment: {self.alive_count}/{len(self.daemons)} daemons up,"
+            f" {len(self.views)} view(s),"
+            f" {'partitioned' if self.partitioned else 'connected'}",
+            f"network: {self.datagrams_sent} sent,"
+            f" {self.datagrams_delivered} delivered,"
+            f" {self.datagrams_dropped} dropped"
+            f" ({self.delivery_ratio:.1%}), {self.bytes_sent} bytes",
+        ]
+        for daemon in self.daemons:
+            state = "DOWN" if not daemon.alive else daemon.engine_state
+            lines.append(
+                f"  {daemon.name}: {state}, view={daemon.view},"
+                f" members={list(daemon.view_members)},"
+                f" clients={daemon.client_count}, groups={daemon.group_count}"
+            )
+        return "\n".join(lines)
+
+
+class Monitor:
+    """Takes deployment snapshots; keeps a history for trend queries."""
+
+    def __init__(
+        self,
+        daemons: Mapping[str, SpreadDaemon],
+        network: Network,
+        history_limit: int = 256,
+    ) -> None:
+        self.daemons = dict(daemons)
+        self.network = network
+        self.history: List[DeploymentStatus] = []
+        self.history_limit = history_limit
+
+    def snapshot_daemon(self, daemon: SpreadDaemon) -> DaemonStatus:
+        return DaemonStatus(
+            name=daemon.name,
+            alive=daemon.alive,
+            view=str(daemon.view),
+            view_members=tuple(daemon.view_members),
+            engine_state=daemon.engine.state,
+            incarnation=daemon.incarnation,
+            views_installed=daemon.views_installed,
+            client_count=len(daemon.clients),
+            group_count=len(daemon.groups.groups()),
+            groups=daemon.groups.snapshot(),
+            lamport=daemon.pipeline.lamport,
+            pending_sends=len(daemon._pending_ops),
+        )
+
+    def snapshot(self) -> DeploymentStatus:
+        status = DeploymentStatus(
+            daemons=tuple(
+                self.snapshot_daemon(d)
+                for __, d in sorted(self.daemons.items())
+            ),
+            datagrams_sent=self.network.datagrams_sent,
+            datagrams_delivered=self.network.datagrams_delivered,
+            datagrams_dropped=self.network.datagrams_dropped,
+            bytes_sent=self.network.bytes_sent,
+            partitioned=self.network.partitioned,
+        )
+        self.history.append(status)
+        if len(self.history) > self.history_limit:
+            self.history.pop(0)
+        return status
+
+    # -- trend queries ------------------------------------------------------------
+
+    def views_installed_since_first_snapshot(self) -> int:
+        """Total new view installations observed across the history."""
+        if len(self.history) < 2:
+            return 0
+        first, last = self.history[0], self.history[-1]
+        per_daemon_first = {d.name: d.views_installed for d in first.daemons}
+        return sum(
+            d.views_installed - per_daemon_first.get(d.name, 0)
+            for d in last.daemons
+        )
+
+    def traffic_since_first_snapshot(self) -> Tuple[int, int]:
+        """(datagrams, bytes) sent across the observed window."""
+        if len(self.history) < 2:
+            return (0, 0)
+        first, last = self.history[0], self.history[-1]
+        return (
+            last.datagrams_sent - first.datagrams_sent,
+            last.bytes_sent - first.bytes_sent,
+        )

@@ -1,0 +1,199 @@
+"""The benchmark harness library itself: models, formulas, runner,
+reporting, workloads, report tool."""
+
+import pytest
+
+from repro.bench.expcount import (
+    table2,
+    table2_cliques_controller,
+    table2_cliques_new_member,
+    table3,
+    table3_cliques,
+    table4,
+)
+from repro.bench.platform_model import (
+    PENTIUM_II_450,
+    SUN_ULTRA2,
+    PlatformModel,
+    calibrate_local_machine,
+)
+from repro.bench.reporting import Table, series_block
+from repro.bench.runner import BatchTimer
+from repro.bench.testbed import ProtocolGroup
+from repro.bench.workloads import (
+    WorkloadEventKind,
+    WorkloadSpec,
+    generate_events,
+)
+from repro.sim.rng import DeterministicRng
+
+
+# -- platform models -----------------------------------------------------------------
+
+
+def test_paper_platform_costs():
+    assert SUN_ULTRA2.exp_cost == 0.012
+    assert PENTIUM_II_450.exp_cost == 0.0025
+
+
+def test_time_for_is_linear():
+    assert PENTIUM_II_450.time_for(45) == pytest.approx(0.1125)
+    assert SUN_ULTRA2.time_for(0) == 0.0
+
+
+def test_calibration_measures_something_sane():
+    local = calibrate_local_machine(samples=5)
+    # A 512-bit modexp takes between 1 microsecond and 1 second anywhere.
+    assert 1e-6 < local.exp_cost < 1.0
+    assert "pow" in local.name
+
+
+# -- count formulas ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [2, 5, 10, 30])
+def test_table2_totals_are_row_sums(n):
+    for rows in table2(n).values():
+        body = [count for name, count in rows if name != "Total"]
+        total = dict(rows)["Total"]
+        assert sum(body) == total
+
+
+@pytest.mark.parametrize("n", [3, 5, 10, 30])
+def test_table3_totals_are_row_sums(n):
+    for rows in table3(n).values():
+        body = [count for name, count in rows if name != "Total"]
+        assert sum(body) == dict(rows)["Total"]
+
+
+@pytest.mark.parametrize("n", [3, 5, 10, 30])
+def test_table4_consistent_with_tables_2_and_3(n):
+    t4 = table4(n)
+    join_controller = dict(table2_cliques_controller(n))["Total"]
+    join_member = dict(table2_cliques_new_member(n))["Total"]
+    assert t4["Cliques"]["Join"] == join_controller + join_member
+    assert t4["Cliques"]["Leave"] == dict(table3_cliques(n))["Total"]
+
+
+# -- batch timer ------------------------------------------------------------------------
+
+
+def test_batch_timer_averages():
+    values = iter([1.0] * 50 + [3.0] * 50)
+    timer = BatchTimer(batches=2, per_batch=50)
+    result = timer.measure(lambda: next(values))
+    assert result.mean == pytest.approx(2.0)
+    assert result.batch_means == [1.0, 3.0]
+    assert result.samples == 100
+    assert "batches" in result.describe()
+
+
+def test_batch_timer_validation():
+    with pytest.raises(ValueError):
+        BatchTimer(batches=0)
+    with pytest.raises(ValueError):
+        BatchTimer(per_batch=0)
+
+
+def test_batch_timer_zero_stdev_single_batch():
+    timer = BatchTimer(batches=1, per_batch=3)
+    result = timer.measure(lambda: 0.5)
+    assert result.stdev == 0.0
+
+
+# -- reporting --------------------------------------------------------------------------------
+
+
+def test_table_renders_aligned():
+    table = Table("T", ["col-a", "b"])
+    table.add(1, "xx")
+    table.add(22, 0.5)
+    text = table.render()
+    assert "T" in text and "col-a" in text
+    assert "0.5000" in text  # float formatting
+
+
+def test_table_rejects_wrong_arity():
+    table = Table("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add(1)
+
+
+def test_series_block():
+    text = series_block("S", "x", [1, 2], {"y": [10, 20]}, unit="ms")
+    assert "S" in text and "(unit: ms)" in text
+
+
+# -- workloads -----------------------------------------------------------------------------------
+
+
+def test_workload_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(duration=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(join_rate=-1)
+    with pytest.raises(ValueError):
+        WorkloadSpec(min_members=5, max_members=2)
+
+
+def test_generate_events_reproducible():
+    spec = WorkloadSpec(duration=10.0)
+    a = generate_events(spec, DeterministicRng(5))
+    b = generate_events(spec, DeterministicRng(5))
+    assert a == b
+
+
+def test_generate_events_sorted_and_bounded():
+    spec = WorkloadSpec(duration=10.0, partition_rate=0.2, heal_delay=1.0)
+    events = generate_events(spec, DeterministicRng(6))
+    times = [e.at for e in events]
+    assert times == sorted(times)
+    membership = [e for e in events if e.kind in (
+        WorkloadEventKind.JOIN, WorkloadEventKind.LEAVE)]
+    assert all(0 <= e.at < 10.0 for e in membership)
+    partitions = [e for e in events if e.kind == WorkloadEventKind.PARTITION]
+    heals = [e for e in events if e.kind == WorkloadEventKind.HEAL]
+    assert len(partitions) == len(heals)
+
+
+def test_zero_rates_mean_no_events():
+    spec = WorkloadSpec(
+        duration=5.0, join_rate=0, leave_rate=0, send_rate=0, partition_rate=0
+    )
+    assert generate_events(spec, DeterministicRng(1)) == []
+
+
+# -- testbed drivers -----------------------------------------------------------------------------
+
+
+def test_protocol_group_rejects_unknown_protocol():
+    with pytest.raises(ValueError):
+        ProtocolGroup("quantum")
+
+
+def test_protocol_group_grow_and_agree():
+    group = ProtocolGroup("cliques")
+    group.grow_to(4)
+    assert len(group.members) == 4
+    assert group.secrets_agree()
+
+
+def test_protocol_group_key_controller_roles():
+    cliques = ProtocolGroup("cliques")
+    cliques.grow_to(3)
+    assert cliques.key_controller == cliques.members[-1]  # newest
+    ckd = ProtocolGroup("ckd")
+    ckd.grow_to(3)
+    assert ckd.key_controller == ckd.members[0]  # oldest
+
+
+# -- report tool ------------------------------------------------------------------------------------
+
+
+def test_report_tool_runs(capsys):
+    from repro.bench.report import main
+
+    assert main(["--skip-figure3"]) == 0
+    out = capsys.readouterr().out
+    assert "Tables 2-4" in out
+    assert "Figure 4" in out

@@ -1,0 +1,110 @@
+"""In-memory driver for a CKD group (mirrors tests/cliques/conftest.py)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.ckd.protocol import CKDContext
+from repro.cliques.directory import KeyDirectory
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import DeterministicSource
+
+
+class CKDTestGroup:
+    """Creates CKD contexts and runs whole operations to completion."""
+
+    def __init__(self, params: DHParams = None, seed: int = 0) -> None:
+        self.params = params if params is not None else DHParams.tiny_test()
+        self.directory = KeyDirectory()
+        self.contexts: Dict[str, CKDContext] = {}
+        self.members: List[str] = []  # oldest first
+        self.group_name = "ckd-group"
+        self._seed = seed
+
+    def make_context(self, name: str) -> CKDContext:
+        source = DeterministicSource(hash((self._seed, name)) & 0xFFFFFFFF)
+        keypair = DHKeyPair.generate(self.params, source)
+        self.directory.register(name, keypair.public)
+        ctx = CKDContext(
+            name=name,
+            params=self.params,
+            long_term=keypair,
+            directory=self.directory,
+            source=source,
+            counter=ExpCounter(),
+        )
+        self.contexts[name] = ctx
+        return ctx
+
+    @property
+    def controller(self) -> CKDContext:
+        return self.contexts[self.members[0]]
+
+    def create(self, first: str) -> None:
+        ctx = self.make_context(first)
+        ctx.create_first(self.group_name)
+        self.members = [first]
+
+    def join(self, new_member: str) -> None:
+        joiner = self.make_context(new_member)
+        hello = self.controller.start_join(new_member)
+        response = joiner.process_hello(hello)
+        keydist = self.controller.process_response(response)
+        assert keydist is not None
+        for name in self.members[1:] + [new_member]:
+            self.contexts[name].process_keydist(keydist)
+        self.members.append(new_member)
+
+    def leave(self, *leaving: str) -> None:
+        if self.members[0] in leaving:
+            self._takeover(list(leaving))
+            return
+        keydist = self.controller.leave(list(leaving))
+        remaining = [m for m in self.members if m not in leaving]
+        for name in remaining[1:]:
+            self.contexts[name].process_keydist(keydist)
+        for name in leaving:
+            del self.contexts[name]
+        self.members = remaining
+
+    def _takeover(self, leaving: List[str]) -> None:
+        remaining = [m for m in self.members if m not in leaving]
+        new_controller = self.contexts[remaining[0]]
+        hello = new_controller.start_takeover(leaving)
+        keydist = None
+        for name in remaining[1:]:
+            response = self.contexts[name].process_hello(hello)
+            keydist = new_controller.process_response(response)
+        if keydist is not None:
+            for name in remaining[1:]:
+                self.contexts[name].process_keydist(keydist)
+        for name in leaving:
+            del self.contexts[name]
+        self.members = remaining
+
+    def refresh(self) -> None:
+        keydist = self.controller.refresh()
+        for name in self.members[1:]:
+            self.contexts[name].process_keydist(keydist)
+
+    def secrets(self) -> List[int]:
+        return [self.contexts[name].secret() for name in self.members]
+
+    def assert_agreement(self) -> int:
+        secrets = self.secrets()
+        assert len(set(secrets)) == 1, "members disagree on the group secret"
+        return secrets[0]
+
+    def assert_invariants(self) -> None:
+        for name in self.members:
+            ctx = self.contexts[name]
+            assert ctx.members == self.members
+            assert ctx.controller == self.members[0]
+
+
+@pytest.fixture
+def ckd_group() -> CKDTestGroup:
+    return CKDTestGroup()

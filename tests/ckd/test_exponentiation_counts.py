@@ -1,0 +1,128 @@
+"""CKD exponentiation counts must match Tables 2, 3 and 4."""
+
+import pytest
+
+from tests.ckd.conftest import CKDTestGroup
+
+
+def build_group(size: int) -> CKDTestGroup:
+    group = CKDTestGroup()
+    group.create("m0")
+    for i in range(1, size):
+        group.join(f"m{i}")
+    return group
+
+
+# -- Table 2: Join -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 10, 15])
+def test_join_controller_counts_match_table2(n):
+    """CKD controller: 1 LTK + 1 pairwise + 1 session + (n-1) encrypt = n+2."""
+    group = build_group(n - 1)
+    with group.controller.counter.window() as during:
+        group.join("joiner")
+    assert during.get("long_term_key") == 1
+    assert during.get("pairwise_key") == 1
+    assert during.get("session_key") == 1
+    assert during.get("encrypt_session_key") == n - 1
+    assert during.total == n + 2
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 10, 15])
+def test_join_new_member_counts_match_table2(n):
+    """CKD new member: 1 LTK + 1 pairwise + 1 encrypt-pairwise
+    + 1 decrypt = 4, independent of group size."""
+    group = build_group(n - 1)
+    group.join("joiner")
+    counter = group.contexts["joiner"].counter
+    assert counter.get("long_term_key") == 1
+    assert counter.get("pairwise_key") == 1
+    assert counter.get("encrypt_pairwise") == 1
+    assert counter.get("decrypt_session_key") == 1
+    assert counter.total == 4
+
+
+@pytest.mark.parametrize("n", [3, 5, 10])
+def test_join_total_serial_matches_table4(n):
+    """Table 4: CKD join total = (n+2) + 4 = n + 6."""
+    group = build_group(n - 1)
+    with group.controller.counter.window() as controller_window:
+        group.join("joiner")
+    joiner_total = group.contexts["joiner"].counter.total
+    assert controller_window.total + joiner_total == n + 6
+
+
+@pytest.mark.parametrize("n", [3, 5, 10])
+def test_join_existing_member_single_decrypt(n):
+    group = build_group(n - 1)
+    bystander = group.contexts["m1"]
+    with bystander.counter.window() as during:
+        group.join("joiner")
+    assert during.total == 1
+    assert during.get("decrypt_session_key") == 1
+
+
+# -- Table 3: Leave ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [3, 5, 10, 15])
+def test_member_leave_counts_match_table3(n):
+    """CKD leave: 1 session + (n-2) encrypt = n-1."""
+    group = build_group(n)
+    with group.controller.counter.window() as during:
+        group.leave(group.members[-1])
+    assert during.get("session_key") == 1
+    assert during.get("encrypt_session_key") == n - 2
+    assert during.total == n - 1
+
+
+@pytest.mark.parametrize("n", [3, 5, 10, 15])
+def test_controller_leave_counts_match_table3(n):
+    """CKD controller-leave, new controller: (n-2) LTK + (n-2) pairwise
+    + 1 session + (n-2) encrypt = 3n-5, plus 1 uncounted tenure-setup
+    hello exponentiation."""
+    group = build_group(n)
+    new_controller = group.contexts[group.members[1]]
+    with new_controller.counter.window() as during:
+        group.leave(group.members[0])
+    assert during.get("long_term_key") == n - 2
+    assert during.get("pairwise_key") == n - 2
+    assert during.get("session_key") == 1
+    assert during.get("encrypt_session_key") == n - 2
+    assert during.get("controller_hello") == 1
+    # The paper's 3n-5 excludes the once-per-tenure hello.
+    assert during.total - during.get("controller_hello") == 3 * n - 5
+
+
+@pytest.mark.parametrize("n", [3, 5, 10])
+def test_controller_leave_member_side_cost(n):
+    """Remaining members each pay 1 LTK + 1 pairwise + 1 blind + 1 decrypt
+    during a takeover (parallel, not in the tables); pinned."""
+    group = build_group(n)
+    bystander = group.contexts[group.members[2]]
+    with bystander.counter.window() as during:
+        group.leave(group.members[0])
+    assert during.total == 4
+
+
+@pytest.mark.parametrize("n", [3, 5, 10])
+def test_leave_remaining_member_single_decrypt(n):
+    group = build_group(n)
+    bystander = group.contexts["m1"]
+    with bystander.counter.window() as during:
+        group.leave(group.members[-1])
+    assert during.total == 1
+
+
+# -- Refresh ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_refresh_counts(n):
+    group = build_group(n)
+    with group.controller.counter.window() as during:
+        group.refresh()
+    assert during.get("session_key") == 1
+    assert during.get("encrypt_session_key") == n - 1
+    assert during.total == n

@@ -1,0 +1,81 @@
+"""Property-based tests: CKD invariants under random op sequences."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dh import DHParams
+
+from tests.ckd.conftest import CKDTestGroup
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    operations=st.lists(
+        st.sampled_from(["join", "leave", "leave_controller", "refresh"]),
+        min_size=1,
+        max_size=12,
+    ),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_invariants_hold_under_random_operations(operations, seed):
+    group = CKDTestGroup(params=DHParams.small_test(), seed=seed)
+    group.create("m0")
+    counter = 1
+    secrets_seen = {group.contexts["m0"].secret()}
+    for operation in operations:
+        if operation == "join":
+            group.join(f"m{counter}")
+            counter += 1
+        elif operation == "leave":
+            if len(group.members) < 2:
+                continue
+            group.leave(group.members[-1])
+        elif operation == "leave_controller":
+            if len(group.members) < 2:
+                continue
+            group.leave(group.members[0])
+        elif operation == "refresh":
+            group.refresh()
+        secret = group.assert_agreement()
+        group.assert_invariants()
+        # Controller is always the oldest member.
+        assert group.contexts[group.members[0]].is_controller
+        # Key independence.
+        assert secret not in secrets_seen
+        secrets_seen.add(secret)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    churn=st.integers(min_value=1, max_value=6), seed=st.integers(0, 2 ** 16)
+)
+def test_controller_churn(churn, seed):
+    """Repeatedly removing the controller walks the role down the join
+    order without ever breaking agreement."""
+    group = CKDTestGroup(params=DHParams.small_test(), seed=seed)
+    group.create("m0")
+    for i in range(1, churn + 2):
+        group.join(f"m{i}")
+    for __ in range(churn):
+        oldest = group.members[0]
+        group.leave(oldest)
+        group.assert_agreement()
+        assert group.contexts[group.members[0]].is_controller
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2 ** 16))
+def test_controller_holds_pairwise_key_per_member(seed):
+    """Structural invariant: after any operation the controller has
+    exactly one pairwise channel per non-controller member, and members
+    that left have none."""
+    group = CKDTestGroup(params=DHParams.small_test(), seed=seed)
+    group.create("m0")
+    for i in range(1, 4):
+        group.join(f"m{i}")
+    group.leave("m2")
+    group.assert_agreement()
+    controller = group.controller
+    expected = set(group.members[1:])
+    assert set(controller._pairwise) == expected

@@ -1,0 +1,275 @@
+"""CKD protocol: agreement, controller rules, takeover, token validation."""
+
+import pytest
+
+from repro.ckd.protocol import CKDContext, CKDHello
+from repro.crypto.dh import DHParams
+from repro.errors import CKDError, ControllerError, TokenError
+
+from tests.ckd.conftest import CKDTestGroup
+
+
+def build_group(size: int, seed: int = 0) -> CKDTestGroup:
+    group = CKDTestGroup(seed=seed)
+    group.create("m0")
+    for i in range(1, size):
+        group.join(f"m{i}")
+    return group
+
+
+# -- creation / join ---------------------------------------------------------------
+
+
+def test_first_member_is_controller(ckd_group):
+    ckd_group.create("alice")
+    assert ckd_group.contexts["alice"].is_controller
+    assert ckd_group.contexts["alice"].has_key
+
+
+def test_join_agreement(ckd_group):
+    ckd_group.create("alice")
+    ckd_group.join("bob")
+    ckd_group.assert_agreement()
+    ckd_group.assert_invariants()
+
+
+def test_controller_is_oldest_not_newest(ckd_group):
+    ckd_group.create("alice")
+    ckd_group.join("bob")
+    ckd_group.join("carol")
+    assert ckd_group.contexts["alice"].is_controller
+    assert not ckd_group.contexts["carol"].is_controller
+
+
+@pytest.mark.parametrize("size", [3, 5, 8])
+def test_sequential_joins(size):
+    group = build_group(size)
+    group.assert_agreement()
+    group.assert_invariants()
+
+
+def test_join_changes_secret(ckd_group):
+    ckd_group.create("a")
+    ckd_group.join("b")
+    old = ckd_group.assert_agreement()
+    ckd_group.join("c")
+    assert ckd_group.assert_agreement() != old
+
+
+def test_three_round_structure(ckd_group):
+    """Table 5: hello (round 1) -> response (round 2) -> keydist (round 3)."""
+    ckd_group.create("a")
+    joiner = ckd_group.make_context("b")
+    hello = ckd_group.controller.start_join("b")
+    assert hello.public_r > 1
+    assert not hello.takeover
+    response = joiner.process_hello(hello)
+    assert response.blinded_public > 1
+    keydist = ckd_group.controller.process_response(response)
+    assert keydist is not None
+    assert set(keydist.entries) == {"b"}
+    joiner.process_keydist(keydist)
+    assert joiner.secret() == ckd_group.controller.secret()
+
+
+def test_join_existing_member_rejected(ckd_group):
+    ckd_group.create("a")
+    ckd_group.join("b")
+    with pytest.raises(CKDError):
+        ckd_group.controller.start_join("b")
+
+
+def test_non_controller_cannot_start_join(ckd_group):
+    ckd_group.create("a")
+    ckd_group.join("b")
+    with pytest.raises(ControllerError):
+        ckd_group.contexts["b"].start_join("c")
+
+
+def test_unexpected_response_rejected(ckd_group):
+    ckd_group.create("a")
+    ckd_group.join("b")
+    forged = ckd_group.contexts["b"]
+    hello = ckd_group.controller.start_join("c")
+    ckd_group.make_context("c")
+    # "b" responds even though "c" was invited.
+    from repro.ckd.protocol import CKDResponse
+
+    bogus = CKDResponse(
+        group=ckd_group.group_name, sender="b", epoch=hello.epoch, blinded_public=5
+    )
+    with pytest.raises(TokenError):
+        ckd_group.controller.process_response(bogus)
+
+
+# -- leave ---------------------------------------------------------------------------
+
+
+def test_member_leave_agreement(ckd_group):
+    group = build_group(4)
+    old = group.assert_agreement()
+    group.leave("m2")
+    assert group.assert_agreement() != old
+    assert group.members == ["m0", "m1", "m3"]
+
+
+def test_multi_leave(ckd_group):
+    group = build_group(6)
+    group.leave("m1", "m4")
+    group.assert_agreement()
+    assert group.members == ["m0", "m2", "m3", "m5"]
+
+
+def test_leaver_cannot_read_new_key(ckd_group):
+    group = build_group(3)
+    leaver_secret = group.contexts["m1"].secret()
+    group.leave("m1")
+    assert group.assert_agreement() != leaver_secret
+
+
+def test_controller_cannot_remove_itself(ckd_group):
+    group = build_group(3)
+    with pytest.raises(CKDError):
+        group.controller.leave(["m0"])
+
+
+def test_leave_unknown_member(ckd_group):
+    group = build_group(2)
+    with pytest.raises(CKDError):
+        group.controller.leave(["ghost"])
+
+
+def test_leave_down_to_singleton(ckd_group):
+    group = build_group(2)
+    group.leave("m1")
+    assert group.members == ["m0"]
+    assert group.controller.has_key
+
+
+# -- controller takeover ---------------------------------------------------------------
+
+
+def test_controller_leave_triggers_takeover(ckd_group):
+    group = build_group(4)
+    old = group.assert_agreement()
+    group.leave("m0")
+    assert group.members == ["m1", "m2", "m3"]
+    assert group.contexts["m1"].is_controller
+    assert group.assert_agreement() != old
+    group.assert_invariants()
+
+
+def test_operations_after_takeover(ckd_group):
+    group = build_group(3)
+    group.leave("m0")
+    group.join("m5")
+    group.assert_agreement()
+    group.leave("m2")
+    group.assert_agreement()
+    assert group.members == ["m1", "m5"]
+
+
+def test_takeover_by_wrong_member_rejected(ckd_group):
+    group = build_group(3)
+    with pytest.raises(ControllerError):
+        group.contexts["m2"].start_takeover(["m0"])  # m1 is older
+
+
+def test_takeover_without_controller_departure_rejected(ckd_group):
+    group = build_group(3)
+    with pytest.raises(CKDError):
+        group.contexts["m1"].start_takeover(["m2"])
+
+
+def test_takeover_to_lone_survivor(ckd_group):
+    group = build_group(2)
+    group.leave("m0")
+    assert group.members == ["m1"]
+    assert group.contexts["m1"].has_key
+    assert group.contexts["m1"].is_controller
+
+
+# -- refresh ------------------------------------------------------------------------------
+
+
+def test_refresh_changes_secret(ckd_group):
+    group = build_group(3)
+    old = group.assert_agreement()
+    group.refresh()
+    assert group.assert_agreement() != old
+    assert group.members == ["m0", "m1", "m2"]
+
+
+def test_refresh_requires_controller(ckd_group):
+    group = build_group(2)
+    with pytest.raises(ControllerError):
+        group.contexts["m1"].refresh()
+
+
+# -- token validation -------------------------------------------------------------------
+
+
+def test_keydist_replay_rejected(ckd_group):
+    group = build_group(2)
+    keydist = group.controller.refresh()
+    group.contexts["m1"].process_keydist(keydist)
+    with pytest.raises(TokenError):
+        group.contexts["m1"].process_keydist(keydist)
+
+
+def test_keydist_wrong_group_rejected(ckd_group):
+    group = build_group(2)
+    other = CKDTestGroup(seed=7)
+    other.group_name = "other"
+    other.create("x")
+    other.join("y")
+    foreign = other.controller.refresh()
+    with pytest.raises(TokenError):
+        group.contexts["m1"].process_keydist(foreign)
+
+
+def test_keydist_missing_entry_rejected(ckd_group):
+    group = build_group(3)
+    keydist = group.controller.leave(["m1"])
+    with pytest.raises(TokenError):
+        group.contexts["m1"].process_keydist(keydist)
+
+
+def test_hello_for_wrong_group_rejected(ckd_group):
+    group = build_group(2)
+    bogus = CKDHello(
+        group="other", sender="m0", epoch=1, members=("m0",), public_r=5,
+        takeover=True,
+    )
+    with pytest.raises(TokenError):
+        group.contexts["m1"].process_hello(bogus)
+
+
+def test_secret_before_agreement_raises(ckd_group):
+    ctx = ckd_group.make_context("solo")
+    with pytest.raises(CKDError):
+        ctx.secret()
+
+
+def test_reset_clears_state(ckd_group):
+    group = build_group(2)
+    ctx = group.contexts["m1"]
+    ctx.reset()
+    assert ctx.group is None
+    assert not ctx.has_key
+
+
+# -- 512-bit smoke test -----------------------------------------------------------------
+
+
+def test_full_lifecycle_with_paper_params():
+    group = CKDTestGroup(params=DHParams.paper_512())
+    group.create("a")
+    group.join("b")
+    group.join("c")
+    group.assert_agreement()
+    group.leave("a")  # controller leaves -> takeover
+    group.assert_agreement()
+    group.refresh()
+    secret = group.assert_agreement()
+    assert secret.bit_length() > 256

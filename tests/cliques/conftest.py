@@ -1,0 +1,122 @@
+"""Shared fixtures: an in-memory driver for a group of Cliques contexts.
+
+Drives the pure protocol without any network, the way the secure layer
+will, so protocol tests stay focused on the cryptography and the counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.cliques.context import CliquesContext
+from repro.cliques.directory import KeyDirectory
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import DeterministicSource
+
+
+class CliquesTestGroup:
+    """Creates contexts on demand and runs whole operations to completion."""
+
+    def __init__(self, params: DHParams = None, seed: int = 0) -> None:
+        self.params = params if params is not None else DHParams.tiny_test()
+        self.directory = KeyDirectory()
+        self.contexts: Dict[str, CliquesContext] = {}
+        self.members: List[str] = []  # join order
+        self.group_name = "test-group"
+        self._seed = seed
+
+    def make_context(self, name: str) -> CliquesContext:
+        source = DeterministicSource(hash((self._seed, name)) & 0xFFFFFFFF)
+        keypair = DHKeyPair.generate(self.params, source)
+        self.directory.register(name, keypair.public)
+        ctx = CliquesContext(
+            name=name,
+            params=self.params,
+            long_term=keypair,
+            directory=self.directory,
+            source=source,
+            counter=ExpCounter(),
+        )
+        self.contexts[name] = ctx
+        return ctx
+
+    # -- whole operations ---------------------------------------------------
+
+    def create(self, first: str) -> None:
+        ctx = self.make_context(first)
+        ctx.create_first(self.group_name)
+        self.members = [first]
+
+    def join(self, new_member: str) -> None:
+        controller = self.contexts[self.members[-1]]
+        joiner = self.make_context(new_member)
+        upflow = controller.prep_join(new_member)
+        downflow = joiner.process_upflow(upflow)
+        for name in self.members:
+            self.contexts[name].process_downflow(downflow)
+        self.members.append(new_member)
+
+    def leave(self, *leaving: str) -> None:
+        remaining = [m for m in self.members if m not in leaving]
+        performer = self.contexts[remaining[-1]]
+        downflow = performer.leave(list(leaving))
+        for name in remaining:
+            if name != performer.name:
+                self.contexts[name].process_downflow(downflow)
+        for name in leaving:
+            del self.contexts[name]
+        self.members = remaining
+
+    def merge(self, *new_members: str) -> None:
+        controller = self.contexts[self.members[-1]]
+        for name in new_members:
+            self.make_context(name)
+        token = controller.prep_merge(list(new_members))
+        # chain through the new members
+        for name in new_members[:-1]:
+            token = self.contexts[name].process_merge_chain(token)
+        collect = self.contexts[new_members[-1]].process_merge_chain(token)
+        new_controller = self.contexts[new_members[-1]]
+        everyone = self.members + list(new_members)
+        downflow = None
+        for name in everyone:
+            if name == new_controller.name:
+                continue
+            response = self.contexts[name].process_merge_collect(collect)
+            downflow = new_controller.process_merge_response(response)
+        assert downflow is not None
+        for name in everyone:
+            if name != new_controller.name:
+                self.contexts[name].process_downflow(downflow)
+        self.members = everyone
+
+    def refresh(self) -> None:
+        controller = self.contexts[self.members[-1]]
+        downflow = controller.refresh()
+        for name in self.members:
+            if name != controller.name:
+                self.contexts[name].process_downflow(downflow)
+
+    # -- assertions -----------------------------------------------------------
+
+    def secrets(self) -> List[int]:
+        return [self.contexts[name].secret() for name in self.members]
+
+    def assert_agreement(self) -> int:
+        secrets = self.secrets()
+        assert len(set(secrets)) == 1, "members disagree on the group secret"
+        return secrets[0]
+
+    def assert_invariants(self) -> None:
+        for name in self.members:
+            ctx = self.contexts[name]
+            assert ctx.members == self.members
+            assert ctx.controller == self.members[-1]
+
+
+@pytest.fixture
+def group() -> CliquesTestGroup:
+    return CliquesTestGroup()

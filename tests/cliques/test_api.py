@@ -1,0 +1,103 @@
+"""The CLQ_API eight-call surface (repro.cliques.api)."""
+
+import pytest
+
+from repro.cliques import api
+from repro.cliques.tokens import (
+    DownflowToken,
+    MergeChainToken,
+    MergeCollectToken,
+    MergeResponseToken,
+    UpflowToken,
+)
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import DeterministicSource
+from repro.cliques.directory import KeyDirectory
+from repro.errors import TokenError
+
+
+def make_members(*names):
+    params = DHParams.tiny_test()
+    directory = KeyDirectory()
+    contexts = {}
+    for name in names:
+        source = DeterministicSource(hash(name) & 0xFFFF)
+        keypair = DHKeyPair.generate(params, source)
+        directory.register(name, keypair.public)
+        contexts[name] = api.clq_new_ctx(
+            name, params, keypair, directory, source=source
+        )
+    return contexts
+
+
+def test_full_join_flow_through_api():
+    contexts = make_members("alice", "bob")
+    api.clq_first_member(contexts["alice"], "g")
+    upflow = api.clq_update_ctx(contexts["alice"], "bob")
+    assert isinstance(upflow, UpflowToken)
+    downflow = api.clq_join(contexts["bob"], upflow)
+    assert isinstance(downflow, DownflowToken)
+    assert api.clq_process_token(contexts["alice"], downflow) is None
+    assert contexts["alice"].secret() == contexts["bob"].secret()
+
+
+def test_process_token_dispatches_upflow():
+    contexts = make_members("alice", "bob")
+    api.clq_first_member(contexts["alice"], "g")
+    upflow = api.clq_update_ctx(contexts["alice"], "bob")
+    downflow = api.clq_process_token(contexts["bob"], upflow)
+    assert isinstance(downflow, DownflowToken)
+
+
+def test_leave_through_api():
+    contexts = make_members("alice", "bob", "carol")
+    api.clq_first_member(contexts["alice"], "g")
+    downflow = api.clq_join(contexts["bob"], api.clq_update_ctx(contexts["alice"], "bob"))
+    api.clq_process_token(contexts["alice"], downflow)
+    downflow = api.clq_join(
+        contexts["carol"], api.clq_update_ctx(contexts["bob"], "carol")
+    )
+    api.clq_process_token(contexts["alice"], downflow)
+    api.clq_process_token(contexts["bob"], downflow)
+    # carol (controller) leaves; bob performs.
+    leave_downflow = api.clq_leave(contexts["bob"], ["carol"])
+    api.clq_process_token(contexts["alice"], leave_downflow)
+    assert contexts["alice"].secret() == contexts["bob"].secret()
+
+
+def test_merge_flow_through_process_token():
+    contexts = make_members("a", "b", "c")
+    api.clq_first_member(contexts["a"], "g")
+    chain = api.clq_merge(contexts["a"], ["b", "c"])
+    assert isinstance(chain, MergeChainToken)
+    token = api.clq_process_token(contexts["b"], chain)
+    assert isinstance(token, MergeChainToken)
+    collect = api.clq_process_token(contexts["c"], token)
+    assert isinstance(collect, MergeCollectToken)
+    downflow = None
+    for name in ("a", "b"):
+        response = api.clq_process_token(contexts[name], collect)
+        assert isinstance(response, MergeResponseToken)
+        downflow = api.clq_process_token(contexts["c"], response)
+    assert isinstance(downflow, DownflowToken)
+    for name in ("a", "b"):
+        api.clq_process_token(contexts[name], downflow)
+    secrets = {contexts[n].secret() for n in ("a", "b", "c")}
+    assert len(secrets) == 1
+
+
+def test_refresh_through_api():
+    contexts = make_members("a", "b")
+    api.clq_first_member(contexts["a"], "g")
+    downflow = api.clq_join(contexts["b"], api.clq_update_ctx(contexts["a"], "b"))
+    api.clq_process_token(contexts["a"], downflow)
+    old = contexts["a"].secret()
+    refresh_downflow = api.clq_refresh_key(contexts["b"])
+    api.clq_process_token(contexts["a"], refresh_downflow)
+    assert contexts["a"].secret() == contexts["b"].secret() != old
+
+
+def test_process_token_rejects_unknown_type():
+    contexts = make_members("a")
+    with pytest.raises(TokenError):
+        api.clq_process_token(contexts["a"], object())

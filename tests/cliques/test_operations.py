@@ -1,0 +1,360 @@
+"""Cliques protocol operations: agreement, invariants, key independence."""
+
+import pytest
+
+from repro.cliques.context import CliquesContext
+from repro.crypto.dh import DHParams
+from repro.errors import CliquesError, ControllerError, TokenError
+
+from tests.cliques.conftest import CliquesTestGroup
+
+
+# -- group creation -------------------------------------------------------------
+
+
+def test_first_member_has_secret(group):
+    group.create("alice")
+    assert group.contexts["alice"].has_key
+    assert group.contexts["alice"].is_controller
+
+
+def test_first_member_twice_rejected(group):
+    group.create("alice")
+    with pytest.raises(CliquesError):
+        group.contexts["alice"].create_first("other")
+
+
+# -- join -------------------------------------------------------------------------
+
+
+def test_two_member_join_agreement(group):
+    group.create("alice")
+    group.join("bob")
+    group.assert_agreement()
+    group.assert_invariants()
+
+
+def test_joiner_becomes_controller(group):
+    group.create("alice")
+    group.join("bob")
+    assert group.contexts["bob"].is_controller
+    assert not group.contexts["alice"].is_controller
+
+
+@pytest.mark.parametrize("size", [3, 5, 8])
+def test_sequential_joins_agreement(group, size):
+    group.create("m0")
+    for i in range(1, size):
+        group.join(f"m{i}")
+        group.assert_agreement()
+        group.assert_invariants()
+
+
+def test_join_changes_secret(group):
+    group.create("alice")
+    group.join("bob")
+    before = group.assert_agreement()
+    group.join("carol")
+    after = group.assert_agreement()
+    assert before != after
+
+
+def test_joiner_cannot_compute_previous_secret(group):
+    """Backward secrecy: the old secret is not derivable from what the
+    joiner saw (we check the weaker observable: keys differ and the old
+    key never appears in the joiner's state)."""
+    group.create("alice")
+    group.join("bob")
+    old_secret = group.assert_agreement()
+    group.join("eve")
+    assert group.contexts["eve"].secret() != old_secret
+    # Nothing in eve's caches equals the old secret.
+    eve = group.contexts["eve"]
+    cached_values = {entry.value for entry in eve._entries.values()}
+    assert old_secret not in cached_values
+    assert eve._own_base != old_secret
+
+
+def test_non_controller_cannot_prep_join(group):
+    group.create("alice")
+    group.join("bob")
+    with pytest.raises(ControllerError):
+        group.contexts["alice"].prep_join("carol")
+
+
+def test_join_existing_member_rejected(group):
+    group.create("alice")
+    group.join("bob")
+    with pytest.raises(CliquesError):
+        group.contexts["bob"].prep_join("alice")
+
+
+def test_member_of_other_group_cannot_join(group):
+    group.create("alice")
+    other = group.make_context("bob")
+    other.create_first("another-group")
+    upflow = group.contexts["alice"].prep_join("bob")
+    with pytest.raises(CliquesError):
+        other.process_upflow(upflow)
+
+
+# -- leave -----------------------------------------------------------------------
+
+
+def test_controller_leave_agreement(group):
+    group.create("m0")
+    for i in range(1, 4):
+        group.join(f"m{i}")
+    old = group.assert_agreement()
+    group.leave("m3")  # the controller leaves
+    new = group.assert_agreement()
+    assert new != old
+    group.assert_invariants()
+
+
+def test_member_leave_agreement(group):
+    group.create("m0")
+    for i in range(1, 4):
+        group.join(f"m{i}")
+    old = group.assert_agreement()
+    group.leave("m1")  # a regular member leaves
+    new = group.assert_agreement()
+    assert new != old
+    assert group.members == ["m0", "m2", "m3"]
+
+
+def test_multi_leave(group):
+    group.create("m0")
+    for i in range(1, 6):
+        group.join(f"m{i}")
+    group.leave("m1", "m3")
+    group.assert_agreement()
+    assert group.members == ["m0", "m2", "m4", "m5"]
+
+
+def test_leave_down_to_singleton(group):
+    group.create("a")
+    group.join("b")
+    group.leave("b")
+    assert group.members == ["a"]
+    assert group.contexts["a"].has_key
+
+
+def test_leaver_excluded_from_new_key(group):
+    group.create("a")
+    group.join("b")
+    group.join("c")
+    leaver_secret = group.contexts["c"].secret()
+    group.leave("c")
+    assert group.assert_agreement() != leaver_secret
+
+
+def test_leaving_member_cannot_perform_leave(group):
+    group.create("a")
+    group.join("b")
+    with pytest.raises(CliquesError):
+        group.contexts["b"].leave(["b"])
+
+
+def test_wrong_member_cannot_perform_leave(group):
+    group.create("a")
+    group.join("b")
+    group.join("c")
+    # "a" is not the newest survivor when "b" leaves; "c" is.
+    with pytest.raises(ControllerError):
+        group.contexts["a"].leave(["b"])
+
+
+def test_leave_unknown_member_rejected(group):
+    group.create("a")
+    group.join("b")
+    with pytest.raises(CliquesError):
+        group.contexts["b"].leave(["ghost"])
+
+
+def test_consecutive_leaves(group):
+    group.create("m0")
+    for i in range(1, 5):
+        group.join(f"m{i}")
+    group.leave("m4")
+    group.leave("m3")
+    group.leave("m1")
+    group.assert_agreement()
+    assert group.members == ["m0", "m2"]
+
+
+# -- refresh ---------------------------------------------------------------------
+
+
+def test_refresh_changes_secret_same_membership(group):
+    group.create("a")
+    group.join("b")
+    group.join("c")
+    old = group.assert_agreement()
+    group.refresh()
+    new = group.assert_agreement()
+    assert new != old
+    assert group.members == ["a", "b", "c"]
+
+
+def test_refresh_requires_controller(group):
+    group.create("a")
+    group.join("b")
+    with pytest.raises(ControllerError):
+        group.contexts["a"].refresh()
+
+
+def test_repeated_refresh_all_distinct(group):
+    group.create("a")
+    group.join("b")
+    secrets = set()
+    for _ in range(5):
+        group.refresh()
+        secrets.add(group.assert_agreement())
+    assert len(secrets) == 5
+
+
+# -- merge ------------------------------------------------------------------------
+
+
+def test_merge_single_member(group):
+    group.create("a")
+    group.join("b")
+    group.merge("c")
+    group.assert_agreement()
+    assert group.members == ["a", "b", "c"]
+    assert group.contexts["c"].is_controller
+
+
+def test_merge_multiple_members(group):
+    group.create("a")
+    group.join("b")
+    group.merge("c", "d", "e")
+    group.assert_agreement()
+    assert group.members == ["a", "b", "c", "d", "e"]
+    assert group.contexts["e"].is_controller
+    group.assert_invariants()
+
+
+def test_merge_into_singleton(group):
+    group.create("a")
+    group.merge("b", "c")
+    group.assert_agreement()
+
+
+def test_merge_changes_secret(group):
+    group.create("a")
+    group.join("b")
+    old = group.assert_agreement()
+    group.merge("c", "d")
+    assert group.assert_agreement() != old
+
+
+def test_operations_after_merge(group):
+    group.create("a")
+    group.join("b")
+    group.merge("c", "d")
+    group.join("e")
+    group.assert_agreement()
+    group.leave("e")
+    group.assert_agreement()
+    group.leave("d")  # the merge controller leaves
+    group.assert_agreement()
+    assert group.members == ["a", "b", "c"]
+
+
+def test_merge_empty_list_rejected(group):
+    group.create("a")
+    with pytest.raises(CliquesError):
+        group.contexts["a"].prep_merge([])
+
+
+def test_merge_duplicate_names_rejected(group):
+    group.create("a")
+    with pytest.raises(CliquesError):
+        group.contexts["a"].prep_merge(["b", "b"])
+
+
+def test_merge_existing_member_rejected(group):
+    group.create("a")
+    group.join("b")
+    with pytest.raises(CliquesError):
+        group.contexts["b"].prep_merge(["a"])
+
+
+def test_merge_by_non_controller_rejected(group):
+    group.create("a")
+    group.join("b")
+    with pytest.raises(ControllerError):
+        group.contexts["a"].prep_merge(["c"])
+
+
+# -- 512-bit parameters smoke test --------------------------------------------------
+
+
+def test_full_lifecycle_with_paper_params():
+    group = CliquesTestGroup(params=DHParams.paper_512())
+    group.create("a")
+    group.join("b")
+    group.join("c")
+    group.assert_agreement()
+    group.leave("c")
+    group.assert_agreement()
+    group.merge("d", "e")
+    group.assert_agreement()
+    group.refresh()
+    secret = group.assert_agreement()
+    assert secret.bit_length() > 256  # a real subgroup element
+
+
+# -- epoch / token validation ---------------------------------------------------------
+
+
+def test_stale_downflow_rejected(group):
+    group.create("a")
+    group.join("b")
+    controller = group.contexts["b"]
+    downflow1 = controller.refresh()
+    group.contexts["a"].process_downflow(downflow1)
+    downflow2 = controller.refresh()
+    group.contexts["a"].process_downflow(downflow2)
+    with pytest.raises(TokenError):
+        group.contexts["a"].process_downflow(downflow1)  # replay
+
+
+def test_downflow_for_wrong_group_rejected(group):
+    group.create("a")
+    group.join("b")
+    other = CliquesTestGroup(seed=9)
+    other.group_name = "other-group"
+    other.create("x")
+    other.join("y")
+    foreign = other.contexts["y"].refresh()
+    with pytest.raises(TokenError):
+        group.contexts["a"].process_downflow(foreign)
+
+
+def test_downflow_without_own_entry_rejected(group):
+    group.create("a")
+    group.join("b")
+    group.join("c")
+    downflow = group.contexts["c"].leave(["a"])
+    with pytest.raises(TokenError):
+        group.contexts["a"].process_downflow(downflow)
+
+
+def test_secret_before_agreement_raises():
+    group = CliquesTestGroup()
+    ctx = group.make_context("lonely")
+    with pytest.raises(CliquesError):
+        ctx.secret()
+
+
+def test_reset_clears_state(group):
+    group.create("a")
+    group.join("b")
+    ctx = group.contexts["b"]
+    ctx.reset()
+    assert ctx.group is None
+    assert not ctx.has_key
+    assert ctx.members == []

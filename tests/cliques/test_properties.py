@@ -1,0 +1,112 @@
+"""Property-based tests: Cliques invariants under random op sequences.
+
+The paper states two system invariants (Section 4): all members always
+agree on the controller (the newest member), and the group secret is
+contributed to by every member.  These tests drive random sequences of
+join/leave/merge/refresh operations and check the invariants plus key
+independence after every step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dh import DHParams
+
+from tests.cliques.conftest import CliquesTestGroup
+
+
+def operation_strategy():
+    return st.lists(
+        st.sampled_from(["join", "leave", "merge", "refresh", "leave_controller"]),
+        min_size=1,
+        max_size=12,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(operations=operation_strategy(), seed=st.integers(0, 2 ** 16))
+def test_invariants_hold_under_random_operations(operations, seed):
+    group = CliquesTestGroup(params=DHParams.small_test(), seed=seed)
+    group.create("m0")
+    counter = 1
+    secrets_seen = set()
+    secrets_seen.add(group.contexts["m0"].secret())
+    for operation in operations:
+        if operation == "join":
+            group.join(f"m{counter}")
+            counter += 1
+        elif operation == "merge":
+            names = [f"m{counter}", f"m{counter + 1}"]
+            counter += 2
+            group.merge(*names)
+        elif operation == "leave":
+            if len(group.members) < 2:
+                continue
+            group.leave(group.members[0])  # oldest regular member
+        elif operation == "leave_controller":
+            if len(group.members) < 2:
+                continue
+            group.leave(group.members[-1])
+        elif operation == "refresh":
+            group.refresh()
+        # Invariant 1: agreement on the secret.
+        secret = group.assert_agreement()
+        # Invariant 2: everyone agrees the controller is the newest.
+        group.assert_invariants()
+        # Key independence: never re-issue a previous secret.
+        assert secret not in secrets_seen
+        secrets_seen.add(secret)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    join_count=st.integers(min_value=1, max_value=8),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_grow_then_shrink_returns_to_working_singleton(join_count, seed):
+    group = CliquesTestGroup(params=DHParams.small_test(), seed=seed)
+    group.create("m0")
+    for i in range(join_count):
+        group.join(f"m{i + 1}")
+    group.assert_agreement()
+    while len(group.members) > 1:
+        group.leave(group.members[-1])
+        group.assert_agreement()
+    assert group.members == ["m0"]
+    # The survivor can rebuild.
+    group.join("back")
+    group.assert_agreement()
+
+
+@settings(max_examples=20, deadline=None)
+@given(sizes=st.lists(st.integers(1, 4), min_size=1, max_size=4),
+       seed=st.integers(0, 2 ** 16))
+def test_repeated_merges_agree(sizes, seed):
+    group = CliquesTestGroup(params=DHParams.small_test(), seed=seed)
+    group.create("root")
+    counter = 0
+    for batch in sizes:
+        names = [f"x{counter + i}" for i in range(batch)]
+        counter += batch
+        group.merge(*names)
+        group.assert_agreement()
+        group.assert_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2 ** 16))
+def test_share_secrecy_not_in_tokens(seed):
+    """No member's private share ever appears in any cached broadcast
+    value (a leak would let past members reconstruct keys)."""
+    group = CliquesTestGroup(params=DHParams.small_test(), seed=seed)
+    group.create("m0")
+    for i in range(1, 5):
+        group.join(f"m{i}")
+    for name in group.members:
+        ctx = group.contexts[name]
+        share = ctx._my_share
+        for entry in ctx._entries.values():
+            assert entry.value != share
+        assert ctx._own_base != share
+        assert ctx.secret() != share

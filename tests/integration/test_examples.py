@@ -1,0 +1,18 @@
+"""The shipped examples must keep working (each main() runs clean)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out  # every example prints a final ... OK line

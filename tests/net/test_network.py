@@ -1,0 +1,251 @@
+"""Unit tests for links, the network and fault injection."""
+
+import pytest
+
+from repro.errors import LinkError, PartitionError, UnknownAddressError
+from repro.net.fault import FaultInjector, FaultSchedule
+from repro.net.link import LinkModel
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.process import FunctionProcess
+from repro.sim.rng import DeterministicRng
+
+
+def make_net(n=3, **net_kwargs):
+    kernel = Kernel(seed=1)
+    network = Network(kernel, **net_kwargs)
+    nodes = []
+    for i in range(n):
+        node = FunctionProcess(kernel, f"n{i}")
+        node.start()
+        network.add_node(node)
+        nodes.append(node)
+    return kernel, network, nodes
+
+
+# -- LinkModel ------------------------------------------------------------------
+
+
+def test_link_validation():
+    with pytest.raises(LinkError):
+        LinkModel(base_latency=-1)
+    with pytest.raises(LinkError):
+        LinkModel(bandwidth=0)
+    with pytest.raises(LinkError):
+        LinkModel(jitter=-0.1)
+    with pytest.raises(LinkError):
+        LinkModel(loss_rate=1.5)
+
+
+def test_link_delay_includes_serialization():
+    rng = DeterministicRng(0)
+    link = LinkModel(base_latency=0.001, bandwidth=1000.0)
+    assert link.delay_for(500, rng) == pytest.approx(0.001 + 0.5)
+
+
+def test_link_delay_infinite_bandwidth():
+    rng = DeterministicRng(0)
+    link = LinkModel(base_latency=0.002)
+    assert link.delay_for(10 ** 6, rng) == pytest.approx(0.002)
+
+
+def test_link_jitter_bounds():
+    rng = DeterministicRng(0)
+    link = LinkModel(base_latency=0.001, jitter=0.01)
+    for _ in range(100):
+        delay = link.delay_for(0, rng)
+        assert 0.001 <= delay <= 0.011
+
+
+def test_link_loss_rate_statistics():
+    rng = DeterministicRng(0)
+    link = LinkModel(loss_rate=0.3)
+    losses = sum(link.is_lost(rng) for _ in range(5000))
+    assert 0.25 < losses / 5000 < 0.35
+
+
+def test_link_zero_loss_never_drops():
+    rng = DeterministicRng(0)
+    link = LinkModel()
+    assert not any(link.is_lost(rng) for _ in range(100))
+
+
+def test_link_presets_construct():
+    for preset in (
+        LinkModel.ethernet_10base_t(),
+        LinkModel.ethernet_100base_t(),
+        LinkModel.local_ipc(),
+        LinkModel.wan(),
+    ):
+        assert preset.base_latency >= 0
+
+
+# -- Network delivery --------------------------------------------------------------
+
+
+def test_unicast_delivery():
+    kernel, network, nodes = make_net()
+    network.send("n0", "n1", "hello")
+    kernel.run()
+    assert nodes[1].inbox == [("n0", "hello")]
+    assert network.datagrams_delivered == 1
+
+
+def test_unknown_destination_raises():
+    kernel, network, _ = make_net()
+    with pytest.raises(UnknownAddressError):
+        network.send("n0", "nope", "x")
+
+
+def test_multicast_skips_source():
+    kernel, network, nodes = make_net(4)
+    network.multicast("n0", ["n0", "n1", "n2", "n3"], "m")
+    kernel.run()
+    assert nodes[0].inbox == []
+    for node in nodes[1:]:
+        assert node.inbox == [("n0", "m")]
+
+
+def test_delivery_respects_latency():
+    kernel, network, nodes = make_net()
+    network.set_link("n0", "n1", LinkModel(base_latency=0.5))
+    network.send("n0", "n1", "x")
+    kernel.run()
+    assert kernel.now == pytest.approx(0.5)
+
+
+def test_per_pair_link_override_is_symmetric():
+    kernel, network, _ = make_net()
+    model = LinkModel(base_latency=0.123)
+    network.set_link("n0", "n1", model)
+    assert network.link_between("n1", "n0") is model
+    assert network.link_between("n0", "n2") is network.default_link
+
+
+def test_lossy_link_drops():
+    kernel = Kernel(seed=5)
+    network = Network(kernel, default_link=LinkModel(loss_rate=1.0))
+    a = FunctionProcess(kernel, "a")
+    b = FunctionProcess(kernel, "b")
+    for node in (a, b):
+        node.start()
+        network.add_node(node)
+    network.send("a", "b", "x")
+    kernel.run()
+    assert b.inbox == []
+    assert network.datagrams_dropped == 1
+
+
+# -- Partitions -----------------------------------------------------------------------
+
+
+def test_partition_blocks_cross_component_traffic():
+    kernel, network, nodes = make_net(4)
+    network.partition([["n0", "n1"], ["n2", "n3"]])
+    network.send("n0", "n2", "blocked")
+    network.send("n0", "n1", "ok")
+    kernel.run()
+    assert nodes[2].inbox == []
+    assert nodes[1].inbox == [("n0", "ok")]
+
+
+def test_partition_overlapping_components_rejected():
+    kernel, network, _ = make_net()
+    with pytest.raises(PartitionError):
+        network.partition([["n0", "n1"], ["n1", "n2"]])
+
+
+def test_unnamed_nodes_form_their_own_component():
+    kernel, network, nodes = make_net(4)
+    network.partition([["n0"]])
+    assert network.reachable("n1", "n2")
+    assert network.reachable("n2", "n3")
+    assert not network.reachable("n0", "n1")
+
+
+def test_heal_restores_connectivity():
+    kernel, network, nodes = make_net()
+    network.partition([["n0"], ["n1", "n2"]])
+    assert not network.reachable("n0", "n1")
+    network.heal()
+    assert network.reachable("n0", "n1")
+    assert not network.partitioned
+
+
+def test_component_members():
+    kernel, network, _ = make_net(4)
+    network.partition([["n0", "n1"], ["n2", "n3"]])
+    assert network.component_members("n0") == {"n0", "n1"}
+    network.heal()
+    assert network.component_members("n0") == {"n0", "n1", "n2", "n3"}
+
+
+def test_self_reachability_always_holds():
+    kernel, network, _ = make_net()
+    network.partition([["n0"], ["n1", "n2"]])
+    assert network.reachable("n0", "n0")
+
+
+def test_in_flight_message_cut_by_partition():
+    kernel, network, nodes = make_net()
+    network.set_link("n0", "n1", LinkModel(base_latency=1.0))
+    network.send("n0", "n1", "late")
+    kernel.call_at(0.5, lambda: network.partition([["n0"], ["n1", "n2"]]))
+    kernel.run()
+    assert nodes[1].inbox == []
+
+
+def test_wire_size_from_payload():
+    kernel, network, nodes = make_net()
+    network.send("n0", "n1", b"12345678")
+    kernel.run()
+    assert network.bytes_sent == 8
+
+
+# -- Fault injection ----------------------------------------------------------------
+
+
+def test_fault_schedule_describe_sorted():
+    schedule = (
+        FaultSchedule()
+        .heal(5.0)
+        .crash(1.0, "a")
+        .partition(2.0, [["a"], ["b"]])
+        .recover(3.0, "a")
+    )
+    lines = schedule.describe()
+    assert lines[0].startswith("t=1.0: crash")
+    assert lines[1].startswith("t=2.0: partition")
+    assert lines[2].startswith("t=3.0: recover")
+    assert lines[3] == "t=5.0: heal"
+
+
+def test_injector_runs_crash_and_recover():
+    kernel, network, nodes = make_net()
+    injector = FaultInjector(kernel, network, {n.name: n for n in nodes})
+    schedule = FaultSchedule().crash(1.0, "n0").recover(2.0, "n0")
+    injector.arm(schedule)
+    kernel.run(until=1.5)
+    assert not nodes[0].alive
+    kernel.run()
+    assert nodes[0].alive
+    assert len(injector.fired) == 2
+
+
+def test_injector_partition_and_heal():
+    kernel, network, nodes = make_net()
+    injector = FaultInjector(kernel, network, {n.name: n for n in nodes})
+    injector.arm(FaultSchedule().partition(1.0, [["n0"], ["n1", "n2"]]).heal(2.0))
+    kernel.run(until=1.5)
+    assert not network.reachable("n0", "n1")
+    kernel.run()
+    assert network.reachable("n0", "n1")
+
+
+def test_injector_register_after_construction():
+    kernel, network, nodes = make_net()
+    injector = FaultInjector(kernel, network, {})
+    injector.register(nodes[0])
+    injector.arm(FaultSchedule().crash(1.0, "n0"))
+    kernel.run()
+    assert not nodes[0].alive

@@ -1,0 +1,50 @@
+"""The policy seam: module selection and join admission (paper §1.2)."""
+
+import pytest
+
+from repro.errors import SecureGroupError
+from repro.secure.policy import AllowAllPolicy
+
+from tests.secure.conftest import SecureHarness
+
+
+class DenyListPolicy(AllowAllPolicy):
+    """A minimal custom policy: per-group deny lists + forced module."""
+
+    def __init__(self, denied=(), forced_module=None):
+        self.denied = set(denied)
+        self.forced_module = forced_module
+
+    def may_join(self, member, group):
+        return (member, group) not in self.denied
+
+    def module_for(self, group, requested):
+        if self.forced_module is not None:
+            return self.forced_module
+        return super().module_for(group, requested)
+
+
+def test_policy_denies_join():
+    h = SecureHarness()
+    a = h.member("a", "d0")
+    a.policy = DenyListPolicy(denied={(str(a.pid), "secret-club")})
+    with pytest.raises(SecureGroupError):
+        a.join("secret-club")
+    # Other groups remain joinable.
+    a.join("open-club")
+    h.wait_view(["a"], group="open-club")
+
+
+def test_policy_forces_module():
+    h = SecureHarness()
+    a = h.member("a", "d0")
+    a.policy = DenyListPolicy(forced_module="ckd")
+    session = a.join("g", module="cliques")  # request overridden
+    assert session.module.name == "ckd"
+
+
+def test_default_policy_allows_and_respects_request():
+    h = SecureHarness()
+    a = h.member("a", "d0")
+    session = a.join("g", module="ckd")
+    assert session.module.name == "ckd"

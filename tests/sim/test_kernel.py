@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import ClockError, DeadlockError
+from repro.sim.kernel import Kernel
+
+
+def test_clock_starts_at_zero():
+    kernel = Kernel()
+    assert kernel.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    kernel = Kernel()
+    fired = []
+    kernel.call_at(2.0, lambda: fired.append("b"))
+    kernel.call_at(1.0, lambda: fired.append("a"))
+    kernel.call_at(3.0, lambda: fired.append("c"))
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+    assert kernel.now == 3.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    kernel = Kernel()
+    fired = []
+    for name in "abcde":
+        kernel.call_at(1.0, lambda n=name: fired.append(n))
+    kernel.run()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_ties_before_sequence():
+    kernel = Kernel()
+    fired = []
+    kernel.call_at(1.0, lambda: fired.append("low"), priority=5)
+    kernel.call_at(1.0, lambda: fired.append("high"), priority=0)
+    kernel.run()
+    assert fired == ["high", "low"]
+
+
+def test_call_later_is_relative_to_now():
+    kernel = Kernel()
+    times = []
+    kernel.call_at(5.0, lambda: kernel.call_later(2.5, lambda: times.append(kernel.now)))
+    kernel.run()
+    assert times == [7.5]
+
+
+def test_scheduling_in_the_past_raises():
+    kernel = Kernel()
+    kernel.call_at(10.0, lambda: None)
+    kernel.run()
+    with pytest.raises(ClockError):
+        kernel.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    kernel = Kernel()
+    with pytest.raises(ClockError):
+        kernel.call_later(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    kernel = Kernel()
+    fired = []
+    event = kernel.call_at(1.0, lambda: fired.append("x"))
+    event.cancel()
+    kernel.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    kernel = Kernel()
+    event = kernel.call_at(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    kernel.run()
+
+
+def test_run_until_time_bound_stops_early_and_advances_clock():
+    kernel = Kernel()
+    fired = []
+    kernel.call_at(1.0, lambda: fired.append(1))
+    kernel.call_at(10.0, lambda: fired.append(10))
+    kernel.run(until=5.0)
+    assert fired == [1]
+    assert kernel.now == 5.0
+    kernel.run()
+    assert fired == [1, 10]
+
+
+def test_run_max_events_budget():
+    kernel = Kernel()
+    fired = []
+    for i in range(10):
+        kernel.call_at(float(i), lambda i=i: fired.append(i))
+    kernel.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_run_until_predicate():
+    kernel = Kernel()
+    counter = {"n": 0}
+
+    def bump():
+        counter["n"] += 1
+        if counter["n"] < 5:
+            kernel.call_later(1.0, bump)
+
+    kernel.call_later(1.0, bump)
+    kernel.run_until(lambda: counter["n"] >= 3)
+    assert counter["n"] == 3
+
+
+def test_run_until_raises_on_drained_queue():
+    kernel = Kernel()
+    kernel.call_at(1.0, lambda: None)
+    with pytest.raises(DeadlockError):
+        kernel.run_until(lambda: False)
+
+
+def test_run_until_raises_on_timeout():
+    kernel = Kernel()
+
+    def reschedule():
+        kernel.call_later(100.0, reschedule)
+
+    kernel.call_later(100.0, reschedule)
+    with pytest.raises(DeadlockError):
+        kernel.run_until(lambda: False, timeout=500.0)
+
+
+def test_events_processed_counts():
+    kernel = Kernel()
+    for i in range(4):
+        kernel.call_at(float(i), lambda: None)
+    kernel.run()
+    assert kernel.events_processed == 4
+
+
+def test_pending_events_excludes_cancelled():
+    kernel = Kernel()
+    kernel.call_at(1.0, lambda: None)
+    event = kernel.call_at(2.0, lambda: None)
+    event.cancel()
+    assert kernel.pending_events == 1
+
+
+def test_nested_scheduling_during_event():
+    kernel = Kernel()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        kernel.call_later(0.0, lambda: fired.append("inner"))
+
+    kernel.call_at(1.0, outer)
+    kernel.call_at(1.0, lambda: fired.append("sibling"))
+    kernel.run()
+    # inner is scheduled at t=1.0 but after sibling (later sequence number)
+    assert fired == ["outer", "sibling", "inner"]

@@ -1,0 +1,250 @@
+"""Unit tests for RNG streams, timers, processes and tracing."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.kernel import Kernel
+from repro.sim.process import FunctionProcess, SimProcess
+from repro.sim.rng import DeterministicRng
+from repro.sim.timers import Timer, TimerWheel
+from repro.sim.trace import Tracer
+
+
+# -- RNG ---------------------------------------------------------------------
+
+
+def test_same_seed_same_sequence():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_child_streams_are_independent_of_parent_draw_order():
+    parent1 = DeterministicRng(7)
+    parent2 = DeterministicRng(7)
+    parent2.random()  # extra draw on one parent
+    child1 = parent1.child("link")
+    child2 = parent2.child("link")
+    assert [child1.random() for _ in range(5)] == [child2.random() for _ in range(5)]
+
+
+def test_child_streams_with_different_labels_differ():
+    parent = DeterministicRng(7)
+    a = parent.child("a")
+    b = parent.child("b")
+    assert a.random() != b.random()
+
+
+def test_rng_draw_helpers():
+    rng = DeterministicRng(3)
+    assert 0 <= rng.randint(0, 10) <= 10
+    assert rng.choice(["x"]) == "x"
+    assert 1.0 <= rng.uniform(1.0, 2.0) <= 2.0
+    assert rng.expovariate(10.0) > 0
+    assert 0 <= rng.getrandbits(16) < 2 ** 16
+    items = list(range(10))
+    rng.shuffle(items)
+    assert sorted(items) == list(range(10))
+    assert len(rng.sample(range(10), 3)) == 3
+
+
+# -- Timers --------------------------------------------------------------------
+
+
+def test_one_shot_timer_fires_once():
+    kernel = Kernel()
+    fired = []
+    timer = Timer(kernel, lambda: fired.append(kernel.now), delay=2.0)
+    timer.start()
+    kernel.run()
+    assert fired == [2.0]
+
+
+def test_timer_restart_resets_deadline():
+    kernel = Kernel()
+    fired = []
+    timer = Timer(kernel, lambda: fired.append(kernel.now), delay=5.0)
+    timer.start()
+    kernel.call_at(3.0, timer.start)  # restart at t=3 -> fires at t=8
+    kernel.run()
+    assert fired == [8.0]
+
+
+def test_timer_cancel_prevents_fire():
+    kernel = Kernel()
+    fired = []
+    timer = Timer(kernel, lambda: fired.append(1), delay=1.0)
+    timer.start()
+    timer.cancel()
+    kernel.run()
+    assert fired == []
+    assert not timer.armed
+
+
+def test_periodic_timer_repeats():
+    kernel = Kernel()
+    fired = []
+
+    timer = Timer(kernel, lambda: fired.append(kernel.now), delay=1.0, period=1.0)
+
+    timer.start()
+    kernel.run(until=4.5)
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+    timer.cancel()
+
+
+def test_timer_wheel_cancel_all():
+    kernel = Kernel()
+    fired = []
+    wheel = TimerWheel(kernel, owner="d1")
+    wheel.add("a", lambda: fired.append("a"), delay=1.0)
+    wheel.add("b", lambda: fired.append("b"), delay=2.0)
+    wheel.start("a")
+    wheel.start("b")
+    wheel.cancel_all()
+    kernel.run()
+    assert fired == []
+
+
+def test_timer_wheel_replaces_same_name():
+    kernel = Kernel()
+    fired = []
+    wheel = TimerWheel(kernel)
+    wheel.add("t", lambda: fired.append("old"), delay=1.0)
+    wheel.start("t")
+    wheel.add("t", lambda: fired.append("new"), delay=2.0)
+    wheel.start("t")
+    kernel.run()
+    assert fired == ["new"]
+
+
+def test_timer_wheel_shutdown_rejects_new_timers():
+    kernel = Kernel()
+    wheel = TimerWheel(kernel, owner="x")
+    wheel.shutdown()
+    with pytest.raises(ProcessError):
+        wheel.add("t", lambda: None, delay=1.0)
+
+
+# -- Processes ------------------------------------------------------------------
+
+
+def test_process_receives_messages_while_alive():
+    kernel = Kernel()
+    proc = FunctionProcess(kernel, "p1")
+    proc.start()
+    proc.deliver("p2", "hello")
+    assert proc.inbox == [("p2", "hello")]
+
+
+def test_crashed_process_drops_messages():
+    kernel = Kernel()
+    proc = FunctionProcess(kernel, "p1")
+    proc.start()
+    proc.crash()
+    proc.deliver("p2", "hello")
+    assert proc.inbox == []
+    assert not proc.alive
+
+
+def test_crash_cancels_timers():
+    kernel = Kernel()
+    fired = []
+    proc = FunctionProcess(kernel, "p1")
+    proc.start()
+    proc.timers.add("hb", lambda: fired.append(1), delay=1.0)
+    proc.timers.start("hb")
+    proc.crash()
+    kernel.run()
+    assert fired == []
+
+
+def test_recover_restores_delivery():
+    kernel = Kernel()
+    proc = FunctionProcess(kernel, "p1")
+    proc.start()
+    proc.crash()
+    proc.recover()
+    proc.deliver("p2", "back")
+    assert proc.inbox == [("p2", "back")]
+
+
+def test_recover_requires_crash_first():
+    kernel = Kernel()
+    proc = FunctionProcess(kernel, "p1")
+    proc.start()
+    with pytest.raises(ProcessError):
+        proc.recover()
+
+
+def test_recover_before_start_raises():
+    kernel = Kernel()
+    proc = FunctionProcess(kernel, "p1")
+    with pytest.raises(ProcessError):
+        proc.recover()
+
+
+def test_after_callback_suppressed_when_crashed():
+    kernel = Kernel()
+    fired = []
+    proc = FunctionProcess(kernel, "p1")
+    proc.start()
+    proc.after(1.0, lambda: fired.append(1))
+    proc.crash()
+    kernel.run()
+    assert fired == []
+
+
+def test_start_is_idempotent():
+    kernel = Kernel()
+    starts = []
+    proc = FunctionProcess(kernel, "p1", on_start=lambda: starts.append(1))
+    proc.start()
+    proc.start()
+    assert starts == [1]
+
+
+# -- Tracer ----------------------------------------------------------------------
+
+
+def test_tracer_records_and_queries():
+    tracer = Tracer()
+    tracer.record("a.x", n=1)
+    tracer.record("a.y", n=2)
+    tracer.record("b.z", n=3)
+    assert tracer.count("a.x") == 1
+    assert len(tracer.with_prefix("a.")) == 2
+    assert tracer.of_kind("b.z")[0]["n"] == 3
+    assert tracer.of_kind("b.z")[0].get("missing", "d") == "d"
+    assert len(tracer) == 3
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_disabled_tracer_is_noop():
+    tracer = Tracer(enabled=False)
+    tracer.record("a", n=1)
+    assert len(tracer) == 0
+
+
+def test_tracer_keep_filter():
+    tracer = Tracer(keep=lambda kind: kind.startswith("net"))
+    tracer.record("net.send")
+    tracer.record("kernel.event")
+    assert len(tracer) == 1
+
+
+def test_kernel_traces_events_when_enabled():
+    tracer = Tracer()
+    kernel = Kernel(tracer=tracer)
+    kernel.call_at(1.0, lambda: None, label="tick")
+    kernel.run()
+    events = tracer.of_kind("kernel.event")
+    assert len(events) == 1
+    assert events[0]["label"] == "tick"

@@ -1,0 +1,178 @@
+"""True causal delivery (vector-based), distinct from AGREED."""
+
+import pytest
+
+from repro.spread.events import DataEvent, MembershipEvent
+from repro.spread.messages import DataMessage, KIND_APP
+from repro.spread.ordering import ViewPipeline
+from repro.types import ServiceType, ViewId
+
+from tests.spread.conftest import Cluster
+
+VIEW = ViewId(1, 1, "a")
+
+
+def make_pipeline(me="a", members=("a", "b", "c")):
+    delivered = []
+    pipeline = ViewPipeline(VIEW, members, me, delivered.append)
+    return pipeline, delivered
+
+
+def causal_msg(sender, seq, lamport, vector=None, payload=None):
+    return DataMessage(
+        sender_daemon=sender,
+        view_id=VIEW,
+        seq=seq,
+        lamport=lamport,
+        service=ServiceType.CAUSAL,
+        kind=KIND_APP,
+        group="g",
+        origin=None,
+        origin_seq=seq,
+        payload=payload if payload is not None else f"{sender}{seq}",
+        causal_vector=vector,
+    )
+
+
+# -- unit ---------------------------------------------------------------------------
+
+
+def test_causal_without_dependencies_delivers_immediately():
+    """Unlike AGREED, causal needs no horizon from silent members."""
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(causal_msg("b", 1, 5), now=0.0)
+    assert [m.payload for m in delivered] == ["b1"]  # no hello from c needed
+
+
+def test_causal_waits_for_its_past():
+    pipeline, delivered = make_pipeline()
+    # c's message depends on having delivered b's message 1.
+    pipeline.ingest(causal_msg("c", 1, 9, vector=(("b", 1),)), now=0.0)
+    assert delivered == []
+    pipeline.ingest(causal_msg("b", 1, 5), now=0.0)
+    assert [m.payload for m in delivered] == ["b1", "c1"]
+
+
+def test_causal_chain_through_three_members():
+    pipeline, delivered = make_pipeline(me="x", members=("x", "a", "b", "c"))
+    pipeline.ingest(causal_msg("c", 1, 9, vector=(("a", 1), ("b", 1))), now=0.0)
+    pipeline.ingest(causal_msg("b", 1, 7, vector=(("a", 1),)), now=0.0)
+    assert delivered == []
+    pipeline.ingest(causal_msg("a", 1, 3), now=0.0)
+    assert [m.payload for m in delivered] == ["a1", "b1", "c1"]
+
+
+def test_causal_vector_for_departed_member_waived():
+    pipeline, delivered = make_pipeline(me="a", members=("a", "b"))
+    # Vector references daemon "z", which is not in this view (its
+    # messages died with the previous membership): do not block forever.
+    pipeline.ingest(causal_msg("b", 1, 5, vector=(("z", 4),)), now=0.0)
+    assert [m.payload for m in delivered] == ["b1"]
+
+
+def test_sender_stamps_vector_from_deliveries():
+    pipeline, __ = make_pipeline(me="a")
+    pipeline.ingest(causal_msg("b", 1, 5), now=0.0)  # delivered
+    message = pipeline.next_message(
+        ServiceType.CAUSAL, KIND_APP, "g", None, 1, "reply"
+    )
+    assert ("b", 1) in (message.causal_vector or ())
+
+
+def test_fifo_and_causal_share_per_sender_order():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(causal_msg("b", 1, 5, vector=(("c", 1),)), now=0.0)
+    fifo = DataMessage(
+        sender_daemon="b", view_id=VIEW, seq=2, lamport=6,
+        service=ServiceType.FIFO, kind=KIND_APP, group="g",
+        origin=None, origin_seq=2, payload="b-fifo",
+    )
+    pipeline.ingest(fifo, now=0.0)
+    # The FIFO message must not overtake b's held causal message.
+    assert delivered == []
+    pipeline.ingest(causal_msg("c", 1, 2), now=0.0)
+    assert [m.payload for m in delivered] == ["c1", "b1", "b-fifo"]
+
+
+def test_flush_forces_held_causal_out():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(causal_msg("b", 1, 5, vector=(("c", 7),)), now=0.0)
+    assert delivered == []
+    pipeline.flush_with([], synced_members=["a", "b"])
+    assert [m.payload for m in delivered] == ["b1"]
+
+
+def test_cut_reports_held_causal_as_undelivered():
+    pipeline, __ = make_pipeline()
+    pipeline.ingest(causal_msg("b", 1, 5, vector=(("c", 7),)), now=0.0)
+    undelivered, __, __ = pipeline.cut()
+    assert [(m.sender_daemon, m.seq) for m in undelivered] == [("b", 1)]
+
+
+# -- full stack -----------------------------------------------------------------------
+
+
+def members_of(client, group="g"):
+    views = [
+        e for e in client.queue
+        if isinstance(e, MembershipEvent) and str(e.group) == group
+    ]
+    return {str(m) for m in views[-1].members} if views else set()
+
+
+def payloads(client, group="g"):
+    return [
+        e.payload for e in client.queue
+        if isinstance(e, DataEvent) and str(e.group) == group
+    ]
+
+
+def test_causal_chain_order_end_to_end():
+    cluster = Cluster(daemon_count=3, seed=101)
+    cluster.settle()
+    a = cluster.client("a", "d0")
+    b = cluster.client("b", "d1")
+    c = cluster.client("c", "d2")
+    for client in (a, b, c):
+        client.join("g")
+    expected = {"#a#d0", "#b#d1", "#c#d2"}
+    cluster.run_until(lambda: all(members_of(x) == expected for x in (a, b, c)))
+
+    def maybe_reply(event):
+        if isinstance(event, DataEvent) and event.payload == "question":
+            b.multicast(ServiceType.CAUSAL, "g", "answer")
+
+    b.on_event(maybe_reply)
+    a.multicast(ServiceType.CAUSAL, "g", "question")
+    cluster.run_until(lambda: "answer" in payloads(c), timeout=60)
+    order = payloads(c)
+    assert order.index("question") < order.index("answer")
+
+
+def test_causal_faster_than_agreed_under_silence():
+    """The point of real causal: no waiting on horizons from members
+    with nothing to say."""
+    cluster = Cluster(daemon_count=3, seed=103)
+    cluster.settle()
+    a = cluster.client("a", "d0")
+    b = cluster.client("b", "d1")
+    c = cluster.client("c", "d2")
+    for client in (a, b, c):
+        client.join("g")
+    expected = {"#a#d0", "#b#d1", "#c#d2"}
+    cluster.run_until(lambda: all(members_of(x) == expected for x in (a, b, c)))
+    cluster.run(0.1)  # quiesce
+
+    start = cluster.kernel.now
+    a.multicast(ServiceType.CAUSAL, "g", "causal-ping")
+    cluster.run_until(lambda: "causal-ping" in payloads(b), timeout=60)
+    causal_latency = cluster.kernel.now - start
+
+    start = cluster.kernel.now
+    a.multicast(ServiceType.AGREED, "g", "agreed-ping")
+    cluster.run_until(lambda: "agreed-ping" in payloads(b), timeout=60)
+    agreed_latency = cluster.kernel.now - start
+
+    # Causal needs one network hop; agreed additionally needs progress
+    # evidence from the third daemon.
+    assert causal_latency <= agreed_latency

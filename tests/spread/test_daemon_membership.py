@@ -1,0 +1,141 @@
+"""Daemon membership: bootstrap, crashes, recoveries, partitions, merges."""
+
+import pytest
+
+from tests.spread.conftest import Cluster
+
+
+def test_bootstrap_converges_to_single_view():
+    cluster = Cluster(daemon_count=3)
+    cluster.settle()
+    views = {d.view for d in cluster.alive_daemons()}
+    assert len(views) == 1
+    for daemon in cluster.alive_daemons():
+        assert set(daemon.view_members) == {"d0", "d1", "d2"}
+
+
+def test_bootstrap_five_daemons():
+    cluster = Cluster(daemon_count=5)
+    cluster.settle()
+    assert all(len(d.view_members) == 5 for d in cluster.alive_daemons())
+
+
+def test_single_daemon_cluster_trivially_converged():
+    cluster = Cluster(daemon_count=1)
+    cluster.settle(timeout=1.0)
+    daemon = cluster.daemons["d0"]
+    assert daemon.view_members == ("d0",)
+
+
+def test_daemon_crash_removes_it_from_view():
+    cluster = Cluster(daemon_count=3)
+    cluster.settle()
+    cluster.daemons["d2"].crash()
+    cluster.run_until(lambda: cluster.converged(["d0", "d1"]))
+    for name in ("d0", "d1"):
+        assert set(cluster.daemons[name].view_members) == {"d0", "d1"}
+
+
+def test_daemon_recover_rejoins_view():
+    cluster = Cluster(daemon_count=3)
+    cluster.settle()
+    cluster.daemons["d2"].crash()
+    cluster.run_until(lambda: cluster.converged(["d0", "d1"]))
+    cluster.daemons["d2"].recover()
+    cluster.settle()
+    assert all(
+        set(d.view_members) == {"d0", "d1", "d2"} for d in cluster.alive_daemons()
+    )
+
+
+def test_partition_forms_two_views():
+    cluster = Cluster(daemon_count=4)
+    cluster.settle()
+    cluster.network.partition([["d0", "d1"], ["d2", "d3"]])
+    cluster.settle_components(["d0", "d1"], ["d2", "d3"])
+    assert set(cluster.daemons["d0"].view_members) == {"d0", "d1"}
+    assert set(cluster.daemons["d2"].view_members) == {"d2", "d3"}
+    assert cluster.daemons["d0"].view != cluster.daemons["d2"].view
+
+
+def test_merge_after_heal():
+    cluster = Cluster(daemon_count=4)
+    cluster.settle()
+    cluster.network.partition([["d0", "d1"], ["d2", "d3"]])
+    cluster.settle_components(["d0", "d1"], ["d2", "d3"])
+    cluster.network.heal()
+    cluster.settle()
+    views = {d.view for d in cluster.alive_daemons()}
+    assert len(views) == 1
+    assert all(len(d.view_members) == 4 for d in cluster.alive_daemons())
+
+
+def test_singleton_partition():
+    cluster = Cluster(daemon_count=3)
+    cluster.settle()
+    cluster.network.partition([["d0"], ["d1", "d2"]])
+    cluster.settle_components(["d0"], ["d1", "d2"])
+    assert cluster.daemons["d0"].view_members == ("d0",)
+
+
+def test_cascading_partitions_converge():
+    cluster = Cluster(daemon_count=4)
+    cluster.settle()
+    cluster.network.partition([["d0", "d1"], ["d2", "d3"]])
+    cluster.run(0.06)  # mid-membership...
+    cluster.network.partition([["d0"], ["d1"], ["d2", "d3"]])
+    cluster.settle_components(["d0"], ["d1"], ["d2", "d3"])
+    cluster.network.heal()
+    cluster.settle()
+    assert all(len(d.view_members) == 4 for d in cluster.alive_daemons())
+
+
+def test_crash_during_membership_converges():
+    cluster = Cluster(daemon_count=4)
+    cluster.settle()
+    cluster.daemons["d3"].crash()
+    cluster.run(0.11)  # inside the gather triggered by the silence
+    cluster.daemons["d2"].crash()
+    cluster.run_until(lambda: cluster.converged(["d0", "d1"]))
+    assert set(cluster.daemons["d0"].view_members) == {"d0", "d1"}
+
+
+def test_view_ids_increase_monotonically():
+    cluster = Cluster(daemon_count=3)
+    cluster.settle()
+    first = cluster.daemons["d0"].view
+    cluster.daemons["d2"].crash()
+    cluster.run_until(lambda: cluster.converged(["d0", "d1"]))
+    second = cluster.daemons["d0"].view
+    assert second > first
+    cluster.daemons["d2"].recover()
+    cluster.settle()
+    third = cluster.daemons["d0"].view
+    assert third > second
+
+
+def test_all_daemons_install_same_view_sequence():
+    cluster = Cluster(daemon_count=3)
+    cluster.settle()
+    cluster.daemons["d2"].crash()
+    cluster.run_until(lambda: cluster.converged(["d0", "d1"]))
+    cluster.daemons["d2"].recover()
+    cluster.settle()
+    installs_d0 = [
+        e for e in cluster.tracer.of_kind("daemon.install") if e["me"] == "d0"
+    ]
+    installs_d1 = [
+        e for e in cluster.tracer.of_kind("daemon.install") if e["me"] == "d1"
+    ]
+    # d0 and d1 travelled together throughout: same view sequence.
+    assert [e["view"] for e in installs_d0] == [e["view"] for e in installs_d1]
+
+
+def test_recovered_daemon_has_fresh_incarnation():
+    cluster = Cluster(daemon_count=2)
+    cluster.settle()
+    assert cluster.daemons["d1"].incarnation == 0
+    cluster.daemons["d1"].crash()
+    cluster.daemons["d1"].recover()
+    assert cluster.daemons["d1"].incarnation == 1
+    cluster.settle()

@@ -1,0 +1,229 @@
+"""The Flush layer: View Synchrony semantics."""
+
+import pytest
+
+from repro.errors import FlushError, SendBlockedError
+from repro.spread.events import (
+    DataEvent,
+    FlushRequestEvent,
+    MembershipEvent,
+    SelfLeaveEvent,
+)
+from repro.spread.flush import FlushClient
+from repro.types import MembershipCause
+
+from tests.spread.conftest import Cluster
+
+
+def make_flush_clients(cluster, *specs, auto_flush=True):
+    clients = []
+    for private_name, daemon in specs:
+        raw = cluster.client(private_name, daemon)
+        clients.append(FlushClient(raw, auto_flush=auto_flush))
+    return clients
+
+
+def vs_members(fc, group="g"):
+    views = [
+        e for e in fc.queue
+        if isinstance(e, MembershipEvent) and str(e.group) == group
+    ]
+    return {str(m) for m in views[-1].members} if views else set()
+
+
+def vs_payloads(fc, group="g"):
+    return [
+        e.payload for e in fc.queue
+        if isinstance(e, DataEvent) and str(e.group) == group
+    ]
+
+
+def test_single_member_view_installs(cluster):
+    (a,) = make_flush_clients(cluster, ("a", "d0"))
+    a.join("g")
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+    assert a.current_members("g")
+
+
+def test_two_member_flush_completes(cluster):
+    a, b = make_flush_clients(cluster, ("a", "d0"), ("b", "d1"))
+    a.join("g")
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+    b.join("g")
+    expected = {"#a#d0", "#b#d1"}
+    cluster.run_until(
+        lambda: vs_members(a) == expected and vs_members(b) == expected
+    )
+
+
+def test_flush_request_precedes_view(cluster):
+    a, = make_flush_clients(cluster, ("a", "d0"))
+    a.join("g")
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+    order = [type(e).__name__ for e in a.queue]
+    assert order.index("FlushRequestEvent") < order.index("MembershipEvent")
+
+
+def test_manual_flush_blocks_until_ok(cluster):
+    a, = make_flush_clients(cluster, ("a", "d0"), auto_flush=False)
+    a.join("g")
+    cluster.run_until(
+        lambda: any(isinstance(e, FlushRequestEvent) for e in a.queue)
+    )
+    cluster.run(0.5)
+    assert vs_members(a) == set()  # not delivered yet
+    a.flush_ok("g")
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+
+
+def test_send_blocked_during_flush(cluster):
+    a, = make_flush_clients(cluster, ("a", "d0"), auto_flush=False)
+    a.join("g")
+    cluster.run_until(
+        lambda: any(isinstance(e, FlushRequestEvent) for e in a.queue)
+    )
+    with pytest.raises(SendBlockedError):
+        a.multicast("g", "too-early")
+    a.flush_ok("g")
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+    a.multicast("g", "now-fine")
+    cluster.run_until(lambda: "now-fine" in vs_payloads(a))
+
+
+def test_multicast_requires_join(cluster):
+    a, = make_flush_clients(cluster, ("a", "d0"))
+    with pytest.raises(FlushError):
+        a.multicast("g", "x")
+
+
+def test_flush_ok_without_pending_raises(cluster):
+    a, = make_flush_clients(cluster, ("a", "d0"))
+    a.join("g")
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+    with pytest.raises(FlushError):
+        a.flush_ok("g")
+
+
+def test_data_delivered_in_senders_view(cluster):
+    a, b = make_flush_clients(cluster, ("a", "d0"), ("b", "d1"))
+    a.join("g")
+    b.join("g")
+    expected = {"#a#d0", "#b#d1"}
+    cluster.run_until(
+        lambda: vs_members(a) == expected and vs_members(b) == expected
+    )
+    a.multicast("g", "msg-1")
+    cluster.run_until(lambda: "msg-1" in vs_payloads(b))
+    # b's last view at delivery time must equal a's view at send time.
+    assert vs_members(b) == expected
+
+
+def test_three_members_same_views_same_messages(cluster):
+    a, b, c = make_flush_clients(
+        cluster, ("a", "d0"), ("b", "d1"), ("c", "d2")
+    )
+    for fc in (a, b, c):
+        fc.join("g")
+    expected = {"#a#d0", "#b#d1", "#c#d2"}
+    cluster.run_until(lambda: all(vs_members(x) == expected for x in (a, b, c)))
+    a.multicast("g", "m1")
+    b.multicast("g", "m2")
+    cluster.run_until(
+        lambda: all(len(vs_payloads(x)) == 2 for x in (a, b, c))
+    )
+    assert vs_payloads(a) == vs_payloads(b) == vs_payloads(c)
+
+
+def test_leave_delivers_self_leave_and_new_view(cluster):
+    a, b = make_flush_clients(cluster, ("a", "d0"), ("b", "d1"))
+    a.join("g")
+    b.join("g")
+    expected = {"#a#d0", "#b#d1"}
+    cluster.run_until(lambda: vs_members(a) == expected)
+    b.leave("g")
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+    cluster.run_until(
+        lambda: any(isinstance(e, SelfLeaveEvent) for e in b.queue)
+    )
+
+
+def test_partition_and_merge_through_flush(cluster):
+    a, b = make_flush_clients(cluster, ("a", "d0"), ("b", "d1"))
+    a.join("g")
+    b.join("g")
+    expected = {"#a#d0", "#b#d1"}
+    cluster.run_until(lambda: vs_members(a) == expected)
+    cluster.network.partition([["d0"], ["d1", "d2"]])
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+    cluster.run_until(lambda: vs_members(b) == {"#b#d1"})
+    cluster.network.heal()
+    cluster.run_until(
+        lambda: vs_members(a) == expected and vs_members(b) == expected
+    )
+    last = [e for e in a.queue if isinstance(e, MembershipEvent)][-1]
+    assert last.cause == MembershipCause.NETWORK
+
+
+def test_unicast_not_blocked_by_flush(cluster):
+    a, b = make_flush_clients(
+        cluster, ("a", "d0"), ("b", "d1"), auto_flush=False
+    )
+    a.join("g")
+    b.join("g")
+    cluster.run_until(
+        lambda: any(isinstance(e, FlushRequestEvent) for e in a.queue)
+    )
+    # Group sends are blocked, but private messages still flow.
+    a.unicast(b.pid, "direct")
+    cluster.run_until(
+        lambda: any(
+            isinstance(e, DataEvent) and e.payload == "direct" for e in b.queue
+        )
+    )
+
+
+def test_cascading_membership_supersedes_pending_flush(cluster):
+    a, b, c = make_flush_clients(
+        cluster, ("a", "d0"), ("b", "d1"), ("c", "d2"), auto_flush=False
+    )
+    a.join("g")
+    cluster.run_until(
+        lambda: any(isinstance(e, FlushRequestEvent) for e in a.queue)
+    )
+    a.flush_ok("g")
+    cluster.run_until(lambda: vs_members(a) == {"#a#d0"})
+    # Two joins land close together: a may see a second flush request
+    # before completing the first new view.
+    b.join("g")
+    c.join("g")
+    final = {"#a#d0", "#b#d1", "#c#d2"}
+
+    def pump(fc):
+        def answer(event):
+            if isinstance(event, FlushRequestEvent):
+                fc.flush_ok(str(event.group))
+
+        return answer
+
+    for fc in (a, b, c):
+        fc.on_event(pump(fc))
+        # Answer any requests already queued.
+        for event in list(fc.queue):
+            if isinstance(event, FlushRequestEvent):
+                try:
+                    fc.flush_ok(str(event.group))
+                except FlushError:
+                    pass
+    cluster.run_until(
+        lambda: all(vs_members(x) == final for x in (a, b, c)), timeout=20
+    )
+    # Every client saw the same sequence of VS views for the group.
+    def views(fc):
+        return [
+            tuple(sorted(str(m) for m in e.members))
+            for e in fc.queue
+            if isinstance(e, MembershipEvent)
+        ]
+
+    # Views common to all three (suffix) must agree on the final view.
+    assert views(a)[-1] == views(b)[-1] == views(c)[-1]

@@ -1,0 +1,154 @@
+"""Large-message fragmentation (SP_scat behaviour)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IllegalMessageError, IllegalServiceError, SpreadError
+from repro.spread.config import SpreadConfig
+from repro.spread.events import DataEvent
+from repro.spread.fragments import MessageFragment, Reassembler, split_payload
+from repro.types import ServiceType
+
+from tests.spread.conftest import Cluster
+
+
+# -- pure units --------------------------------------------------------------------
+
+
+def test_split_exact_multiple():
+    fragments = split_payload(b"abcdef", 2, fragment_id=1)
+    assert [f.chunk for f in fragments] == [b"ab", b"cd", b"ef"]
+    assert all(f.total == 3 for f in fragments)
+
+
+def test_split_with_remainder():
+    fragments = split_payload(b"abcdefg", 3, fragment_id=1)
+    assert [f.chunk for f in fragments] == [b"abc", b"def", b"g"]
+
+
+def test_split_empty_payload_single_fragment():
+    fragments = split_payload(b"", 10, fragment_id=1)
+    assert len(fragments) == 1
+    assert fragments[0].chunk == b""
+
+
+def test_split_rejects_bad_size():
+    with pytest.raises(IllegalMessageError):
+        split_payload(b"x", 0, fragment_id=1)
+
+
+def test_reassembler_in_order():
+    reassembler = Reassembler()
+    fragments = split_payload(b"hello world", 4, fragment_id=7)
+    result = None
+    for fragment in fragments:
+        result = reassembler.accept("#a#d0", fragment)
+    assert result == b"hello world"
+    assert reassembler.pending_count() == 0
+
+
+def test_reassembler_interleaved_senders():
+    reassembler = Reassembler()
+    a_parts = split_payload(b"from-a!", 4, fragment_id=1)
+    b_parts = split_payload(b"from-b?", 4, fragment_id=1)
+    assert reassembler.accept("#a#d0", a_parts[0]) is None
+    assert reassembler.accept("#b#d0", b_parts[0]) is None
+    assert reassembler.accept("#a#d0", a_parts[1]) == b"from-a!"
+    assert reassembler.accept("#b#d0", b_parts[1]) == b"from-b?"
+
+
+def test_reassembler_rejects_malformed():
+    reassembler = Reassembler()
+    with pytest.raises(IllegalMessageError):
+        reassembler.accept("#a#d0", MessageFragment(1, 5, 3, b"x"))
+
+
+def test_reassembler_drop_sender():
+    reassembler = Reassembler()
+    parts = split_payload(b"abcdef", 2, fragment_id=1)
+    reassembler.accept("#a#d0", parts[0])
+    reassembler.drop_sender("#a#d0")
+    assert reassembler.pending_count() == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(payload=st.binary(min_size=0, max_size=500),
+       size=st.integers(min_value=1, max_value=64))
+def test_split_reassemble_roundtrip(payload, size):
+    reassembler = Reassembler()
+    result = None
+    for fragment in split_payload(payload, size, fragment_id=3):
+        result = reassembler.accept("#x#d0", fragment)
+    assert result == payload
+
+
+# -- config --------------------------------------------------------------------------
+
+
+def test_config_rejects_bad_max_message_size():
+    with pytest.raises(SpreadError):
+        SpreadConfig(daemons=("a",), max_message_size=0)
+
+
+# -- full stack -------------------------------------------------------------------------
+
+
+def big_payloads(client, group="g"):
+    return [
+        e.payload for e in client.queue
+        if isinstance(e, DataEvent) and str(e.group) == group
+        and isinstance(e.payload, bytes)
+    ]
+
+
+def test_large_message_transparently_fragmented():
+    cluster = Cluster(daemon_count=3, seed=93, max_message_size=1024)
+    cluster.settle()
+    a = cluster.client("a", "d0")
+    b = cluster.client("b", "d1")
+    a.join("g")
+    b.join("g")
+    cluster.run(1.0)
+    blob = bytes(range(256)) * 40  # 10240 bytes -> 10 fragments
+    a.multicast(ServiceType.AGREED, "g", blob)
+    cluster.run_until(lambda: blob in big_payloads(b), timeout=60)
+    # Delivered exactly once, fully reassembled.
+    assert big_payloads(b).count(blob) == 1
+
+
+def test_multiple_large_messages_keep_order():
+    cluster = Cluster(daemon_count=3, seed=94, max_message_size=512)
+    cluster.settle()
+    a = cluster.client("a", "d0")
+    b = cluster.client("b", "d1")
+    a.join("g")
+    b.join("g")
+    cluster.run(1.0)
+    blobs = [bytes([i]) * 2000 for i in range(4)]
+    for blob in blobs:
+        a.multicast(ServiceType.FIFO, "g", blob)
+    cluster.run_until(lambda: len(big_payloads(b)) == 4, timeout=60)
+    assert big_payloads(b) == blobs
+
+
+def test_small_messages_not_fragmented():
+    cluster = Cluster(daemon_count=3, seed=95, max_message_size=1024)
+    cluster.settle()
+    a = cluster.client("a", "d0")
+    b = cluster.client("b", "d1")
+    a.join("g")
+    b.join("g")
+    cluster.run(1.0)
+    a.multicast(ServiceType.AGREED, "g", b"small")
+    cluster.run_until(lambda: b"small" in big_payloads(b), timeout=60)
+
+
+def test_unreliable_large_message_rejected():
+    cluster = Cluster(daemon_count=3, seed=96, max_message_size=64)
+    cluster.settle()
+    a = cluster.client("a", "d0")
+    a.join("g")
+    cluster.run(0.5)
+    with pytest.raises(IllegalServiceError):
+        a.multicast(ServiceType.UNRELIABLE, "g", b"x" * 1000)

@@ -1,0 +1,104 @@
+"""The deployment monitor (spmonitor equivalent)."""
+
+import pytest
+
+from repro.spread.monitor import Monitor
+from repro.types import ServiceType
+
+from tests.spread.conftest import Cluster
+
+
+def make_monitor(cluster):
+    return Monitor(cluster.daemons, cluster.network)
+
+
+def test_snapshot_converged_cluster(cluster):
+    monitor = make_monitor(cluster)
+    status = monitor.snapshot()
+    assert status.converged
+    assert status.alive_count == 3
+    assert len(status.views) == 1
+    assert not status.partitioned
+    assert status.delivery_ratio > 0.9
+
+
+def test_snapshot_reflects_crash(cluster):
+    monitor = make_monitor(cluster)
+    cluster.daemons["d1"].crash()
+    cluster.run_until(lambda: cluster.converged(["d0", "d2"]))
+    status = monitor.snapshot()
+    assert status.alive_count == 2
+    assert status.converged  # the survivors re-converged
+    dead = next(d for d in status.daemons if d.name == "d1")
+    assert not dead.alive and not dead.operational
+
+
+def test_snapshot_reflects_partition(cluster):
+    monitor = make_monitor(cluster)
+    cluster.network.partition([["d0"], ["d1", "d2"]])
+    cluster.settle_components(["d0"], ["d1", "d2"])
+    status = monitor.snapshot()
+    assert status.partitioned
+    assert len(status.views) == 2
+    assert not status.converged  # two views exist
+
+
+def test_group_members_visible(cluster):
+    monitor = make_monitor(cluster)
+    a = cluster.client("a", "d0")
+    a.join("g")
+    cluster.run(1.0)
+    status = monitor.snapshot()
+    assert status.group_members("g") == ("#a#d0",)
+    assert status.group_members("nope") == ()
+
+
+def test_client_and_group_counts(cluster):
+    monitor = make_monitor(cluster)
+    a = cluster.client("a", "d0")
+    b = cluster.client("b", "d0")
+    a.join("g1")
+    b.join("g2")
+    cluster.run(1.0)
+    status = monitor.snapshot()
+    d0 = next(d for d in status.daemons if d.name == "d0")
+    assert d0.client_count == 2
+    assert d0.group_count == 2
+
+
+def test_history_and_trends(cluster):
+    monitor = make_monitor(cluster)
+    monitor.snapshot()
+    a = cluster.client("a", "d0")
+    a.join("g")
+    for i in range(5):
+        a.multicast(ServiceType.AGREED, "g", i)
+    cluster.run(1.0)
+    monitor.snapshot()
+    datagrams, sent_bytes = monitor.traffic_since_first_snapshot()
+    assert datagrams > 0 and sent_bytes > 0
+
+
+def test_views_installed_trend(cluster):
+    monitor = make_monitor(cluster)
+    monitor.snapshot()
+    cluster.daemons["d2"].crash()
+    cluster.run_until(lambda: cluster.converged(["d0", "d1"]))
+    monitor.snapshot()
+    assert monitor.views_installed_since_first_snapshot() >= 2  # d0+d1
+
+
+def test_history_limit():
+    cluster = Cluster()
+    cluster.settle()
+    monitor = Monitor(cluster.daemons, cluster.network, history_limit=3)
+    for __ in range(10):
+        monitor.snapshot()
+    assert len(monitor.history) == 3
+
+
+def test_describe_renders(cluster):
+    monitor = make_monitor(cluster)
+    text = monitor.snapshot().describe()
+    assert "deployment:" in text
+    assert "d0" in text and "d1" in text and "d2" in text

@@ -1,0 +1,307 @@
+"""Direct unit tests of the ViewPipeline (no daemons, no network)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spread.messages import DataMessage, KIND_APP
+from repro.spread.ordering import ViewPipeline
+from repro.types import ServiceType, ViewId
+
+VIEW = ViewId(1, 1, "a")
+
+
+def make_pipeline(me="a", members=("a", "b", "c"), collect=None):
+    delivered = collect if collect is not None else []
+    pipeline = ViewPipeline(VIEW, members, me, delivered.append)
+    return pipeline, delivered
+
+
+def msg(sender, seq, lamport, service=ServiceType.FIFO, payload=None):
+    return DataMessage(
+        sender_daemon=sender,
+        view_id=VIEW,
+        seq=seq,
+        lamport=lamport,
+        service=service,
+        kind=KIND_APP,
+        group="g",
+        origin=None,
+        origin_seq=seq,
+        payload=payload if payload is not None else f"{sender}{seq}",
+    )
+
+
+# -- sending ----------------------------------------------------------------------
+
+
+def test_next_message_stamps_increasing_seq_and_lamport():
+    pipeline, __ = make_pipeline()
+    m1 = pipeline.next_message(ServiceType.FIFO, KIND_APP, "g", None, 1, "x")
+    m2 = pipeline.next_message(ServiceType.FIFO, KIND_APP, "g", None, 2, "y")
+    assert m2.seq == m1.seq + 1
+    assert m2.lamport > m1.lamport
+
+
+def test_own_fifo_messages_self_delivered():
+    pipeline, delivered = make_pipeline()
+    pipeline.next_message(ServiceType.FIFO, KIND_APP, "g", None, 1, "x")
+    assert [m.payload for m in delivered] == ["x"]
+
+
+def test_sent_buffer_retains_messages_for_retransmit():
+    pipeline, __ = make_pipeline()
+    m = pipeline.next_message(ServiceType.FIFO, KIND_APP, "g", None, 1, "x")
+    assert pipeline.retransmit([m.seq]) == [m]
+    assert pipeline.retransmit([99]) == []
+
+
+# -- FIFO delivery ---------------------------------------------------------------------
+
+
+def test_fifo_in_order_delivery():
+    pipeline, delivered = make_pipeline()
+    for seq in (1, 2, 3):
+        pipeline.ingest(msg("b", seq, seq), now=0.0)
+    assert [m.payload for m in delivered] == ["b1", "b2", "b3"]
+
+
+def test_fifo_holds_gap_then_releases():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(msg("b", 2, 2), now=0.0)
+    assert delivered == []
+    pipeline.ingest(msg("b", 1, 1), now=0.0)
+    assert [m.payload for m in delivered] == ["b1", "b2"]
+
+
+def test_duplicate_ingest_ignored():
+    pipeline, delivered = make_pipeline()
+    message = msg("b", 1, 1)
+    pipeline.ingest(message, now=0.0)
+    pipeline.ingest(message, now=0.0)
+    assert len(delivered) == 1
+
+
+def test_stale_view_message_ignored():
+    pipeline, delivered = make_pipeline()
+    stale = DataMessage(
+        sender_daemon="b",
+        view_id=ViewId(0, 9, "z"),
+        seq=1,
+        lamport=1,
+        service=ServiceType.FIFO,
+        kind=KIND_APP,
+        group="g",
+        origin=None,
+        origin_seq=1,
+        payload="stale",
+    )
+    pipeline.ingest(stale, now=0.0)
+    assert delivered == []
+
+
+def test_unknown_sender_ignored():
+    pipeline, delivered = make_pipeline(members=("a", "b"))
+    pipeline.ingest(msg("zz", 1, 1), now=0.0)
+    assert delivered == []
+
+
+# -- AGREED total order --------------------------------------------------------------------
+
+
+def test_agreed_held_until_all_horizons_pass():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(msg("b", 1, 5, ServiceType.AGREED), now=0.0)
+    assert delivered == []  # c's horizon unknown
+    pipeline.note_hello("c", lamport=6, all_received=0, sent_seq=0)
+    assert [m.payload for m in delivered] == ["b1"]
+
+
+def test_agreed_order_by_timestamp_across_senders():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(msg("c", 1, 7, ServiceType.AGREED), now=0.0)
+    pipeline.ingest(msg("b", 1, 3, ServiceType.AGREED), now=0.0)
+    pipeline.note_hello("b", lamport=10, all_received=0, sent_seq=1)
+    pipeline.note_hello("c", lamport=10, all_received=0, sent_seq=1)
+    assert [m.payload for m in delivered] == ["b1", "c1"]
+
+
+def test_agreed_ties_broken_by_sender_name():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(msg("c", 1, 5, ServiceType.AGREED), now=0.0)
+    pipeline.ingest(msg("b", 1, 5, ServiceType.AGREED), now=0.0)
+    pipeline.note_hello("b", lamport=9, all_received=0, sent_seq=1)
+    pipeline.note_hello("c", lamport=9, all_received=0, sent_seq=1)
+    assert [m.payload for m in delivered] == ["b1", "c1"]
+
+
+def test_hello_with_unseen_sent_seq_does_not_advance_horizon():
+    """A heartbeat advertising messages we have not ingested must not
+    unlock the total order (an in-flight message could order earlier)."""
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(msg("b", 1, 5, ServiceType.AGREED), now=0.0)
+    # c says it sent seq 1 (which we don't have) with clock 9.
+    pipeline.note_hello("c", lamport=9, all_received=0, sent_seq=1)
+    assert delivered == []
+    # The missing message arrives with an earlier timestamp: order holds.
+    pipeline.ingest(msg("c", 1, 4, ServiceType.AGREED), now=0.0)
+    pipeline.note_hello("b", lamport=9, all_received=0, sent_seq=1)
+    pipeline.note_hello("c", lamport=9, all_received=0, sent_seq=1)
+    assert [m.payload for m in delivered] == ["c1", "b1"]
+
+
+def test_hello_tail_gap_detected_for_nack():
+    pipeline, __ = make_pipeline()
+    pipeline.note_hello("b", lamport=5, all_received=0, sent_seq=3)
+    gaps = pipeline.gaps_older_than(now=10.0, age=1.0)
+    assert gaps == {"b": [1, 2, 3]}
+
+
+def test_own_lamport_counts_as_own_horizon():
+    """Our own clock vouches for our horizon: two-member agreed delivery
+    must not need a self-hello."""
+    pipeline, delivered = make_pipeline(members=("a", "b"))
+    pipeline.ingest(msg("b", 1, 5, ServiceType.AGREED), now=0.0)
+    # our lamport was max'ed to 5 by the ingest; next send is 6 > 5... but
+    # release requires horizon >= ts, ours is max(0, lamport=5) == 5.
+    assert [m.payload for m in delivered] == ["b1"]
+
+
+# -- SAFE delivery ------------------------------------------------------------------------
+
+
+def test_safe_waits_for_all_received_acks():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(msg("b", 1, 5, ServiceType.SAFE), now=0.0)
+    pipeline.note_hello("c", lamport=9, all_received=0, sent_seq=0)
+    assert delivered == []  # ordered horizon ok, but no stability ack
+    pipeline.note_hello("b", lamport=9, all_received=6, sent_seq=1)
+    pipeline.note_hello("c", lamport=10, all_received=6, sent_seq=0)
+    assert [m.payload for m in delivered] == ["b1"]
+
+
+def test_my_all_received_is_min_across_peers():
+    pipeline, __ = make_pipeline()
+    pipeline.ingest(msg("b", 1, 5, ServiceType.FIFO), now=0.0)
+    # c never spoke: horizon 0.
+    assert pipeline.my_all_received() == 0
+    pipeline.note_hello("c", lamport=7, all_received=0, sent_seq=0)
+    assert pipeline.my_all_received() == 5
+
+
+# -- NACK / gap bookkeeping -----------------------------------------------------------------
+
+
+def test_gap_detection_and_backoff():
+    pipeline, __ = make_pipeline()
+    pipeline.ingest(msg("b", 3, 3), now=1.0)
+    gaps = pipeline.gaps_older_than(now=1.05, age=0.03)
+    assert gaps == {"b": [1, 2]}
+    # Immediately re-checking yields nothing (backed off).
+    assert pipeline.gaps_older_than(now=1.06, age=0.03) == {}
+
+
+def test_gap_cleared_when_filled():
+    pipeline, __ = make_pipeline()
+    pipeline.ingest(msg("b", 2, 2), now=1.0)
+    pipeline.ingest(msg("b", 1, 1), now=1.1)
+    assert pipeline.gaps_older_than(now=5.0, age=0.01) == {}
+
+
+# -- cut & flush --------------------------------------------------------------------------
+
+
+def test_cut_reports_undelivered():
+    pipeline, __ = make_pipeline()
+    pipeline.ingest(msg("b", 1, 1), now=0.0)  # delivered (fifo)
+    pipeline.ingest(msg("b", 3, 3), now=0.0)  # held (gap)
+    pipeline.ingest(msg("c", 1, 5, ServiceType.AGREED), now=0.0)  # held (order)
+    undelivered, delivered_ts, fifo = pipeline.cut()
+    keys = {(m.sender_daemon, m.seq) for m in undelivered}
+    assert keys == {("b", 3), ("c", 1)}
+    assert fifo["b"] == 1
+
+
+def test_flush_with_union_delivers_same_set():
+    """Two pipelines with different receipt patterns, flushed with the
+    same union, deliver identical message sets."""
+    collect1, collect2 = [], []
+    p1 = ViewPipeline(VIEW, ("a", "b", "c"), "a", collect1.append)
+    p2 = ViewPipeline(VIEW, ("a", "b", "c"), "b", collect2.append)
+    messages = [
+        msg("b", 1, 2, ServiceType.AGREED),
+        msg("c", 1, 3, ServiceType.AGREED),
+        msg("b", 2, 4, ServiceType.FIFO),
+    ]
+    p1.ingest(messages[0], now=0.0)
+    p2.ingest(messages[1], now=0.0)
+    p2.ingest(messages[2], now=0.0)
+    union = {m.key(): m for pipeline in (p1, p2) for m in pipeline.cut()[0]}
+    union_list = [union[k] for k in sorted(union)]
+    p1.flush_with(union_list, synced_members=["a", "b"])
+    p2.flush_with(union_list, synced_members=["a", "b"])
+    set1 = {(m.sender_daemon, m.seq) for m in collect1}
+    set2 = {(m.sender_daemon, m.seq) for m in collect2}
+    assert set1 == set2 == {("b", 1), ("c", 1), ("b", 2)}
+    # Total-order messages appear in the same relative order.
+    agreed1 = [m.payload for m in collect1 if m.service & ServiceType.AGREED]
+    agreed2 = [m.payload for m in collect2 if m.service & ServiceType.AGREED]
+    assert agreed1 == agreed2
+
+
+def test_flush_stops_at_gap_for_unsynced_sender():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(msg("c", 2, 5), now=0.0)  # gap at seq 1, c not synced
+    pipeline.flush_with([], synced_members=["a", "b"])
+    assert all(m.sender_daemon != "c" for m in delivered)
+
+
+def test_flush_skips_gap_for_synced_sender():
+    pipeline, delivered = make_pipeline()
+    pipeline.ingest(msg("b", 2, 5), now=0.0)  # gap at 1, but b synced:
+    pipeline.flush_with([], synced_members=["a", "b", "c"])
+    assert [m.payload for m in delivered] == ["b2"]
+
+
+# -- property-based -----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    order=st.permutations(list(range(12))),
+)
+def test_fifo_delivery_invariant_under_any_arrival_order(order):
+    """However messages arrive, per-sender FIFO delivery order holds."""
+    pipeline, delivered = make_pipeline(members=("a", "b", "c"))
+    all_messages = [msg("b", i + 1, i + 1) for i in range(6)] + [
+        msg("c", i + 1, i + 10) for i in range(6)
+    ]
+    for index in order:
+        pipeline.ingest(all_messages[index], now=0.0)
+    b_seqs = [m.seq for m in delivered if m.sender_daemon == "b"]
+    c_seqs = [m.seq for m in delivered if m.sender_daemon == "c"]
+    assert b_seqs == sorted(b_seqs) == list(range(1, 7))
+    assert c_seqs == sorted(c_seqs) == list(range(1, 7))
+
+
+@settings(max_examples=40, deadline=None)
+@given(order=st.permutations(list(range(8))), data=st.data())
+def test_agreed_total_order_invariant(order, data):
+    """Two receivers with different arrival orders deliver AGREED
+    messages in the same sequence once horizons pass."""
+    msgs = [
+        msg("b", i + 1, 2 * i + 1, ServiceType.AGREED) for i in range(4)
+    ] + [msg("c", i + 1, 2 * i + 2, ServiceType.AGREED) for i in range(4)]
+    order2 = data.draw(st.permutations(list(range(8))))
+    out1, out2 = [], []
+    p1 = ViewPipeline(VIEW, ("a", "b", "c"), "a", out1.append)
+    p2 = ViewPipeline(VIEW, ("x", "b", "c"), "x", out2.append)
+    for i in order:
+        p1.ingest(msgs[i], now=0.0)
+    for i in order2:
+        p2.ingest(msgs[i], now=0.0)
+    for p in (p1, p2):
+        p.note_hello("b", lamport=100, all_received=100, sent_seq=4)
+        p.note_hello("c", lamport=100, all_received=100, sent_seq=4)
+    assert [m.payload for m in out1] == [m.payload for m in out2]
+    assert len(out1) == 8

@@ -1,0 +1,110 @@
+"""Property-based tests for the ring engine and multi-way partitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spread.messages import DataMessage, KIND_APP
+from repro.spread.ring import RingPipeline, RingToken
+from repro.types import ServiceType, ViewId
+
+from tests.spread.conftest import Cluster
+
+VIEW = ViewId(1, 1, "a")
+
+
+def sequenced(global_seq, payload, service=ServiceType.AGREED):
+    return DataMessage(
+        sender_daemon="b", view_id=VIEW, seq=global_seq, lamport=global_seq,
+        service=service, kind=KIND_APP, group="g", origin=None,
+        origin_seq=global_seq, payload=payload,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(order=st.permutations(list(range(10))))
+def test_ring_delivery_order_invariant_under_arrival_order(order):
+    """However sequenced broadcasts arrive, delivery is in global
+    sequence order."""
+    delivered = []
+    pipeline = RingPipeline(
+        VIEW, ("a", "b", "c"), "a", delivered.append,
+        send=lambda d, p: None, schedule=lambda d, fn: None,
+    )
+    messages = [sequenced(i + 1, f"m{i + 1}") for i in range(10)]
+    for index in order:
+        pipeline.ingest(messages[index])
+    assert [m.payload for m in delivered] == [f"m{i + 1}" for i in range(10)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    order1=st.permutations(list(range(8))),
+    order2=st.permutations(list(range(8))),
+)
+def test_two_ring_receivers_identical_sequences(order1, order2):
+    out1, out2 = [], []
+    p1 = RingPipeline(VIEW, ("a", "b", "c"), "a", out1.append,
+                      send=lambda d, p: None, schedule=lambda d, fn: None)
+    p2 = RingPipeline(VIEW, ("c", "b", "x"), "x", out2.append,
+                      send=lambda d, p: None, schedule=lambda d, fn: None)
+    messages = [sequenced(i + 1, f"m{i + 1}") for i in range(8)]
+    for i in order1:
+        p1.ingest(messages[i])
+    for i in order2:
+        p2.ingest(messages[i])
+    assert [m.payload for m in out1] == [m.payload for m in out2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(duplicates=st.lists(st.integers(0, 5), min_size=1, max_size=20))
+def test_ring_duplicate_ingest_idempotent(duplicates):
+    delivered = []
+    pipeline = RingPipeline(
+        VIEW, ("a", "b"), "a", delivered.append,
+        send=lambda d, p: None, schedule=lambda d, fn: None,
+    )
+    messages = [sequenced(i + 1, f"m{i + 1}") for i in range(6)]
+    for message in messages:
+        pipeline.ingest(message)
+    for index in duplicates:
+        pipeline.ingest(messages[index])
+    assert len(delivered) == 6
+
+
+def test_ring_flush_with_gap_skips_lost_sequence():
+    delivered = []
+    pipeline = RingPipeline(
+        VIEW, ("a", "b"), "a", delivered.append,
+        send=lambda d, p: None, schedule=lambda d, fn: None,
+    )
+    pipeline.ingest(sequenced(1, "one"))
+    pipeline.ingest(sequenced(3, "three"))  # 2 lost forever
+    pipeline.flush_with([])
+    assert [m.payload for m in delivered] == ["one", "three"]
+
+
+# -- multi-way partitions over the full stack ----------------------------------------
+
+
+def test_three_way_partition_and_full_merge():
+    cluster = Cluster(daemon_count=5, seed=121)
+    cluster.settle()
+    cluster.network.partition([["d0", "d1"], ["d2", "d3"], ["d4"]])
+    cluster.settle_components(["d0", "d1"], ["d2", "d3"], ["d4"], timeout=60)
+    assert set(cluster.daemons["d0"].view_members) == {"d0", "d1"}
+    assert set(cluster.daemons["d2"].view_members) == {"d2", "d3"}
+    assert cluster.daemons["d4"].view_members == ("d4",)
+    cluster.network.heal()
+    cluster.settle(timeout=60)
+    assert all(len(d.view_members) == 5 for d in cluster.alive_daemons())
+
+
+def test_three_way_partition_with_ring_engine():
+    cluster = Cluster(daemon_count=5, seed=123, ordering="ring")
+    cluster.settle()
+    cluster.network.partition([["d0"], ["d1", "d2"], ["d3", "d4"]])
+    cluster.settle_components(["d0"], ["d1", "d2"], ["d3", "d4"], timeout=60)
+    cluster.network.heal()
+    cluster.settle(timeout=60)
+    assert all(len(d.view_members) == 5 for d in cluster.alive_daemons())

@@ -1,0 +1,117 @@
+"""EVS transitional configuration events."""
+
+import pytest
+
+from repro.spread.events import DataEvent, MembershipEvent
+from repro.spread.flush import FlushClient
+from repro.types import MembershipCause, ServiceType
+
+from tests.spread.conftest import Cluster
+
+
+def membership_events(client, group="g"):
+    return [
+        e for e in client.queue
+        if isinstance(e, MembershipEvent) and str(e.group) == group
+    ]
+
+
+def regular_members(client, group="g"):
+    regular = [
+        e for e in membership_events(client, group)
+        if e.cause != MembershipCause.TRANSITIONAL
+    ]
+    return {str(m) for m in regular[-1].members} if regular else set()
+
+
+def test_transitional_delivered_before_network_membership():
+    cluster = Cluster(daemon_count=3, seed=111)
+    cluster.settle()
+    a = cluster.client("a", "d0")
+    b = cluster.client("b", "d1")
+    a.join("g")
+    b.join("g")
+    cluster.run_until(lambda: regular_members(a) == {"#a#d0", "#b#d1"})
+    cluster.network.partition([["d0"], ["d1", "d2"]])
+    cluster.run_until(lambda: regular_members(a) == {"#a#d0"}, timeout=30)
+    events = membership_events(a)
+    causes = [e.cause for e in events]
+    # The transitional signal precedes the regular NETWORK membership.
+    assert MembershipCause.TRANSITIONAL in causes
+    transitional_index = causes.index(MembershipCause.TRANSITIONAL)
+    network_index = causes.index(MembershipCause.NETWORK)
+    assert transitional_index < network_index
+    # The transitional set is the co-moving subset: just us.
+    transitional = events[transitional_index]
+    assert {str(m) for m in transitional.members} == {"#a#d0"}
+
+
+def test_no_transitional_for_voluntary_join():
+    """Plain joins/leaves are not membership-protocol installs; no
+    transitional signal is involved."""
+    cluster = Cluster(daemon_count=3, seed=112)
+    cluster.settle()
+    a = cluster.client("a", "d0")
+    a.join("g")
+    b = cluster.client("b", "d1")
+    b.join("g")
+    cluster.run_until(lambda: regular_members(a) == {"#a#d0", "#b#d1"})
+    causes = [e.cause for e in membership_events(a)]
+    assert MembershipCause.TRANSITIONAL not in causes
+
+
+def test_flush_layer_passes_transitional_without_flush_round():
+    cluster = Cluster(daemon_count=3, seed=113)
+    cluster.settle()
+    raw_a = cluster.client("a", "d0")
+    raw_b = cluster.client("b", "d1")
+    fa = FlushClient(raw_a, auto_flush=True)
+    fb = FlushClient(raw_b, auto_flush=True)
+    fa.join("g")
+    fb.join("g")
+
+    def vs_members(fc):
+        views = [
+            e for e in fc.queue
+            if isinstance(e, MembershipEvent)
+            and e.cause != MembershipCause.TRANSITIONAL
+        ]
+        return {str(m) for m in views[-1].members} if views else set()
+
+    cluster.run_until(lambda: vs_members(fa) == {"#a#d0", "#b#d1"}, timeout=30)
+    cluster.network.partition([["d0"], ["d1", "d2"]])
+    cluster.run_until(lambda: vs_members(fa) == {"#a#d0"}, timeout=30)
+    transitional = [
+        e for e in fa.queue
+        if isinstance(e, MembershipEvent)
+        and e.cause == MembershipCause.TRANSITIONAL
+    ]
+    assert transitional  # surfaced to the application through the layer
+
+
+def test_secure_layer_ignores_transitional():
+    """The secure session re-keys on regular memberships only; the
+    transitional signal is advisory and must not trigger an agreement."""
+    from tests.secure.conftest import SecureHarness
+    from repro.secure.events import RekeyStartedEvent
+
+    h = SecureHarness(seed=114)
+    a = h.member("a", "d0")
+    b = h.member("b", "d1")
+    a.join("g")
+    h.wait_view(["a"])
+    b.join("g")
+    h.wait_view(["a", "b"])
+    rekeys_before = len([e for e in a.queue if isinstance(e, RekeyStartedEvent)])
+    h.network.partition([["d0"], ["d1", "d2"]])
+    h.run_until(lambda: h.secure_members_of("a") == {str(a.pid)}, timeout=60)
+    rekeys_after = len([e for e in a.queue if isinstance(e, RekeyStartedEvent)])
+    # Exactly one re-key for the partition (not two: the transitional
+    # event did not start its own agreement).
+    assert rekeys_after == rekeys_before + 1
+    transitional = [
+        e for e in a.queue
+        if isinstance(e, MembershipEvent)
+        and getattr(e, "cause", None) == MembershipCause.TRANSITIONAL
+    ]
+    assert transitional  # still visible to the application

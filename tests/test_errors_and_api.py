@@ -1,0 +1,66 @@
+"""Error hierarchy and public API surface sanity."""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.errors as errors_module
+from repro.errors import ReproError
+
+
+def all_error_classes():
+    return [
+        cls
+        for __, cls in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(cls, Exception) and cls.__module__ == "repro.errors"
+    ]
+
+
+def test_every_library_error_derives_from_repro_error():
+    for cls in all_error_classes():
+        assert issubclass(cls, ReproError), cls
+
+
+def test_error_classes_have_docstrings():
+    for cls in all_error_classes():
+        assert cls.__doc__, cls
+
+
+def test_catching_base_class_catches_all():
+    from repro.errors import CipherError, CliquesError, SpreadError
+
+    for cls in (CipherError, CliquesError, SpreadError):
+        with pytest.raises(ReproError):
+            raise cls("boom")
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_imports_resolve():
+    # Every name promised by the package __init__ files must import.
+    import repro.secure as secure
+    import repro.spread as spread
+    import repro.crypto as crypto
+    import repro.cliques as cliques
+    import repro.ckd as ckd
+    import repro.sim as sim
+    import repro.net as net
+    import repro.bench as bench
+
+    for module in (secure, spread, crypto, cliques, ckd, sim, net, bench):
+        for name in module.__all__:
+            assert getattr(module, name) is not None, (module.__name__, name)
+
+
+def test_subsystem_docstrings_exist():
+    import repro.secure, repro.spread, repro.crypto, repro.cliques
+    import repro.ckd, repro.sim, repro.net, repro.bench
+
+    for module in (
+        repro, repro.secure, repro.spread, repro.crypto, repro.cliques,
+        repro.ckd, repro.sim, repro.net, repro.bench,
+    ):
+        assert module.__doc__ and len(module.__doc__) > 40, module.__name__
