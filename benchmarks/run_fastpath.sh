@@ -1,0 +1,11 @@
+#!/bin/sh
+# Run the data-plane fast-path microbench and record BENCH_fastpath.json
+# at the repo root.  Completes well under 60 seconds; pass --quick for a
+# smoke-sized run or --output PATH to redirect the report.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.bench.fastpath "$@"

@@ -1,4 +1,4 @@
-"""Blowfish block cipher, from scratch.
+"""Blowfish block cipher, from scratch — word-level fast path.
 
 Blowfish (Schneier, 1994) is the bulk data cipher secure Spread used.  It
 is a 16-round Feistel cipher on 64-bit blocks with key-dependent S-boxes.
@@ -7,10 +7,20 @@ hexadecimal digits of the fractional part of pi.  Rather than embedding
 8336 magic hex digits, this module *computes* them with Machin's formula
 (16*atan(1/5) - 4*atan(1/239) in fixed-point integer arithmetic), then
 verifies itself against Eric Young's published test vectors on first use.
+
+The round function is fully unrolled and operates on local 32-bit words
+(no per-round method calls, one mask per Feistel evaluation), and the
+cipher exposes whole-buffer CBC / CTR primitives that chain with integer
+XOR instead of per-byte generators.  A slow, readable per-block oracle
+lives in :mod:`repro.crypto.reference`; the test suite pins this
+implementation against it.  Key schedules are expensive (521 block
+encryptions) — reuse instances via :mod:`repro.crypto.cipher_cache`
+rather than re-keying per message.
 """
 
 from __future__ import annotations
 
+import struct as _struct
 from functools import lru_cache
 from typing import List, Tuple
 
@@ -22,6 +32,7 @@ _SBOX_COUNT = 4
 _SBOX_SIZE = 256
 _PI_WORDS = _P_SIZE + _SBOX_COUNT * _SBOX_SIZE  # 1042 32-bit words
 _MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
 
 BLOCK_SIZE = 8
 MIN_KEY_BYTES = 4
@@ -64,9 +75,18 @@ def pi_fraction_words(count: int = _PI_WORDS) -> Tuple[int, ...]:
 class Blowfish:
     """A keyed Blowfish cipher instance.
 
-    Encrypts/decrypts single 64-bit blocks; use :mod:`repro.crypto.modes`
-    for messages longer than one block.
+    Encrypts/decrypts single 64-bit blocks and whole buffers; use
+    :mod:`repro.crypto.modes` for the IV/padding framing of messages.
+
+    ``constructions`` counts key schedules derived process-wide; the
+    cipher-schedule cache tests use it to prove schedule reuse.
     """
+
+    __slots__ = ("_p", "_s0", "_s1", "_s2", "_s3")
+
+    #: Process-wide count of key schedules derived (each costs 521 block
+    #: encryptions).  Diagnostic only — see repro.crypto.cipher_cache.
+    constructions = 0
 
     def __init__(self, key: bytes) -> None:
         if not MIN_KEY_BYTES <= len(key) <= MAX_KEY_BYTES:
@@ -74,12 +94,13 @@ class Blowfish:
                 f"Blowfish key must be {MIN_KEY_BYTES}..{MAX_KEY_BYTES} bytes,"
                 f" got {len(key)}"
             )
+        Blowfish.constructions += 1
         words = pi_fraction_words()
         self._p: List[int] = list(words[:_P_SIZE])
-        self._s: List[List[int]] = [
-            list(words[_P_SIZE + box * _SBOX_SIZE : _P_SIZE + (box + 1) * _SBOX_SIZE])
-            for box in range(_SBOX_COUNT)
-        ]
+        self._s0 = list(words[_P_SIZE : _P_SIZE + _SBOX_SIZE])
+        self._s1 = list(words[_P_SIZE + _SBOX_SIZE : _P_SIZE + 2 * _SBOX_SIZE])
+        self._s2 = list(words[_P_SIZE + 2 * _SBOX_SIZE : _P_SIZE + 3 * _SBOX_SIZE])
+        self._s3 = list(words[_P_SIZE + 3 * _SBOX_SIZE : _P_SIZE + 4 * _SBOX_SIZE])
         self._expand_key(key)
 
     # -- key schedule -------------------------------------------------------
@@ -99,62 +120,295 @@ class Blowfish:
         for i in range(0, _P_SIZE, 2):
             left, right = self._encrypt_words(left, right)
             self._p[i], self._p[i + 1] = left, right
-        for box in range(_SBOX_COUNT):
+        for box in (self._s0, self._s1, self._s2, self._s3):
             for i in range(0, _SBOX_SIZE, 2):
                 left, right = self._encrypt_words(left, right)
-                self._s[box][i], self._s[box][i + 1] = left, right
+                box[i], box[i + 1] = left, right
 
-    # -- round function -------------------------------------------------------
+    # -- round function -----------------------------------------------------
+    #
+    # Fully unrolled: two rounds per statement pair, with the traditional
+    # half-swaps folded away by alternating which variable plays "left".
+    # The Feistel mix needs only one final mask because the carry bit of
+    # the first (unmasked) addition sits above the XOR's reach and dies
+    # in the closing "& 0xFFFFFFFF".
 
-    def _feistel(self, half: int) -> int:
-        s = self._s
-        a = (half >> 24) & 0xFF
-        b = (half >> 16) & 0xFF
-        c = (half >> 8) & 0xFF
-        d = half & 0xFF
-        return ((((s[0][a] + s[1][b]) & _MASK32) ^ s[2][c]) + s[3][d]) & _MASK32
+    def _encrypt_words(self, xl: int, xr: int) -> Tuple[int, int]:
+        s0, s1, s2, s3 = self._s0, self._s1, self._s2, self._s3
+        (p0, p1, p2, p3, p4, p5, p6, p7, p8, p9,
+         p10, p11, p12, p13, p14, p15, p16, p17) = self._p
+        mask32 = _MASK32
+        xl ^= p0
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p1
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p2
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p3
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p4
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p5
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p6
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p7
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p8
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p9
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p10
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p11
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p12
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p13
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p14
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p15
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        return xr ^ p17, xl ^ p16
 
-    def _encrypt_words(self, left: int, right: int) -> Tuple[int, int]:
-        p = self._p
-        for round_index in range(_ROUNDS):
-            left ^= p[round_index]
-            right ^= self._feistel(left)
-            left, right = right, left
-        left, right = right, left  # undo the final swap
-        right ^= p[_ROUNDS]
-        left ^= p[_ROUNDS + 1]
-        return left, right
+    def _decrypt_words(self, xl: int, xr: int) -> Tuple[int, int]:
+        s0, s1, s2, s3 = self._s0, self._s1, self._s2, self._s3
+        (p0, p1, p2, p3, p4, p5, p6, p7, p8, p9,
+         p10, p11, p12, p13, p14, p15, p16, p17) = self._p
+        mask32 = _MASK32
+        xl ^= p17
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p16
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p15
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p14
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p13
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p12
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p11
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p10
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p9
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p8
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p7
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p6
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p5
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p4
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        xl ^= p3
+        xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+        xr ^= p2
+        xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+        return xr ^ p0, xl ^ p1
 
-    def _decrypt_words(self, left: int, right: int) -> Tuple[int, int]:
-        p = self._p
-        for round_index in range(_ROUNDS + 1, 1, -1):
-            left ^= p[round_index]
-            right ^= self._feistel(left)
-            left, right = right, left
-        left, right = right, left
-        right ^= p[1]
-        left ^= p[0]
-        return left, right
-
-    # -- block API ----------------------------------------------------------------
+    # -- block API ----------------------------------------------------------
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt one 8-byte block."""
         if len(block) != BLOCK_SIZE:
             raise CipherError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
-        left = int.from_bytes(block[:4], "big")
-        right = int.from_bytes(block[4:], "big")
-        left, right = self._encrypt_words(left, right)
-        return left.to_bytes(4, "big") + right.to_bytes(4, "big")
+        value = int.from_bytes(block, "big")
+        left, right = self._encrypt_words(value >> 32, value & _MASK32)
+        return ((left << 32) | right).to_bytes(BLOCK_SIZE, "big")
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt one 8-byte block."""
         if len(block) != BLOCK_SIZE:
             raise CipherError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
-        left = int.from_bytes(block[:4], "big")
-        right = int.from_bytes(block[4:], "big")
-        left, right = self._decrypt_words(left, right)
-        return left.to_bytes(4, "big") + right.to_bytes(4, "big")
+        value = int.from_bytes(block, "big")
+        left, right = self._decrypt_words(value >> 32, value & _MASK32)
+        return ((left << 32) | right).to_bytes(BLOCK_SIZE, "big")
+
+    # -- whole-buffer API ----------------------------------------------------
+    #
+    # These operate on block-aligned buffers as 64-bit integers with
+    # integer-XOR chaining; repro.crypto.modes adds the IV/nonce framing
+    # and padding on top.
+
+    def cbc_encrypt_blocks(self, data: bytes, iv: bytes) -> bytes:
+        """CBC-encrypt a block-aligned buffer; returns ciphertext only.
+
+        The 16 rounds are inlined in the block loop so the subkey and
+        S-box locals bind once per buffer, not once per block.
+        """
+        length = len(data)
+        if length % BLOCK_SIZE:
+            raise CipherError("CBC buffer is not block aligned")
+        s0, s1, s2, s3 = self._s0, self._s1, self._s2, self._s3
+        (p0, p1, p2, p3, p4, p5, p6, p7, p8, p9,
+         p10, p11, p12, p13, p14, p15, p16, p17) = self._p
+        mask32 = _MASK32
+        count = length // BLOCK_SIZE
+        previous = int.from_bytes(iv, "big")
+        out = []
+        append = out.append
+        # One C-level unpack/pack for the whole buffer instead of a
+        # bytes slice + int conversion per block.
+        for word in _struct.unpack(f">{count}Q", data):
+            mixed = previous ^ word
+            xl = mixed >> 32
+            xr = mixed & mask32
+            xl ^= p0
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p1
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p2
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p3
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p4
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p5
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p6
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p7
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p8
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p9
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p10
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p11
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p12
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p13
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p14
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p15
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            previous = ((xr ^ p17) << 32) | (xl ^ p16)
+            append(previous)
+        return _struct.pack(f">{count}Q", *out)
+
+    def cbc_decrypt_blocks(self, data: bytes, iv: bytes) -> bytes:
+        """CBC-decrypt a block-aligned buffer; returns padded plaintext.
+
+        Rounds inlined per block, locals bound once — see
+        :meth:`cbc_encrypt_blocks`.
+        """
+        length = len(data)
+        if length % BLOCK_SIZE:
+            raise CipherError("CBC buffer is not block aligned")
+        s0, s1, s2, s3 = self._s0, self._s1, self._s2, self._s3
+        (p0, p1, p2, p3, p4, p5, p6, p7, p8, p9,
+         p10, p11, p12, p13, p14, p15, p16, p17) = self._p
+        mask32 = _MASK32
+        mask64 = _MASK64
+        count = length // BLOCK_SIZE
+        previous = int.from_bytes(iv, "big")
+        out = []
+        append = out.append
+        for block in _struct.unpack(f">{count}Q", data):
+            xl = block >> 32
+            xr = block & mask32
+            xl ^= p17
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p16
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p15
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p14
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p13
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p12
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p11
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p10
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p9
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p8
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p7
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p6
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p5
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p4
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p3
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p2
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            append(((((xr ^ p0) << 32) | (xl ^ p1)) ^ previous) & mask64)
+            previous = block
+        return _struct.pack(f">{count}Q", *out)
+
+    def ctr_xor(self, data: bytes, nonce: bytes) -> bytes:
+        """Counter-mode transform (encrypt == decrypt) of any-length data.
+
+        Keystream blocks are E(nonce + i mod 2^64); the whole message is
+        XORed against the keystream as one big integer.
+        """
+        length = len(data)
+        if length == 0:
+            return b""
+        s0, s1, s2, s3 = self._s0, self._s1, self._s2, self._s3
+        (p0, p1, p2, p3, p4, p5, p6, p7, p8, p9,
+         p10, p11, p12, p13, p14, p15, p16, p17) = self._p
+        mask32 = _MASK32
+        mask64 = _MASK64
+        start = int.from_bytes(nonce, "big")
+        count = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+        blocks = []
+        append = blocks.append
+        for counter in range(count):
+            value = (start + counter) & mask64
+            xl = value >> 32
+            xr = value & mask32
+            xl ^= p0
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p1
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p2
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p3
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p4
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p5
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p6
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p7
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p8
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p9
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p10
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p11
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p12
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p13
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            xl ^= p14
+            xr ^= (((s0[xl >> 24] + s1[xl >> 16 & 255]) ^ s2[xl >> 8 & 255]) + s3[xl & 255]) & mask32
+            xr ^= p15
+            xl ^= (((s0[xr >> 24] + s1[xr >> 16 & 255]) ^ s2[xr >> 8 & 255]) + s3[xr & 255]) & mask32
+            append(((xr ^ p17) << 32) | (xl ^ p16))
+        keystream = _struct.pack(f">{count}Q", *blocks)[:length]
+        mixed = int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")
+        return mixed.to_bytes(length, "big")
 
 
 #: Eric Young's variable-key test vectors (key, plaintext, ciphertext).

@@ -1,0 +1,117 @@
+"""Keyed cipher-schedule cache: one Blowfish key schedule per key epoch.
+
+Deriving a Blowfish key schedule costs 521 block encryptions — two
+orders of magnitude more than encrypting a typical message.  The secure
+layer keys change only at rekey (view change or refresh), so the data
+plane must reuse one schedule per session-key epoch instead of deriving
+one per sealed message.
+
+This cache maps raw key bytes to keyed :class:`~repro.crypto.blowfish.
+Blowfish` instances with LRU eviction.  Distinct epochs always have
+distinct key bytes (the KDF binds group, view and attempt), so a lookup
+can never return a stale epoch's schedule by accident; explicit
+invalidation on rekey (:meth:`CipherCache.invalidate`, driven by
+``DataProtector.invalidate``) additionally drops the old epoch's entry
+the moment the session abandons it, so retired schedules do not linger
+in the cache across views.
+
+Hit/miss statistics are kept so tests and the perf harness can prove
+schedule reuse rather than assume it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.crypto.blowfish import Blowfish
+
+#: Default capacity: comfortably above the number of live key epochs in
+#: any simulated deployment (every member of every group holds one).
+DEFAULT_MAXSIZE = 128
+
+
+class CipherCache:
+    """An LRU cache of keyed Blowfish instances, keyed by key bytes."""
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses", "evictions", "invalidations")
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("cipher cache needs room for at least one schedule")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[bytes, Blowfish]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: bytes) -> Blowfish:
+        """The cached cipher for ``key``, deriving the schedule on miss."""
+        entries = self._entries
+        cipher = entries.get(key)
+        if cipher is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            return cipher
+        self.misses += 1
+        cipher = Blowfish(key)
+        entries[key] = cipher
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+        return cipher
+
+    def invalidate(self, key: bytes) -> bool:
+        """Drop ``key``'s schedule (rekey retired it).  True if present."""
+        if self._entries.pop(key, None) is not None:
+            self.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop every cached schedule and reset statistics."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for tests and the perf harness."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+#: The process-wide cache the secure layer routes through.
+_default_cache: Optional[CipherCache] = None
+
+
+def default_cache() -> CipherCache:
+    """The shared process-wide cipher cache (created on first use)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = CipherCache()
+    return _default_cache
+
+
+def get_cached_cipher(key: bytes) -> Blowfish:
+    """Shared-cache lookup: the hot-path entry point."""
+    return default_cache().get(key)
+
+
+def invalidate_key(key: bytes) -> bool:
+    """Evict one key's schedule from the shared cache."""
+    return default_cache().invalidate(key)

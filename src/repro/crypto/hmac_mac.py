@@ -3,13 +3,20 @@
 Provides the data-integrity service of the secure layer: every protected
 group message carries ``HMAC(mac_key, header || ciphertext)``.
 Verification is constant-time.
+
+:class:`HmacKey` is the fast path: it hashes the padded key's inner and
+outer blocks once and keeps the SHA-1 midstates, so each message pays
+only for its own bytes — per-epoch callers (``DataProtector``) hold one
+``HmacKey`` per session-key epoch.  The one-shot ``hmac_digest`` /
+``hmac_verify`` functions remain for cold paths (KDF, key directories,
+member auth) and route through the same construction.
 """
 
 from __future__ import annotations
 
 import hmac as _stdlib_hmac  # only for compare_digest (constant time)
 
-from repro.crypto.sha1 import BLOCK_SIZE, sha1
+from repro.crypto.sha1 import BLOCK_SIZE, SHA1, sha1
 
 _IPAD = 0x36
 _OPAD = 0x5C
@@ -17,15 +24,36 @@ _OPAD = 0x5C
 DIGEST_SIZE = 20
 
 
+class HmacKey:
+    """A prepared HMAC-SHA1 key: pad blocks hashed once, reused per message."""
+
+    __slots__ = ("_inner", "_outer")
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) > BLOCK_SIZE:
+            key = sha1(key)
+        key = key.ljust(BLOCK_SIZE, b"\x00")
+        self._inner = SHA1(bytes(byte ^ _IPAD for byte in key))
+        self._outer = SHA1(bytes(byte ^ _OPAD for byte in key))
+
+    def digest(self, message: bytes) -> bytes:
+        """HMAC-SHA1 of ``message`` under this key."""
+        inner = self._inner.copy()
+        inner.update(message)
+        outer = self._outer.copy()
+        outer.update(inner.digest())
+        return outer.digest()
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Constant-time verification of an HMAC tag."""
+        return _stdlib_hmac.compare_digest(self.digest(message), tag)
+
+
 def hmac_digest(key: bytes, message: bytes) -> bytes:
-    """HMAC-SHA1 of ``message`` under ``key``."""
-    if len(key) > BLOCK_SIZE:
-        key = sha1(key)
-    key = key.ljust(BLOCK_SIZE, b"\x00")
-    inner = sha1(bytes(byte ^ _IPAD for byte in key) + message)
-    return sha1(bytes(byte ^ _OPAD for byte in key) + inner)
+    """HMAC-SHA1 of ``message`` under ``key`` (one-shot)."""
+    return HmacKey(key).digest(message)
 
 
 def hmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
-    """Constant-time verification of an HMAC tag."""
+    """Constant-time verification of an HMAC tag (one-shot)."""
     return _stdlib_hmac.compare_digest(hmac_digest(key, message), tag)

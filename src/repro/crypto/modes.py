@@ -6,11 +6,18 @@ paper alludes to ("encryption can be done with almost no overhead if
 certain types of stream ciphers are used") and to exercise the modular
 drop-in-cipher architecture of §5.1.  In both modes the IV/nonce is
 prepended so each message is self-contained.
+
+When the cipher exposes the whole-buffer word-level primitives
+(``cbc_encrypt_blocks`` / ``cbc_decrypt_blocks`` / ``ctr_xor``, as
+:class:`~repro.crypto.blowfish.Blowfish` does), the modes run on them —
+integer XOR chaining, no per-byte generators.  Any object with only
+``encrypt_block``/``decrypt_block`` (e.g. the reference oracle or a
+drop-in cipher) still works through a per-block fallback.
 """
 
 from __future__ import annotations
 
-from repro.crypto.blowfish import BLOCK_SIZE, Blowfish
+from repro.crypto.blowfish import BLOCK_SIZE
 from repro.crypto.random_source import RandomSource, SystemSource
 from repro.errors import CipherError
 
@@ -22,23 +29,43 @@ def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
 
 
 def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
-    """Strip and validate PKCS#7 padding."""
+    """Strip and validate PKCS#7 padding.
+
+    Constant-time-shaped: the whole final block is examined with no
+    data-dependent early exit, the length byte's range check folds into
+    the same accumulator, and every rejection raises the same error —
+    so a padding oracle cannot distinguish *where* validation failed.
+    (CPython cannot promise true constant time; the shape removes the
+    obvious timing structure, and the secure layer MACs before
+    decrypting anyway.)
+    """
     if not data or len(data) % block_size != 0:
         raise CipherError("padded data length is not a block multiple")
     pad_len = data[-1]
-    if not 1 <= pad_len <= block_size:
-        raise CipherError("invalid padding length byte")
-    if data[-pad_len:] != bytes([pad_len] * pad_len):
-        raise CipherError("corrupt padding bytes")
+    tail = data[-block_size:]
+    # 0 when 1 <= pad_len <= block_size, nonzero otherwise (arbitrary-
+    # precision arithmetic shift: negative stays negative).
+    invalid = ((pad_len - 1) | (block_size - pad_len)) >> 8
+    diff = 0
+    for offset in range(1, block_size + 1):
+        # in_pad is 1 for the pad_len trailing positions, 0 elsewhere;
+        # every byte of the block is read either way.
+        in_pad = ((offset - pad_len - 1) >> 8) & 1
+        diff |= (tail[-offset] ^ pad_len) & (0xFF * in_pad)
+    if invalid | diff:
+        raise CipherError("invalid PKCS#7 padding")
     return data[:-pad_len]
 
 
 def _xor_block(a: bytes, b: bytes) -> bytes:
-    return bytes(x ^ y for x, y in zip(a, b))
+    length = len(a)
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b[:length], "big")).to_bytes(
+        length, "big"
+    )
 
 
 def cbc_encrypt(
-    cipher: Blowfish,
+    cipher,
     plaintext: bytes,
     random_source: RandomSource = None,
     iv: bytes = None,
@@ -54,6 +81,9 @@ def cbc_encrypt(
     if len(iv) != BLOCK_SIZE:
         raise CipherError(f"IV must be {BLOCK_SIZE} bytes")
     padded = pkcs7_pad(plaintext)
+    fast = getattr(cipher, "cbc_encrypt_blocks", None)
+    if fast is not None:
+        return iv + fast(padded, iv)
     blocks = [iv]
     previous = iv
     for offset in range(0, len(padded), BLOCK_SIZE):
@@ -63,11 +93,14 @@ def cbc_encrypt(
     return b"".join(blocks)
 
 
-def cbc_decrypt(cipher: Blowfish, data: bytes) -> bytes:
+def cbc_decrypt(cipher, data: bytes) -> bytes:
     """Decrypt ``iv || ciphertext`` produced by :func:`cbc_encrypt`."""
     if len(data) < 2 * BLOCK_SIZE or len(data) % BLOCK_SIZE != 0:
         raise CipherError("ciphertext too short or not block aligned")
     iv, ciphertext = data[:BLOCK_SIZE], data[BLOCK_SIZE:]
+    fast = getattr(cipher, "cbc_decrypt_blocks", None)
+    if fast is not None:
+        return pkcs7_unpad(fast(ciphertext, iv))
     plaintext = bytearray()
     previous = iv
     for offset in range(0, len(ciphertext), BLOCK_SIZE):
@@ -77,20 +110,23 @@ def cbc_decrypt(cipher: Blowfish, data: bytes) -> bytes:
     return pkcs7_unpad(bytes(plaintext))
 
 
-def _ctr_keystream(cipher: Blowfish, nonce: bytes, length: int) -> bytes:
-    """Keystream blocks: E(nonce + i mod 2^64), i = 0, 1, ..."""
+def _ctr_transform(cipher, data: bytes, nonce: bytes) -> bytes:
+    """Counter-mode keystream XOR: E(nonce + i mod 2^64), i = 0, 1, ..."""
+    fast = getattr(cipher, "ctr_xor", None)
+    if fast is not None:
+        return fast(data, nonce)
     start = int.from_bytes(nonce, "big")
     stream = bytearray()
     counter = 0
-    while len(stream) < length:
+    while len(stream) < len(data):
         block_value = (start + counter) % (1 << 64)
         stream += cipher.encrypt_block(block_value.to_bytes(BLOCK_SIZE, "big"))
         counter += 1
-    return bytes(stream[:length])
+    return bytes(c ^ k for c, k in zip(data, stream))
 
 
 def ctr_encrypt(
-    cipher: Blowfish,
+    cipher,
     plaintext: bytes,
     random_source: RandomSource = None,
     nonce: bytes = None,
@@ -107,14 +143,12 @@ def ctr_encrypt(
         nonce = source.token_bytes(BLOCK_SIZE)
     if len(nonce) != BLOCK_SIZE:
         raise CipherError(f"nonce must be {BLOCK_SIZE} bytes")
-    keystream = _ctr_keystream(cipher, nonce, len(plaintext))
-    return nonce + bytes(p ^ k for p, k in zip(plaintext, keystream))
+    return nonce + _ctr_transform(cipher, plaintext, nonce)
 
 
-def ctr_decrypt(cipher: Blowfish, data: bytes) -> bytes:
+def ctr_decrypt(cipher, data: bytes) -> bytes:
     """Decrypt ``nonce || ciphertext`` produced by :func:`ctr_encrypt`."""
     if len(data) < BLOCK_SIZE:
         raise CipherError("ciphertext shorter than the nonce")
     nonce, ciphertext = data[:BLOCK_SIZE], data[BLOCK_SIZE:]
-    keystream = _ctr_keystream(cipher, nonce, len(ciphertext))
-    return bytes(c ^ k for c, k in zip(ciphertext, keystream))
+    return _ctr_transform(cipher, ciphertext, nonce)

@@ -52,4 +52,6 @@ class DeterministicSource:
         return self._rng.randint(low, high)
 
     def token_bytes(self, count: int) -> bytes:
-        return bytes(self._rng.randint(0, 255) for _ in range(count))
+        # One draw for the whole token (an IV per sealed message is a
+        # hot-path call) instead of one randint per byte.
+        return self._rng.getrandbits(count * 8).to_bytes(count, "big")

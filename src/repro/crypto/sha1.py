@@ -24,6 +24,58 @@ def _rotl(value: int, amount: int) -> int:
     return ((value << amount) | (value >> (32 - amount))) & _MASK32
 
 
+def _compile_compress():
+    """Build the fully unrolled compression function at import time.
+
+    The straightforward formulation (an 80-entry schedule list plus a
+    five-way ``e, d, c, b, a = ...`` rotation per round) spends most of
+    its time on list traffic and tuple packing.  Unrolling assigns each
+    schedule word its own local (``w0`` .. ``w79``) and rotates the
+    working variables by *renaming* across rounds instead of moving
+    values, which roughly halves the per-block cost.  The generated
+    source is plain SHA-1 — sixteen unpacked words, sixty-four schedule
+    expansions, eighty rounds — just written out longhand.
+    """
+    lines = [
+        "def _compress(block, h0, h1, h2, h3, h4):",
+        "    (" + ", ".join(f"w{i}" for i in range(16)) + ") = _unpack16(block)",
+    ]
+    for t in range(16, 80):
+        lines.append(f"    x = w{t - 3} ^ w{t - 8} ^ w{t - 14} ^ w{t - 16}")
+        lines.append(f"    w{t} = ((x << 1) | (x >> 31)) & {_MASK32}")
+    lines.append("    a, b, c, d, e = h0, h1, h2, h3, h4")
+    names = ("a", "b", "c", "d", "e")
+    for t in range(80):
+        a, b, c, d, e = (names[(i - t) % 5] for i in range(5))
+        if t < 20:
+            f_expr, k = f"({d} ^ ({b} & ({c} ^ {d})))", 0x5A827999
+        elif t < 40:
+            f_expr, k = f"({b} ^ {c} ^ {d})", 0x6ED9EBA1
+        elif t < 60:
+            f_expr, k = f"(({b} & {c}) | ({d} & ({b} | {c})))", 0x8F1BBCDC
+        else:
+            f_expr, k = f"({b} ^ {c} ^ {d})", 0xCA62C1D6
+        lines.append(
+            f"    {e} = (({a} << 5 | {a} >> 27) + {f_expr} + {e}"
+            f" + {k} + w{t}) & {_MASK32}"
+        )
+        # The rotation's stray high bits are safe to keep: a rotated
+        # word only ever feeds f-expressions and sums that are masked
+        # before the result matters, and is never rotated again.
+        lines.append(f"    {b} = {b} << 30 | {b} >> 2")
+    # 80 % 5 == 0, so the role names line back up with a..e here.
+    lines.append(
+        f"    return ((h0 + a) & {_MASK32}, (h1 + b) & {_MASK32},"
+        f" (h2 + c) & {_MASK32}, (h3 + d) & {_MASK32}, (h4 + e) & {_MASK32})"
+    )
+    namespace = {"_unpack16": struct.Struct(">16I").unpack}
+    exec("\n".join(lines), namespace)
+    return namespace["_compress"]
+
+
+_compress = _compile_compress()
+
+
 class SHA1:
     """Incremental SHA-1 hash object (hashlib-style interface)."""
 
@@ -40,50 +92,48 @@ class SHA1:
     def update(self, data: bytes) -> None:
         """Feed more message bytes."""
         self._length += len(data)
-        self._buffer += data
-        while len(self._buffer) >= BLOCK_SIZE:
-            self._process(self._buffer[:BLOCK_SIZE])
-            self._buffer = self._buffer[BLOCK_SIZE:]
+        buffer = self._buffer + data
+        offset = 0
+        limit = len(buffer) - BLOCK_SIZE
+        h = self._h
+        while offset <= limit:
+            h = _compress(buffer[offset : offset + BLOCK_SIZE], *h)
+            offset += BLOCK_SIZE
+        self._h = h
+        self._buffer = buffer[offset:]
 
     def _process(self, block: bytes) -> None:
-        w = list(struct.unpack(">16I", block))
-        for t in range(16, 80):
-            w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
-        a, b, c, d, e = self._h
-        for t in range(80):
-            if t < 20:
-                f = (b & c) | (~b & d)
-                k = 0x5A827999
-            elif t < 40:
-                f = b ^ c ^ d
-                k = 0x6ED9EBA1
-            elif t < 60:
-                f = (b & c) | (b & d) | (c & d)
-                k = 0x8F1BBCDC
-            else:
-                f = b ^ c ^ d
-                k = 0xCA62C1D6
-            temp = (_rotl(a, 5) + f + e + k + w[t]) & _MASK32
-            e, d, c, b, a = d, c, _rotl(b, 30), a, temp
-        self._h = tuple((x + y) & _MASK32 for x, y in zip(self._h, (a, b, c, d, e)))
+        self._h = _compress(block, *self._h)
 
-    def digest(self) -> bytes:
-        """The 20-byte digest (does not consume the object)."""
-        clone = SHA1()
+    def copy(self) -> "SHA1":
+        """A detached clone carrying this object's midstate (hashlib-style).
+
+        Lets HMAC precompute the keyed inner/outer block once per key and
+        resume per message — see :class:`repro.crypto.hmac_mac.HmacKey`.
+        """
+        clone = SHA1.__new__(SHA1)
         clone._h = self._h
         clone._buffer = self._buffer
         clone._length = self._length
-        # Padding: 0x80, zeros, 64-bit big-endian bit length.
-        bit_length = clone._length * 8
-        clone.update(b"\x80")
-        pad = (56 - clone._length % BLOCK_SIZE) % BLOCK_SIZE
-        # update() already consumed full blocks; pad so 8 bytes remain.
-        clone._buffer += b"\x00" * pad
-        clone._buffer += struct.pack(">Q", bit_length)
-        while clone._buffer:
-            clone._process(clone._buffer[:BLOCK_SIZE])
-            clone._buffer = clone._buffer[BLOCK_SIZE:]
-        return b"".join(struct.pack(">I", h) for h in clone._h)
+        return clone
+
+    def digest(self) -> bytes:
+        """The 20-byte digest (does not consume the object)."""
+        # Padding: 0x80, zeros until 8 bytes remain in the final block,
+        # then the 64-bit big-endian bit length.  Built as one tail
+        # buffer (1 or 2 blocks) and compressed directly — the object's
+        # own state is left untouched.
+        zeros = (55 - self._length) % BLOCK_SIZE
+        tail = (
+            self._buffer
+            + b"\x80"
+            + b"\x00" * zeros
+            + struct.pack(">Q", self._length * 8)
+        )
+        h = self._h
+        for offset in range(0, len(tail), BLOCK_SIZE):
+            h = _compress(tail[offset : offset + BLOCK_SIZE], *h)
+        return struct.pack(">5I", *h)
 
     def hexdigest(self) -> str:
         """The digest as lowercase hex."""

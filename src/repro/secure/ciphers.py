@@ -7,6 +7,13 @@ suite turns (key, plaintext) into a self-contained ciphertext and back;
 the secure layer composes it with HMAC (encrypt-then-MAC) regardless of
 suite.
 
+Key schedules are NOT re-derived per call: the byte key resolves to a
+keyed cipher through :mod:`repro.crypto.cipher_cache`, so steady-state
+traffic under one session-key epoch reuses one Blowfish schedule.  Hot
+callers (``DataProtector``) resolve the cipher once per epoch and use
+``encrypt_with``/``decrypt_with`` directly, skipping even the cache
+lookup.
+
 Shipped suites:
 
 * ``blowfish-cbc`` — the paper's configuration (default);
@@ -24,6 +31,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.crypto.blowfish import Blowfish
+from repro.crypto.cipher_cache import get_cached_cipher
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_decrypt, ctr_encrypt
 from repro.crypto.random_source import RandomSource
 from repro.errors import ModuleNotFoundError_
@@ -44,13 +52,29 @@ class CipherSuite:
         self._encrypt = encrypt
         self._decrypt = decrypt
 
+    # -- keyed-instance fast path (one schedule per epoch) ------------------
+
+    def keyed(self, key: bytes) -> Blowfish:
+        """The cached keyed cipher for ``key`` (schedule derived on miss)."""
+        return get_cached_cipher(key)
+
+    def encrypt_with(
+        self, cipher: Blowfish, plaintext: bytes, random_source: RandomSource
+    ) -> bytes:
+        return self._encrypt(cipher, plaintext, random_source)
+
+    def decrypt_with(self, cipher: Blowfish, data: bytes) -> bytes:
+        return self._decrypt(cipher, data)
+
+    # -- byte-key convenience API ------------------------------------------
+
     def encrypt(
         self, key: bytes, plaintext: bytes, random_source: RandomSource
     ) -> bytes:
-        return self._encrypt(Blowfish(key), plaintext, random_source)
+        return self._encrypt(get_cached_cipher(key), plaintext, random_source)
 
     def decrypt(self, key: bytes, data: bytes) -> bytes:
-        return self._decrypt(Blowfish(key), data)
+        return self._decrypt(get_cached_cipher(key), data)
 
 
 _SUITES: Dict[str, CipherSuite] = {

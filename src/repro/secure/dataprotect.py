@@ -4,19 +4,26 @@ Every secure application message is sealed under the group's current
 session keys and bound to the group, view and key epoch, so a message
 can never validate outside the exact secure view it was sent in.
 Encrypt-then-MAC; constant-time verification.
+
+Data-plane fast path: the protector resolves its keyed cipher **once**
+per session-key epoch through the shared cipher-schedule cache, so
+steady-state traffic pays zero key-schedule derivations.  When a rekey
+retires the epoch, :meth:`DataProtector.invalidate` evicts the schedule
+from the cache so a stale epoch's schedule is never served again.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.hmac_mac import hmac_digest, hmac_verify
+from repro.crypto.cipher_cache import invalidate_key
+from repro.crypto.hmac_mac import HmacKey
 from repro.crypto.kdf import SessionKeys
 from repro.crypto.random_source import RandomSource
 from repro.errors import IntegrityError, StaleKeyError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SealedMessage:
     """An encrypted group message with its integrity tag."""
 
@@ -40,6 +47,8 @@ class DataProtector:
     Blowfish-CBC); integrity is always encrypt-then-HMAC on top.
     """
 
+    __slots__ = ("keys", "epoch_label", "suite", "_cipher", "_mac")
+
     def __init__(
         self, keys: SessionKeys, epoch_label: str, cipher: str = "blowfish-cbc"
     ) -> None:
@@ -48,6 +57,22 @@ class DataProtector:
         self.keys = keys
         self.epoch_label = epoch_label
         self.suite = get_cipher_suite(cipher)
+        # One schedule per epoch: resolved through the shared cache so
+        # every protector of this epoch (and every message it seals)
+        # shares a single key expansion.
+        self._cipher = self.suite.keyed(keys.encryption_key)
+        # Likewise one HMAC key preparation (inner/outer midstates)
+        # per epoch instead of per message.
+        self._mac = HmacKey(keys.mac_key)
+
+    def invalidate(self) -> None:
+        """Retire this epoch's cached cipher schedule (called on rekey).
+
+        Safe to call more than once; the protector itself keeps working
+        for in-flight traffic (it holds its own reference), but the
+        shared cache stops serving the stale epoch's schedule.
+        """
+        invalidate_key(self.keys.encryption_key)
 
     def seal(
         self,
@@ -57,11 +82,9 @@ class DataProtector:
         random_source: RandomSource,
     ) -> SealedMessage:
         """Encrypt and authenticate one application payload."""
-        ciphertext = self.suite.encrypt(
-            self.keys.encryption_key, plaintext, random_source
-        )
+        ciphertext = self.suite.encrypt_with(self._cipher, plaintext, random_source)
         header = "|".join((group, self.epoch_label, sender)).encode()
-        tag = hmac_digest(self.keys.mac_key, header + ciphertext)
+        tag = self._mac.digest(header + ciphertext)
         return SealedMessage(
             group=group,
             epoch_label=self.epoch_label,
@@ -84,10 +107,10 @@ class DataProtector:
                 f"message sealed under epoch {message.epoch_label!r};"
                 f" current is {self.epoch_label!r}"
             )
-        if not hmac_verify(
-            self.keys.mac_key, message.header() + message.ciphertext, message.tag
+        if not self._mac.verify(
+            message.header() + message.ciphertext, message.tag
         ):
             raise IntegrityError(
                 f"MAC verification failed for message from {message.sender}"
             )
-        return self.suite.decrypt(self.keys.encryption_key, message.ciphertext)
+        return self.suite.decrypt_with(self._cipher, message.ciphertext)

@@ -66,7 +66,7 @@ def classify_event(event: MembershipEvent) -> KeyOperation:
     return KeyOperation.NONE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SecureDataEvent:
     """A decrypted and authenticated application message."""
 
@@ -80,7 +80,7 @@ class SecureDataEvent:
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SecureMembershipEvent:
     """A secure view: membership plus a confirmed fresh group key.
 
@@ -102,7 +102,7 @@ class SecureMembershipEvent:
         return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RekeyStartedEvent:
     """A membership change arrived; key agreement is running.  Sends are
     blocked until the matching :class:`SecureMembershipEvent`."""

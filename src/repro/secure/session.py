@@ -365,6 +365,10 @@ class SecureGroupSession:
         self.operation = operation
         self._confirms = {}
         self._confirm_sent = False
+        if self._protector is not None:
+            # Rekey retires the old epoch: evict its cached cipher
+            # schedule so it can never be served for a later epoch.
+            self._protector.invalidate()
         self._protector = None
         self._session_keys = None
         self._pending_challenges = {}  # stale challenges die with the view

@@ -13,7 +13,7 @@ from typing import Any, FrozenSet, Tuple
 from repro.types import GroupId, MembershipCause, ProcessId, ServiceType, ViewId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupViewId:
     """Identifier of a process-group view: the daemon view it happened in
     plus a per-group change counter (totally ordered per group)."""
@@ -28,7 +28,7 @@ class GroupViewId:
         return f"{self.daemon_view}+{self.change}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataEvent:
     """A delivered application data message."""
 
@@ -43,7 +43,7 @@ class DataEvent:
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MembershipEvent:
     """A group membership notification.
 
@@ -74,7 +74,7 @@ class MembershipEvent:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushRequestEvent:
     """The flush layer asks the application to OK a membership change.
 
@@ -91,7 +91,7 @@ class FlushRequestEvent:
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelfLeaveEvent:
     """Delivered to a client right after its own voluntary leave."""
 

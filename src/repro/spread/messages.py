@@ -20,7 +20,7 @@ KIND_GROUP_LEAVE = "group_leave"
 KIND_DISCONNECT = "disconnect"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataMessage:
     """An ordered multicast within a daemon view.
 
@@ -59,7 +59,7 @@ class DataMessage:
         return 96 + base
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hello:
     """Heartbeat: liveness, total-order progress and safe-delivery acks.
 
@@ -83,7 +83,7 @@ class Hello:
         return 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Nack:
     """Request retransmission of missing sequence numbers."""
 
@@ -96,7 +96,7 @@ class Nack:
         return 48 + 8 * len(self.missing)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GatherAnnounce:
     """Membership stage 1: 'these are the daemons I currently hear'."""
 
@@ -110,7 +110,7 @@ class GatherAnnounce:
         return 64 + 16 * len(self.alive)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Propose:
     """Membership stage 2: the coordinator proposes the new view."""
 
@@ -123,7 +123,7 @@ class Propose:
         return 64 + 16 * len(self.members)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SyncInfo:
     """Membership stage 3: a member's cut of its old view.
 
@@ -148,7 +148,7 @@ class SyncInfo:
         return 128 + sum(m.wire_size() for m in self.undelivered)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Install:
     """Membership stage 4: commit the new view.
 

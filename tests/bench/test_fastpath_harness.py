@@ -1,0 +1,54 @@
+"""Tier-1 smoke test for the fast-path perf harness.
+
+Runs one quick-budget iteration of every measurement so a broken bench
+(import error, renamed result key, division by zero on an empty sample)
+fails in the ordinary test run rather than the first time someone asks
+for performance numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.fastpath import run_microbench, write_report
+
+EXPECTED_RESULT_KEYS = {
+    "blowfish_blocks_per_s",
+    "blowfish_reference_blocks_per_s",
+    "blowfish_block_speedup",
+    "key_schedules_per_s",
+    "seal_bytes_per_s",
+    "unseal_bytes_per_s",
+    "seal_msgs_per_s",
+    "unseal_msgs_per_s",
+    "baseline_seal_bytes_per_s",
+    "baseline_unseal_bytes_per_s",
+    "seal_speedup_vs_baseline",
+    "unseal_speedup_vs_baseline",
+    "hmac_bytes_per_s",
+    "kernel_events_per_s",
+    "cipher_cache_hits_per_s",
+}
+
+
+def test_quick_microbench_document(tmp_path):
+    document = run_microbench(quick=True)
+
+    assert document["quick"] is True
+    results = document["results"]
+    assert set(results) == EXPECTED_RESULT_KEYS
+    for name, value in results.items():
+        assert value > 0, name
+
+    # Even at smoke budgets the fast path must beat the seed code; a
+    # ratio at or below 1 means the fast path silently fell back.
+    assert results["seal_speedup_vs_baseline"] > 1.0
+    assert results["unseal_speedup_vs_baseline"] > 1.0
+    assert results["blowfish_block_speedup"] > 1.0
+
+    assert document["cipher_cache"]["hits"] >= 0
+    assert document["key_schedule_constructions"] > 0
+
+    path = write_report(document, tmp_path / "BENCH_fastpath.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["results"] == results

@@ -1,0 +1,64 @@
+"""Rekey must retire the old epoch's cached cipher schedule.
+
+The cipher-schedule cache makes steady-state sealing cheap; the safety
+obligation it creates is that a rekey (view change) evicts the retired
+epoch's schedule, so the shared cache never keeps serving key material
+the group has abandoned.  ``SecureSession._begin_attempt`` calls
+``DataProtector.invalidate`` for exactly this.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.blowfish import Blowfish
+from repro.crypto.cipher_cache import default_cache
+from repro.crypto.kdf import derive_keys
+from repro.secure.dataprotect import DataProtector
+
+
+def test_view_change_evicts_old_epoch_schedule(harness):
+    a = harness.member("a", "d0")
+    a.join("g")
+    harness.wait_view(["a"])
+
+    key_a = harness.members["a"].sessions["g"]._session_keys
+    assert key_a.encryption_key in default_cache()
+
+    b = harness.member("b", "d1")
+    b.join("g")
+    harness.wait_view(["a", "b"])
+
+    key_ab = harness.members["a"].sessions["g"]._session_keys
+    # New epoch, new key bytes, new cached schedule ...
+    assert key_ab.encryption_key != key_a.encryption_key
+    assert key_ab.encryption_key in default_cache()
+    # ... and the retired epoch's schedule is gone from the cache.
+    assert key_a.encryption_key not in default_cache()
+
+
+def test_steady_state_traffic_derives_no_schedules(harness):
+    a = harness.member("a", "d0")
+    b = harness.member("b", "d1")
+    a.join("g")
+    b.join("g")
+    harness.wait_view(["a", "b"])
+
+    a.send("g", b"warmup")
+    harness.run(2.0)
+    before = Blowfish.constructions
+    for i in range(10):
+        a.send("g", b"steady %d" % i)
+        harness.run(1.0)
+    assert b"steady 9" in harness.payloads_of("b")
+    # Ten sealed + delivered messages, zero new key schedules.
+    assert Blowfish.constructions == before
+
+
+def test_protector_invalidate_is_idempotent():
+    keys = derive_keys(0x5EC07D, "inv-group", 1)
+    protector = DataProtector(keys, "inv-group|v1|0")
+    assert keys.encryption_key in default_cache()
+    protector.invalidate()
+    assert keys.encryption_key not in default_cache()
+    protector.invalidate()  # second call is a no-op, not an error
+    assert default_cache().get(keys.encryption_key) is not None  # rederivable
+    default_cache().invalidate(keys.encryption_key)
