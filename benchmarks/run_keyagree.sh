@@ -1,0 +1,11 @@
+#!/bin/sh
+# Run the control-plane key-agreement A/B harness plus the parallel
+# figure sweep and record BENCH_keyagree.json at the repo root.  Pass
+# --quick for a smoke-sized run or --output PATH to redirect the report.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.bench.sweep "$@"

@@ -12,6 +12,10 @@ tables and figures.
   batch, averaged, as in Section 6).
 * :mod:`repro.bench.reporting` — aligned text tables with
   paper-vs-measured columns.
+* :mod:`repro.bench.keyagree` — the control-plane A/B harness (fast
+  fixed-base backend vs ``pow`` reference, interleaved).
+* :mod:`repro.bench.sweep` — the parallel experiment-sweep runner
+  (independent figure cells fanned across a process pool).
 """
 
 from repro.bench.platform_model import (
@@ -21,7 +25,9 @@ from repro.bench.platform_model import (
     calibrate_local_machine,
 )
 from repro.bench.expcount import table2, table3, table4
-from repro.bench.testbed import SecureTestbed
+from repro.bench.keyagree import run_harness as run_keyagree_harness
+from repro.bench.sweep import run_sweep
+from repro.bench.testbed import ProtocolGroup, SecureTestbed
 from repro.bench.runner import BatchTimer
 from repro.bench.reporting import Table
 
@@ -33,7 +39,10 @@ __all__ = [
     "table2",
     "table3",
     "table4",
+    "ProtocolGroup",
     "SecureTestbed",
     "BatchTimer",
     "Table",
+    "run_keyagree_harness",
+    "run_sweep",
 ]

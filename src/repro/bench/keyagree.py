@@ -1,0 +1,317 @@
+"""Control-plane A/B harness: key agreement, fast path vs reference.
+
+Measures whole paper-512 join and leave key-agreement operations with
+the fixed-base/multi-exponentiation backend enabled against the bare
+``pow`` reference backend, **interleaved in the same timing window**
+(iterations alternate backends, exactly like the data plane's
+:mod:`repro.bench.fastpath`), so the recorded speedups survive host CPU
+drift.  Results land in ``BENCH_keyagree.json`` at the repository root
+— usually via :mod:`repro.bench.sweep`, which combines this harness
+with the parallel figure sweep.
+
+What is timed is the paper's *serial* path — the exponentiations that
+sit on the operation's critical path at the controller and the
+joining/affected member (the quantity Figures 3-4 model).  Other
+members' downflow/keydist processing happens outside the timed window
+(it is parallel across machines in the deployment), as does restoring
+the group to its original size between iterations.
+
+Every iteration also captures the per-label exponentiation-counter
+window of the timed participants; the harness asserts the fast and
+reference backends record **identical** counts (``counts_identical``) —
+the fast path must be invisible to the paper's Tables 2-4.
+
+Run it::
+
+    python -m repro.bench.keyagree             # harness only
+    python -m repro.bench.sweep                # harness + figure sweep
+    benchmarks/run_keyagree.sh                 # same as the sweep run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.testbed import ProtocolGroup
+from repro.crypto import fixed_base
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHParams
+from repro.sim.rng import stable_seed
+
+SCHEMA = "keyagree-fastpath/1"
+
+#: Full-run group sizes: the ISSUE's "large groups" regime, past the
+#: paper's measured range, where the control plane dominates hardest.
+FULL_SIZES = (32, 64)
+QUICK_SIZES = (8,)
+FULL_ITERATIONS = 7
+QUICK_ITERATIONS = 2
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_keyagree.json"
+
+#: (elapsed seconds, merged per-label counter window) of one timed run.
+Sample = Tuple[float, Dict[str, int]]
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def _merged_window(windows: Sequence[ExpCounter]) -> Dict[str, int]:
+    merged = ExpCounter()
+    for window in windows:
+        merged.merge(window)
+    return merged.snapshot()
+
+
+def _warm_tables(group: ProtocolGroup) -> None:
+    """Deployment start-up precomputation: build fixed-base tables for
+    every long-lived base — the generator and the directory's long-term
+    public keys (and, for CKD, the controller's tenure ephemeral).
+
+    These are exactly the bases a real deployment would precompute once
+    at boot; per-token bases stay table-free and are measured honestly.
+    """
+    cache = fixed_base.default_cache()
+    modulus = group.params.p
+    cache.lookup(group.params.g, modulus)  # registered: builds the radix table
+    for name in group.directory:
+        cache.precompute(group.directory.lookup(name), modulus)
+    if group.protocol == "ckd":
+        controller = group.contexts[group.members[0]]
+        public_r1 = getattr(controller, "_public_r1", None)
+        if public_r1:
+            cache.precompute(public_r1, modulus)
+
+
+# -- the timed serial paths ---------------------------------------------------
+#
+# Each function performs one operation cycle on the group: the paper's
+# serial path inside the timed window, state restoration outside it.
+# The group returns to its pre-call size, so cycles repeat indefinitely.
+
+
+def _cycle_cliques_join(group: ProtocolGroup) -> Sample:
+    name = group._fresh_name()
+    joiner = group._make_context(name)
+    controller = group.contexts[group.members[-1]]
+    with controller.counter.window() as ctrl_win:
+        with joiner.counter.window() as join_win:
+            start = time.perf_counter()
+            upflow = controller.prep_join(name)
+            downflow = joiner.process_upflow(upflow)
+            elapsed = time.perf_counter() - start
+    for member in group.members:
+        group.contexts[member].process_downflow(downflow)
+    group.members.append(name)
+    group.leave(name)  # restore: previous controller removes the joiner
+    return elapsed, _merged_window([ctrl_win, join_win])
+
+
+def _cycle_cliques_leave(group: ProtocolGroup) -> Sample:
+    leaver = group.members[-1]  # the controller — the paper's hard case
+    remaining = [m for m in group.members if m != leaver]
+    performer = group.contexts[remaining[-1]]
+    with performer.counter.window() as perf_win:
+        start = time.perf_counter()
+        downflow = performer.leave([leaver])
+        elapsed = time.perf_counter() - start
+    for member in remaining[:-1]:
+        group.contexts[member].process_downflow(downflow)
+    del group.contexts[leaver]
+    group.members = remaining
+    group.join()  # restore the original size
+    return elapsed, _merged_window([perf_win])
+
+
+def _cycle_ckd_join(group: ProtocolGroup) -> Sample:
+    name = group._fresh_name()
+    joiner = group._make_context(name)
+    controller = group.contexts[group.members[0]]
+    with controller.counter.window() as ctrl_win:
+        with joiner.counter.window() as join_win:
+            start = time.perf_counter()
+            hello = controller.start_join(name)
+            response = joiner.process_hello(hello)
+            keydist = controller.process_response(response)
+            joiner.process_keydist(keydist)
+            elapsed = time.perf_counter() - start
+    for member in group.members[1:]:
+        group.contexts[member].process_keydist(keydist)
+    group.members.append(name)
+    group.leave(name)  # restore: controller distributes without the joiner
+    return elapsed, _merged_window([ctrl_win, join_win])
+
+
+def _cycle_ckd_leave(group: ProtocolGroup) -> Sample:
+    leaver = group.members[-1]  # newest member: a plain (round-3-only) leave
+    controller = group.contexts[group.members[0]]
+    remaining = [m for m in group.members if m != leaver]
+    with controller.counter.window() as ctrl_win:
+        start = time.perf_counter()
+        keydist = controller.leave([leaver])
+        elapsed = time.perf_counter() - start
+    for member in remaining[1:]:
+        group.contexts[member].process_keydist(keydist)
+    del group.contexts[leaver]
+    group.members = remaining
+    group.join()  # restore the original size
+    return elapsed, _merged_window([ctrl_win])
+
+
+_CYCLES: Dict[Tuple[str, str], Callable[[ProtocolGroup], Sample]] = {
+    ("cliques", "join"): _cycle_cliques_join,
+    ("cliques", "leave"): _cycle_cliques_leave,
+    ("ckd", "join"): _cycle_ckd_join,
+    ("ckd", "leave"): _cycle_ckd_leave,
+}
+
+
+def run_cell(
+    protocol: str,
+    operation: str,
+    size: int,
+    iterations: int,
+    params: Optional[DHParams] = None,
+) -> Dict[str, object]:
+    """One A/B cell: interleaved fast/reference timings of one operation
+    at one group size.  ``size`` is the group size the operation *ends*
+    at for joins and *starts* at for leaves (the paper's convention)."""
+    params = params if params is not None else DHParams.paper_512()
+    cycle = _CYCLES[(protocol, operation)]
+    group = ProtocolGroup(
+        protocol,
+        params=params,
+        seed=stable_seed("keyagree", protocol, operation, size),
+    )
+    group.grow_to(size - 1 if operation == "join" else size)
+    _warm_tables(group)
+    # One untimed warm-up cycle per backend: builds any remaining tables
+    # and touches the same code paths so iteration 1 is steady-state.
+    for warm in (True, False):
+        with fixed_base.fast_backend(warm):
+            cycle(group)
+
+    fast_samples: List[Sample] = []
+    ref_samples: List[Sample] = []
+    for index in range(2 * iterations):
+        fast_turn = index % 2 == 0  # strict interleaving: drift-proof ratio
+        with fixed_base.fast_backend(fast_turn):
+            sample = cycle(group)
+        (fast_samples if fast_turn else ref_samples).append(sample)
+
+    fast_counts = [counts for _, counts in fast_samples]
+    ref_counts = [counts for _, counts in ref_samples]
+    counts_identical = all(c == fast_counts[0] for c in fast_counts + ref_counts)
+    fast_median = _median([elapsed for elapsed, _ in fast_samples])
+    ref_median = _median([elapsed for elapsed, _ in ref_samples])
+    return {
+        "protocol": protocol,
+        "operation": operation,
+        "size": size,
+        "iterations": iterations,
+        "fast_median_s": fast_median,
+        "ref_median_s": ref_median,
+        "speedup": ref_median / fast_median,
+        "counts_identical": counts_identical,
+        "exp_counts": fast_counts[0],
+    }
+
+
+def run_harness(
+    quick: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+    iterations: Optional[int] = None,
+    params: Optional[DHParams] = None,
+) -> Dict[str, object]:
+    """Run every (protocol, operation, size) cell; returns the JSON-ready
+    document.  ``quick`` is the tier-1 smoke configuration."""
+    params = params if params is not None else DHParams.paper_512()
+    sizes = tuple(sizes) if sizes else (QUICK_SIZES if quick else FULL_SIZES)
+    iterations = iterations or (QUICK_ITERATIONS if quick else FULL_ITERATIONS)
+    cells = [
+        run_cell(protocol, operation, size, iterations, params)
+        for protocol in ("cliques", "ckd")
+        for operation in ("join", "leave")
+        for size in sizes
+    ]
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "quick": quick,
+        "params": params.name,
+        "sizes": list(sizes),
+        "iterations": iterations,
+        "cells": cells,
+        "median_speedup_joinleave": _median([c["speedup"] for c in cells]),
+        "all_counts_identical": all(c["counts_identical"] for c in cells),
+        "fixed_base_cache": fixed_base.default_cache().stats(),
+    }
+
+
+def write_report(
+    document: Dict[str, object], output: Optional[Path] = None
+) -> Path:
+    """Write the result document as pretty JSON; returns the path."""
+    path = Path(output) if output is not None else _DEFAULT_OUTPUT
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.keyagree",
+        description="Control-plane fast-path A/B harness (key agreement)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke-sized run (< 5 s)"
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None, help="group sizes"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, help="A/B rounds per cell"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"output JSON path (default: {_DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    document = run_harness(
+        quick=args.quick, sizes=args.sizes, iterations=args.iterations
+    )
+    document["harness_elapsed_s"] = time.perf_counter() - started
+    path = write_report(document, args.output)
+    print(f"wrote {path}")
+    for cell in document["cells"]:
+        print(
+            f"  {cell['protocol']:8s} {cell['operation']:6s} n={cell['size']:<4d}"
+            f" fast {cell['fast_median_s'] * 1e3:8.2f} ms"
+            f"  ref {cell['ref_median_s'] * 1e3:8.2f} ms"
+            f"  x{cell['speedup']:.2f}"
+            f"  counts_identical={cell['counts_identical']}"
+        )
+    print(
+        f"  median speedup {document['median_speedup_joinleave']:.2f}x,"
+        f" counts identical: {document['all_counts_identical']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

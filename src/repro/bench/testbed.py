@@ -26,6 +26,7 @@ from repro.net.network import Network
 from repro.secure.events import SecureMembershipEvent
 from repro.secure.session import CryptoCostModel, SecureClient
 from repro.sim.kernel import Kernel
+from repro.sim.rng import stable_seed
 from repro.sim.trace import Tracer
 from repro.spread.client import SpreadClient
 from repro.spread.config import SpreadConfig
@@ -66,7 +67,7 @@ class ProtocolGroup:
     # -- membership helpers ---------------------------------------------------
 
     def _make_context(self, name: str):
-        source = DeterministicSource(hash((self._seed, name)) & 0xFFFFFFFF)
+        source = DeterministicSource(stable_seed(self._seed, name))
         keypair = DHKeyPair.generate(self.params, source)
         self.directory.register(name, keypair.public)
         cls = CliquesContext if self.protocol == "cliques" else CKDContext
@@ -234,7 +235,7 @@ class SecureTestbed:
         raw = SpreadClient(self.kernel, name, self.daemons[daemon])
         raw.connect()
         flush = FlushClient(raw, auto_flush=False)
-        source = DeterministicSource(hash((self._seed, name)) & 0xFFFFFFFF)
+        source = DeterministicSource(stable_seed(self._seed, name))
         keypair = DHKeyPair.generate(self.params, source)
         member = SecureClient(
             flush=flush,

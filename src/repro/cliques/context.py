@@ -53,6 +53,7 @@ from repro.cliques.tokens import (
 )
 from repro.crypto.bigint import mod_inverse
 from repro.crypto.counters import ExpCounter
+from repro.crypto.multiexp import shared_exponent_powers
 from repro.crypto.dh import DHKeyPair, DHParams
 from repro.crypto.random_source import RandomSource, SystemSource
 from repro.errors import CliquesError, ControllerError, TokenError
@@ -242,21 +243,29 @@ class CliquesContext:
             raise CliquesError(f"{self.name}: controller state incomplete")
 
         refresh = self._fresh_share()
-        entries: Dict[str, AuthenticatedEntry] = {}
-        for member in self.members:
-            if member == self.name:
-                # Own partial key: the fresh factor cancels against the
-                # refreshed share, so the plain base is reused unchanged.
-                entries[member] = AuthenticatedEntry(self._own_base, frozenset())
-            else:
-                old = self._entries[member]
-                entries[member] = AuthenticatedEntry(
-                    self.params.exp(old.value, refresh, self.counter, "update_share"),
-                    old.auth_tags,
-                )
-        full_value = self.params.exp(
-            self._group_secret, refresh, self.counter, "update_share"
+        # All partial keys and the full value take the same fresh
+        # exponent — one shared-exponent batch (counted identically to
+        # the per-member loop it replaces).
+        others = [member for member in self.members if member != self.name]
+        updated = shared_exponent_powers(
+            [self._entries[member].value for member in others]
+            + [self._group_secret],
+            refresh,
+            self.params.p,
+            self.counter,
+            "update_share",
         )
+        # Own partial key: the fresh factor cancels against the
+        # refreshed share, so the plain base is reused unchanged.
+        entries: Dict[str, AuthenticatedEntry] = {
+            self.name: AuthenticatedEntry(self._own_base, frozenset())
+        }
+        for member, value in zip(others, updated):
+            entries[member] = AuthenticatedEntry(
+                value, self._entries[member].auth_tags
+            )
+        entries = {member: entries[member] for member in self.members}
+        full_value = updated[-1]
         # Long-term key with the joiner, needed to recover the new secret
         # from its downflow (computed now, per the paper's accounting).
         self._long_term_exponent(new_member)
@@ -414,14 +423,20 @@ class CliquesContext:
             self.counter,
             "session_key",
         )
+        # Every remaining partial key takes the same fresh exponent —
+        # a shared-exponent batch, counted like the loop it replaces.
+        others = [member for member in remaining if member != self.name]
+        refreshed = shared_exponent_powers(
+            [self._entries[member].value for member in others],
+            refresh,
+            self.params.p,
+            self.counter,
+            "encrypt_session_key",
+        )
         entries: Dict[str, AuthenticatedEntry] = {}
-        for member in remaining:
-            if member == self.name:
-                continue
-            old = self._entries[member]
+        for member, value in zip(others, refreshed):
             entries[member] = AuthenticatedEntry(
-                self.params.exp(old.value, refresh, self.counter, "encrypt_session_key"),
-                old.auth_tags,
+                value, self._entries[member].auth_tags
             )
         self._my_share = (self._my_share * refresh) % self.params.q
         self._group_secret = new_secret

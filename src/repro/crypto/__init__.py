@@ -20,9 +20,19 @@ Everything the secure group layer needs:
 * :mod:`repro.crypto.kdf` — key derivation from the group secret.
 * :mod:`repro.crypto.random_source` — CSPRNG with a deterministic test
   mode.
+* :mod:`repro.crypto.fixed_base` / :mod:`repro.crypto.multiexp` — the
+  control-plane fast path: fixed-base exponentiation tables behind
+  ``mod_exp`` and batched multi-exponentiation for token construction.
 """
 
 from repro.crypto.bigint import mod_exp, mod_inverse
+from repro.crypto.fixed_base import (
+    FixedBaseCache,
+    fast_backend,
+    fast_backend_enabled,
+    set_fast_backend,
+)
+from repro.crypto.multiexp import multi_exp, shared_base_powers, shared_exponent_powers
 from repro.crypto.blowfish import Blowfish
 from repro.crypto.counters import ExpCounter, global_counter
 from repro.crypto.dh import DHParams, DHKeyPair
@@ -34,6 +44,13 @@ from repro.crypto.random_source import DeterministicSource, RandomSource, System
 __all__ = [
     "mod_exp",
     "mod_inverse",
+    "FixedBaseCache",
+    "fast_backend",
+    "fast_backend_enabled",
+    "set_fast_backend",
+    "multi_exp",
+    "shared_base_powers",
+    "shared_exponent_powers",
     "Blowfish",
     "ExpCounter",
     "global_counter",

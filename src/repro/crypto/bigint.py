@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.crypto import fixed_base
 from repro.crypto.counters import ExpCounter, global_counter
 from repro.errors import ParameterError
 
@@ -19,6 +20,7 @@ def mod_exp(
     modulus: int,
     counter: Optional[ExpCounter] = None,
     label: str = "exp",
+    counted: bool = True,
 ) -> int:
     """Modular exponentiation ``base ** exponent mod modulus``, counted.
 
@@ -31,10 +33,28 @@ def mod_exp(
     label:
         What this exponentiation is for; benches aggregate by label to
         reproduce the paper's per-row breakdowns.
+    counted:
+        ``False`` for exponentiations outside the paper's cost model
+        (one-time key-pair generation, parameter validation): they still
+        run through this single choke point — and the fast backend — but
+        leave every counter untouched.
+
+    The recording happens *before* a backend is chosen, and the
+    fixed-base backend (:mod:`repro.crypto.fixed_base`) computes the
+    identical integer, so counters and results are byte-for-byte the
+    same whether the fast path is on or off.
     """
     if modulus <= 0:
         raise ParameterError(f"modulus must be positive, got {modulus}")
-    (counter if counter is not None else global_counter()).record(label)
+    if base < 0 or base >= modulus:
+        # Reduce once up front so every backend sees the same canonical
+        # base (and fixed-base table keys never alias a reduced twin).
+        base %= modulus
+    if counted:
+        (counter if counter is not None else global_counter()).record(label)
+    fast = fixed_base.fast_pow(base, exponent, modulus)
+    if fast is not None:
+        return fast
     return pow(base, exponent, modulus)
 
 

@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.crypto.bigint import mod_exp
 from repro.crypto.counters import ExpCounter
+from repro.crypto.fixed_base import register_generator
 from repro.crypto.primes import (
     GENERATOR_512,
     RFC2409_GROUP2_G,
@@ -44,6 +45,9 @@ class DHParams:
             raise ParameterError("p must equal 2q + 1 (safe prime group)")
         if not 1 < self.g < self.p - 1:
             raise ParameterError(f"generator {self.g} out of range")
+        # Every g^x in the protocols can use a fixed-base table; the
+        # cache builds it lazily on the group's first exponentiation.
+        register_generator(self.g, self.p)
 
     @classmethod
     def paper_512(cls) -> "DHParams":
@@ -101,7 +105,7 @@ class DHParams:
         """Full (slow) validation: safe-prime check and generator order."""
         if not is_safe_prime(self.p):
             raise ParameterError("p is not a safe prime")
-        if pow(self.g, self.q, self.p) != 1:
+        if mod_exp(self.g, self.q, self.p, counted=False, label="validate") != 1:
             raise ParameterError("g does not generate the order-q subgroup")
 
     def random_exponent(self, source: RandomSource) -> int:
@@ -151,7 +155,9 @@ class DHKeyPair:
         """
         source = source if source is not None else SystemSource()
         private = params.random_exponent(source)
-        public = pow(params.g, private, params.p)
+        public = mod_exp(
+            params.g, private, params.p, counted=False, label="keypair_generate"
+        )
         return cls(params=params, private=private, public=public)
 
     def shared_secret(

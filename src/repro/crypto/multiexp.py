@@ -1,0 +1,169 @@
+"""Multi-exponentiation: batches of powers over one modulus.
+
+Token construction in the key-agreement control plane rarely needs one
+power — it needs a *family* of related powers per token:
+
+* CKD round 3 (:meth:`repro.ckd.protocol.CKDContext._distribute`): the
+  controller raises the **same** fresh session secret to one pairwise
+  exponent per member — a shared-base batch, where one comb table's
+  squaring chain is amortized over all n-1 members
+  (:func:`shared_base_powers`).
+* Cliques upflow prep and controller refresh
+  (:meth:`repro.cliques.context.CliquesContext.prep_join`,
+  ``_rekey_as_controller``): every stored partial value is raised to the
+  **same** fresh exponent — a shared-exponent batch
+  (:func:`shared_exponent_powers`).
+
+Shared-base batches are a genuine algorithmic win: the Lim-Lee comb
+(:class:`~repro.crypto.fixed_base.CombTable`) squares once per column
+*regardless of how many exponents* are evaluated, so a k-exponent batch
+costs one build (~one ``pow``) plus k cheap evaluations.  Shared
+*exponent* batches admit no analogous trick (distinct bases cannot share
+a squaring chain without becoming one interleaved product), so
+:func:`shared_exponent_powers` is routing, not algorithm: each base goes
+through the fixed-base cache, which wins exactly when bases are
+long-lived (generators, directory long-term keys) and falls back to
+``pow`` otherwise.
+
+:func:`multi_exp` is the classic Straus/Shamir interleaving for when the
+*product* of the powers is wanted rather than the individual powers —
+the shape A-GDH.2's single-exponentiation verification trick exploits.
+
+Every function records on the supplied
+:class:`~repro.crypto.counters.ExpCounter` exactly one count per
+requested power (via ``record(label, count=k)``), so Tables 2-4 cannot
+tell a batch from a loop of :func:`~repro.crypto.bigint.mod_exp` calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .counters import ExpCounter, global_counter
+from . import fixed_base
+from .fixed_base import CombTable, MIN_MODULUS_BITS
+
+#: Below this many exponents a shared-base comb build cannot pay for
+#: itself (build ≈ one ``pow``; each table evaluation saves ~0.7 of one).
+SHARED_BASE_MIN_BATCH = 3
+
+
+def _record(
+    counter: Optional[ExpCounter], label: str, count: int
+) -> None:
+    if count <= 0:
+        return
+    if counter is None:
+        counter = global_counter()
+    counter.record(label, count=count)
+
+
+def shared_base_powers(
+    base: int,
+    exponents: Sequence[int],
+    modulus: int,
+    counter: Optional[ExpCounter] = None,
+    label: str = "exp",
+) -> List[int]:
+    """``[base ** e % modulus for e in exponents]``, table-amortized.
+
+    Counts ``len(exponents)`` exponentiations under ``label`` — the same
+    snapshot a loop of ``mod_exp`` calls would record — *before* the
+    backend is chosen, so fast and reference backends are
+    count-identical.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    exponents = list(exponents)
+    _record(counter, label, len(exponents))
+    if not exponents:
+        return []
+    base %= modulus
+    if (
+        not fixed_base.fast_backend_enabled()
+        or base < 2
+        or modulus.bit_length() < MIN_MODULUS_BITS
+        or any(e < 0 for e in exponents)
+    ):
+        return [pow(base, e, modulus) for e in exponents]
+    table = fixed_base.default_cache().lookup(base, modulus)
+    if table is None:
+        if len(exponents) < SHARED_BASE_MIN_BATCH:
+            return [pow(base, e, modulus) for e in exponents]
+        # Local, throwaway table: token secrets are one-shot bases, so
+        # they amortize within the batch but never pollute the cache.
+        table = CombTable(base, modulus)
+    capacity = table.capacity_bits
+    return [
+        table.pow(e) if e.bit_length() <= capacity else pow(base, e, modulus)
+        for e in exponents
+    ]
+
+
+def shared_exponent_powers(
+    bases: Sequence[int],
+    exponent: int,
+    modulus: int,
+    counter: Optional[ExpCounter] = None,
+    label: str = "exp",
+) -> List[int]:
+    """``[b ** exponent % modulus for b in bases]``, cache-routed.
+
+    Distinct bases cannot share squaring work, so this wins only through
+    the fixed-base cache (generators and promoted long-lived bases); any
+    base without a table costs exactly one ``pow``.  Counts
+    ``len(bases)`` exponentiations under ``label``.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    bases = list(bases)
+    _record(counter, label, len(bases))
+    results: List[int] = []
+    for base in bases:
+        if base < 0 or base >= modulus:
+            base %= modulus
+        fast = fixed_base.fast_pow(base, exponent, modulus)
+        results.append(pow(base, exponent, modulus) if fast is None else fast)
+    return results
+
+
+def multi_exp(
+    pairs: Sequence[Tuple[int, int]],
+    modulus: int,
+    counter: Optional[ExpCounter] = None,
+    label: Optional[str] = None,
+) -> int:
+    """``prod(b ** e for b, e in pairs) % modulus`` by Straus interleaving.
+
+    One shared squaring chain over the maximum exponent width with one
+    conditional multiply per (pair, bit) — ~k/2 multiplies per squaring
+    for k pairs versus k full ``pow`` calls plus k-1 multiplies naively.
+    Not counted unless a ``label`` is given (the product is a *verifier*
+    shape; the paper's tables count the per-power protocol operations).
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    if label is not None:
+        _record(counter, label, len(pairs))
+    if modulus == 1:
+        return 0
+    reduced: List[Tuple[int, int]] = []
+    outside = 1  # negative-exponent factors: folded in after the chain
+    for base, exponent in pairs:
+        base %= modulus
+        if exponent < 0:
+            # Rare in protocol code; keep correctness via pow's own
+            # modular-inverse handling.
+            outside = (outside * pow(base, exponent, modulus)) % modulus
+        elif exponent and base != 1:
+            reduced.append((base, exponent))
+    if not reduced:
+        return outside
+    width = max(e.bit_length() for _, e in reduced)
+    acc = 1
+    for bit in range(width - 1, -1, -1):
+        acc = (acc * acc) % modulus
+        for base, exponent in reduced:
+            if (exponent >> bit) & 1:
+                acc = (acc * base) % modulus
+    return (acc * outside) % modulus

@@ -43,6 +43,7 @@ from repro.crypto.kdf import derive_keys
 from repro.crypto.random_source import RandomSource, SystemSource
 from repro.errors import ReproError
 from repro.secure.dataprotect import DataProtector, SealedMessage
+from repro.sim.rng import stable_seed
 from repro.spread.messages import DataMessage
 from repro.types import ViewId
 
@@ -377,7 +378,7 @@ def secure_all_daemons(
     directory = KeyDirectory()
     layers: Dict[str, DaemonSecurity] = {}
     for name, daemon in sorted(daemons.items()):
-        source = DeterministicSource(hash((seed, name)) & 0xFFFFFFFF)
+        source = DeterministicSource(stable_seed(seed, name))
         keypair = DHKeyPair.generate(params, source)
         security = DaemonSecurity(
             daemon, params, keypair, directory, source=source,

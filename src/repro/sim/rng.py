@@ -15,6 +15,19 @@ from typing import Sequence, TypeVar
 T = TypeVar("T")
 
 
+def stable_seed(*parts: object) -> int:
+    """A 32-bit seed derived from ``parts`` by hashing their reprs.
+
+    Unlike built-in ``hash`` (salted per process by ``PYTHONHASHSEED``),
+    this is stable across processes and runs — required wherever a seed
+    crosses a process boundary, e.g. the parallel sweep runner fanning
+    (group size, trial) cells across a :class:`ProcessPoolExecutor`.
+    """
+    text = "\x1f".join(repr(part) for part in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
 class DeterministicRng:
     """A labelled, forkable wrapper around :class:`random.Random`."""
 

@@ -11,6 +11,7 @@ from repro.cliques.directory import KeyDirectory
 from repro.crypto.counters import ExpCounter
 from repro.crypto.dh import DHKeyPair, DHParams
 from repro.crypto.random_source import DeterministicSource
+from repro.sim.rng import stable_seed
 
 
 class CKDTestGroup:
@@ -25,7 +26,7 @@ class CKDTestGroup:
         self._seed = seed
 
     def make_context(self, name: str) -> CKDContext:
-        source = DeterministicSource(hash((self._seed, name)) & 0xFFFFFFFF)
+        source = DeterministicSource(stable_seed(self._seed, name))
         keypair = DHKeyPair.generate(self.params, source)
         self.directory.register(name, keypair.public)
         ctx = CKDContext(

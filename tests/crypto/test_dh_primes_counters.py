@@ -106,6 +106,26 @@ def test_keypair_with_system_source():
     assert 1 < pair.public < pair.params.p
 
 
+def test_keypair_generate_leaves_counters_untouched():
+    # Long-term key creation is outside the paper's per-operation costs:
+    # it routes through mod_exp (the single choke point) but uncounted.
+    from repro.crypto.counters import global_counter
+
+    counter = ExpCounter()
+    before = global_counter().total
+    DHKeyPair.generate(DHParams.tiny_test(), DeterministicSource(5), counter)
+    assert counter.total == 0
+    assert global_counter().total == before
+
+
+def test_validate_leaves_counters_untouched():
+    from repro.crypto.counters import global_counter
+
+    before = global_counter().total
+    DHParams.tiny_test().validate()
+    assert global_counter().total == before
+
+
 def test_random_exponent_in_range():
     params = DHParams.tiny_test()
     source = DeterministicSource(3)

@@ -1,0 +1,102 @@
+"""Multi-exponentiation batches: agreement with naive loops and
+counter equivalence."""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto import fixed_base
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHParams
+from repro.crypto.multiexp import (
+    multi_exp,
+    shared_base_powers,
+    shared_exponent_powers,
+)
+
+P512 = DHParams.paper_512()
+
+
+def test_shared_base_powers_match_pow():
+    rng = random.Random(1)
+    base = pow(P512.g, 0xACE, P512.p)
+    exponents = [rng.randrange(0, P512.q) for _ in range(9)] + [0, 1, P512.q]
+    assert shared_base_powers(base, exponents, P512.p) == [
+        pow(base, e, P512.p) for e in exponents
+    ]
+
+
+def test_shared_base_powers_small_batch_and_empty():
+    base = pow(P512.g, 3, P512.p)
+    assert shared_base_powers(base, [], P512.p) == []
+    assert shared_base_powers(base, [7], P512.p) == [pow(base, 7, P512.p)]
+
+
+def test_shared_base_powers_identical_on_both_backends():
+    rng = random.Random(2)
+    base = pow(P512.g, 0xD00D, P512.p)
+    exponents = [rng.randrange(0, P512.q) for _ in range(6)]
+    with fixed_base.fast_backend(True):
+        fast = shared_base_powers(base, exponents, P512.p)
+    with fixed_base.fast_backend(False):
+        ref = shared_base_powers(base, exponents, P512.p)
+    assert fast == ref
+
+
+def test_shared_base_powers_counter_matches_a_loop():
+    base = pow(P512.g, 5, P512.p)
+    exponents = [11, 22, 33, 44]
+    batch_counter = ExpCounter()
+    shared_base_powers(base, exponents, P512.p, batch_counter, "encrypt_session_key")
+    loop_counter = ExpCounter()
+    for _ in exponents:
+        loop_counter.record("encrypt_session_key")
+    assert batch_counter.snapshot() == loop_counter.snapshot()
+    assert batch_counter.total == loop_counter.total
+
+
+def test_shared_exponent_powers_match_pow():
+    rng = random.Random(3)
+    bases = [rng.randrange(2, P512.p) for _ in range(7)]
+    exponent = rng.randrange(2, P512.q)
+    counter = ExpCounter()
+    result = shared_exponent_powers(bases, exponent, P512.p, counter, "update_share")
+    assert result == [pow(b, exponent, P512.p) for b in bases]
+    assert counter.snapshot() == {"update_share": len(bases)}
+
+
+def test_shared_exponent_powers_reduce_out_of_range_bases():
+    bases = [-3, P512.p + 9]
+    assert shared_exponent_powers(bases, 17, P512.p) == [
+        pow(b, 17, P512.p) for b in bases
+    ]
+
+
+def test_multi_exp_matches_naive_product():
+    rng = random.Random(4)
+    for count in (1, 2, 5):
+        pairs = [
+            (rng.randrange(2, P512.p), rng.randrange(0, P512.q))
+            for _ in range(count)
+        ]
+        naive = 1
+        for b, e in pairs:
+            naive = naive * pow(b, e, P512.p) % P512.p
+        assert multi_exp(pairs, P512.p) == naive
+
+
+def test_multi_exp_edge_cases():
+    assert multi_exp([], P512.p) == 1
+    assert multi_exp([(5, 0), (1, 99)], P512.p) == 1
+    assert multi_exp([(0, 3)], P512.p) == 0
+    # Negative exponents fold in through pow's modular inverse.
+    assert multi_exp([(7, -2), (7, 2)], P512.p) == 1
+    assert multi_exp([(3, 5)], 1) == 0
+
+
+def test_multi_exp_counts_only_when_labelled():
+    counter = ExpCounter()
+    multi_exp([(3, 5), (7, 9)], P512.p, counter)
+    assert counter.total == 0
+    multi_exp([(3, 5), (7, 9)], P512.p, counter, "verify")
+    assert counter.snapshot() == {"verify": 2}

@@ -12,6 +12,7 @@ from repro.crypto.random_source import DeterministicSource
 from repro.secure.events import SecureDataEvent, SecureMembershipEvent
 from repro.secure.session import CryptoCostModel, SecureClient
 from repro.spread.flush import FlushClient
+from repro.sim.rng import stable_seed
 
 from tests.spread.conftest import Cluster
 
@@ -45,7 +46,7 @@ class SecureHarness:
     def member(self, name: str, daemon: str) -> SecureClient:
         raw = self.cluster.client(name, daemon)
         flush = FlushClient(raw, auto_flush=False)
-        source = DeterministicSource(hash((self._seed, name)) & 0xFFFFFFFF)
+        source = DeterministicSource(stable_seed(self._seed, name))
         keypair = DHKeyPair.generate(self.params, source)
         secure = SecureClient(
             flush=flush,

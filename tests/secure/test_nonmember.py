@@ -10,6 +10,7 @@ from repro.secure.nonmember import (
     OutsiderChannel,
     OutsiderDataEvent,
 )
+from repro.sim.rng import stable_seed
 
 from tests.secure.conftest import SecureHarness
 
@@ -28,7 +29,7 @@ def build_group_with_gateways(h, names=("a", "b"), group="g"):
 
 def make_outsider(h, name, daemon, group="g"):
     raw = h.cluster.client(name, daemon)
-    source = DeterministicSource(hash((77, name)) & 0xFFFFFFFF)
+    source = DeterministicSource(stable_seed(77, name))
     keypair = DHKeyPair.generate(h.params, source)
     outsider = OutsiderChannel(
         raw, group, h.params, keypair, h.directory, random_source=source
