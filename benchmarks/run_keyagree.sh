@@ -1,7 +1,9 @@
 #!/bin/sh
 # Run the control-plane key-agreement A/B harness plus the parallel
 # figure sweep and record BENCH_keyagree.json at the repo root.  Pass
-# --quick for a smoke-sized run or --output PATH to redirect the report.
+# --quick for a smoke-sized run, --output PATH to redirect the report,
+# or --modules cliques,ckd,tgdh to bench a protocol subset (default:
+# all three).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)

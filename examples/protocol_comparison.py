@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Cliques vs CKD: the paper's experimental comparison, in miniature.
+"""Cliques vs CKD vs TGDH: the paper's experimental comparison, in
+miniature.
 
 Reproduces the heart of Section 6 at the command line: for a range of
-group sizes, run a join and a leave under both key management modules,
-report the serial exponentiation counts against the paper's formulas
-(Table 4) and the modeled CPU time on the paper's two platforms
-(Figure 4).
+group sizes, run a join and a leave under all three key management
+modules, report the serial exponentiation counts against the paper's
+formulas (Table 4) and the modeled CPU time on the paper's two
+platforms (Figure 4).  TGDH post-dates the paper's tables, so its rows
+carry no Table 4 reference — its point is the O(log n) column shape
+against the O(n) rows above it.
 
 Run:  python examples/protocol_comparison.py
 """
@@ -17,12 +20,32 @@ from repro.bench.testbed import ProtocolGroup
 
 SIZES = [3, 5, 10, 15]
 
+PROTOCOLS = (("cliques", "Cliques"), ("ckd", "CKD"), ("tgdh", "TGDH"))
+
+
+def join_sponsor(group: ProtocolGroup) -> str:
+    """The member that pays the serial join cost: the Cliques/CKD
+    controller, or the TGDH insertion-leaf sponsor."""
+    if group.protocol == "tgdh":
+        anyone = group.contexts[group.members[0]]
+        return anyone.sponsor_for([], ["znew"])
+    return group.key_controller
+
+
+def leave_sponsor(group: ProtocolGroup, leaver: str) -> str:
+    if group.protocol == "tgdh":
+        remaining = [m for m in group.members if m != leaver]
+        return group.contexts[remaining[0]].sponsor_for([leaver], [])
+    if group.protocol == "cliques":
+        return group.members[-2]
+    return group.members[1]
+
 
 def serial_join(protocol: str, n: int) -> int:
     group = ProtocolGroup(protocol)
     group.grow_to(n - 1)
-    controller = group.key_controller
-    with group.counter_of(controller).window() as window:
+    sponsor = join_sponsor(group)
+    with group.counter_of(sponsor).window() as window:
         joiner = group.join()
     return window.total + group.counter_of(joiner).total
 
@@ -31,7 +54,7 @@ def serial_controller_leave(protocol: str, n: int) -> int:
     group = ProtocolGroup(protocol)
     group.grow_to(n)
     leaver = group.key_controller
-    performer = group.members[-2] if protocol == "cliques" else group.members[1]
+    performer = leave_sponsor(group, leaver)
     with group.counter_of(performer).window() as window:
         group.leave(leaver)
     return window.total - window.get("controller_hello")
@@ -48,14 +71,19 @@ def main() -> None:
     )
     for n in SIZES:
         paper = table4(n)
-        for protocol, label in (("cliques", "Cliques"), ("ckd", "CKD")):
+        for protocol, label in PROTOCOLS:
             join_count = serial_join(protocol, n)
             leave_count = serial_controller_leave(protocol, n)
+            if label in paper:
+                join_ref = paper[label]["Join"]
+                leave_ref = paper[label]["Controller leaves"]
+            else:
+                join_ref = leave_ref = "O(log n)"
             counts.add(
                 n,
                 label,
-                f"{join_count}/{paper[label]['Join']}",
-                f"{leave_count}/{paper[label]['Controller leaves']}",
+                f"{join_count}/{join_ref}",
+                f"{leave_count}/{leave_ref}",
             )
             modeled.add(
                 n,
@@ -70,8 +98,10 @@ def main() -> None:
         "Reading: Cliques joins cost ~3n exponentiations but distribute trust\n"
         "(every member contributes to the key and can be individually\n"
         "authenticated); CKD joins cost ~n+6 but depend on one controller,\n"
-        "whose departure costs 3n-5.  The paper's conclusion — distributed\n"
-        "key agreement is affordable — falls out of the numbers above."
+        "whose departure costs 3n-5; TGDH pays O(log n) on every event by\n"
+        "localizing rekeying to one root-to-leaf path of the key tree.  The\n"
+        "paper's conclusion — distributed key agreement is affordable —\n"
+        "falls out of the numbers above."
     )
     print("protocol comparison OK")
 

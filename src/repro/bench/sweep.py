@@ -247,6 +247,15 @@ def main(argv=None) -> int:
         "--skip-sweep", action="store_true", help="A/B harness only"
     )
     parser.add_argument(
+        "--modules",
+        type=str,
+        default=None,
+        help=(
+            "comma-separated protocol subset for the A/B harness"
+            f" (default: {','.join(keyagree.MODULES)})"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -257,7 +266,9 @@ def main(argv=None) -> int:
     started = time.perf_counter()
     # The A/B harness times interleaved operations: it must own the CPU,
     # so it runs serially, before any worker processes exist.
-    document = keyagree.run_harness(quick=args.quick)
+    document = keyagree.run_harness(
+        quick=args.quick, modules=keyagree._parse_modules(args.modules)
+    )
     if not args.skip_sweep:
         document["sweep"] = run_sweep(
             figure3_sizes=args.figure3_sizes

@@ -33,6 +33,8 @@ from repro.spread.config import SpreadConfig
 from repro.spread.daemon import SpreadDaemon
 from repro.spread.flush import FlushClient
 from repro.spread.membership import STATE_OP
+from repro.tgdh.context import TGDHContext
+from repro.tgdh.tokens import TGDHTreeToken
 
 
 # ---------------------------------------------------------------------------
@@ -43,9 +45,11 @@ from repro.spread.membership import STATE_OP
 class ProtocolGroup:
     """Runs whole key agreement operations in memory, with counters.
 
-    ``protocol`` is "cliques" or "ckd".  Member names are "m0", "m1", ...
-    in join order.
+    ``protocol`` is "cliques", "ckd" or "tgdh".  Member names are "m0",
+    "m1", ... in join order.
     """
+
+    PROTOCOLS = ("cliques", "ckd", "tgdh")
 
     def __init__(
         self,
@@ -53,7 +57,7 @@ class ProtocolGroup:
         params: Optional[DHParams] = None,
         seed: int = 0,
     ) -> None:
-        if protocol not in ("cliques", "ckd"):
+        if protocol not in self.PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}")
         self.protocol = protocol
         self.params = params if params is not None else DHParams.tiny_test()
@@ -70,7 +74,11 @@ class ProtocolGroup:
         source = DeterministicSource(stable_seed(self._seed, name))
         keypair = DHKeyPair.generate(self.params, source)
         self.directory.register(name, keypair.public)
-        cls = CliquesContext if self.protocol == "cliques" else CKDContext
+        cls = {
+            "cliques": CliquesContext,
+            "ckd": CKDContext,
+            "tgdh": TGDHContext,
+        }[self.protocol]
         ctx = cls(
             name=name,
             params=self.params,
@@ -92,8 +100,14 @@ class ProtocolGroup:
 
     @property
     def key_controller(self) -> str:
-        """The member holding the controller role (protocol-specific)."""
-        return self.members[-1] if self.protocol == "cliques" else self.members[0]
+        """The member holding the controller role (protocol-specific):
+        Cliques keys the newest member, CKD the oldest, TGDH the member
+        at the tree's sponsor seat (its rightmost leaf)."""
+        if self.protocol == "cliques":
+            return self.members[-1]
+        if self.protocol == "tgdh":
+            return self.contexts[self.members[0]].controller
+        return self.members[0]
 
     # -- operations --------------------------------------------------------------
 
@@ -111,10 +125,42 @@ class ProtocolGroup:
         while len(self.members) < size:
             self.join()
 
+    def _tgdh_converge(self, token: TGDHTreeToken) -> None:
+        """Deliver the sponsor's broadcast (and any follow-up blinded-key
+        gossip) until every member holds the root secret."""
+        queue = [token]
+        while queue:
+            current = queue.pop(0)
+            for member in self.members:
+                if member == current.sender:
+                    continue
+                ctx = self.contexts[member]
+                out = (
+                    ctx.process_tree(current)
+                    if isinstance(current, TGDHTreeToken)
+                    else ctx.process_update(current)
+                )
+                if out is not None:
+                    queue.append(out)
+
     def join(self) -> str:
         name = self._fresh_name()
         joiner = self._make_context(name)
-        if self.protocol == "cliques":
+        if self.protocol == "tgdh":
+            announce = joiner.make_join_request(self.group_name)
+            if not self.members:
+                joiner.create_first(self.group_name)
+            else:
+                sponsor_name = self.contexts[self.members[0]].sponsor_for(
+                    [], [name]
+                )
+                token = self.contexts[sponsor_name].start_event(
+                    [], {name: announce.blinded}
+                )
+                self.members.append(name)
+                self._tgdh_converge(token)
+                return name
+        elif self.protocol == "cliques":
             controller = self.contexts[self.members[-1]]
             upflow = controller.prep_join(name)
             downflow = joiner.process_upflow(upflow)
@@ -134,6 +180,14 @@ class ProtocolGroup:
         """Remove a member (default: the key controller — the paper's
         benchmarked case for Cliques).  Returns the leaver's name."""
         leaver = name if name is not None else self.key_controller
+        if self.protocol == "tgdh":
+            remaining = [m for m in self.members if m != leaver]
+            sponsor_name = self.contexts[remaining[0]].sponsor_for([leaver], [])
+            del self.contexts[leaver]
+            self.members = remaining
+            token = self.contexts[sponsor_name].start_event([leaver], {})
+            self._tgdh_converge(token)
+            return leaver
         if self.protocol == "cliques":
             remaining = [m for m in self.members if m != leaver]
             performer = self.contexts[remaining[-1]]

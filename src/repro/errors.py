@@ -142,6 +142,10 @@ class CKDError(KeyAgreementError):
     """Centralized Key Distribution protocol violation or misuse."""
 
 
+class TGDHError(KeyAgreementError):
+    """Tree-based group Diffie-Hellman protocol violation or misuse."""
+
+
 # ---------------------------------------------------------------------------
 # Secure group layer
 # ---------------------------------------------------------------------------
@@ -165,3 +169,7 @@ class AgreementAbortedError(SecureGroupError):
 
 class ModuleNotFoundError_(SecureGroupError):
     """An unknown key-agreement or cipher module name was requested."""
+
+
+class ModuleRegistrationError(SecureGroupError):
+    """A key-agreement module registration conflicts with an existing one."""

@@ -83,7 +83,7 @@ class KeyAgreementModule(abc.ABC):
     group secret.
     """
 
-    #: Registry name ("cliques", "ckd") — set by subclasses.
+    #: Registry name ("cliques", "ckd", "tgdh") — set by subclasses.
     name: str = "abstract"
 
     @property

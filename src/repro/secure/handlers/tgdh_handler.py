@@ -1,0 +1,191 @@
+"""The TGDH (tree-based) key management module.
+
+Drives a :class:`~repro.tgdh.context.TGDHContext` from VS view changes —
+the third pluggable protocol, covering every Table 1 event with
+O(log n) serial exponentiations per member:
+
+* every membership change elects one **sponsor** deterministically from
+  the shared key tree (the insertion-leaf member for arrivals, the
+  rightmost leaf of the promoted subtree for departures), so no extra
+  coordination round is needed;
+* stateless members (fresh joiners, the losing sides of a network
+  merge, restart followers) broadcast a one-exponentiation join
+  announce; the sponsor collects the announces, restructures the tree,
+  and broadcasts it with every blinded key it can compute;
+* members climb their leaf-to-root path from the broadcast tree;
+  blinded keys the sponsor could not reach are gossiped by per-subtree
+  sponsors in at most ``height`` follow-up rounds (only compound
+  partition/merge events need any).
+
+The anchor/restart conventions match the Cliques and CKD modules, so
+the session layer treats all three identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHParams
+from repro.crypto.random_source import RandomSource
+from repro.errors import TokenError
+from repro.secure.handlers.base import KeyAgreementModule, OutMessage, ViewChange
+from repro.tgdh.context import TGDHContext
+from repro.tgdh.tokens import TGDHJoinToken, TGDHTreeToken, TGDHUpdateToken
+
+
+class _PendingEvent:
+    """Sponsor-side state while join announces are being collected."""
+
+    __slots__ = ("departed", "expected", "blinded")
+
+    def __init__(self, departed: List[str], expected: Set[str]) -> None:
+        self.departed = departed
+        self.expected = expected
+        self.blinded: Dict[str, int] = {}
+
+    @property
+    def complete(self) -> bool:
+        return self.expected == set(self.blinded)
+
+
+class TGDHModule(KeyAgreementModule):
+    """Tree-based group Diffie-Hellman, as a pluggable secure-layer module."""
+
+    name = "tgdh"
+
+    def __init__(
+        self,
+        member: str,
+        params: DHParams,
+        long_term=None,
+        directory=None,
+        source: Optional[RandomSource] = None,
+        counter: Optional[ExpCounter] = None,
+    ) -> None:
+        self.ctx = TGDHContext(
+            name=member,
+            params=params,
+            long_term=long_term,
+            directory=directory,
+            source=source,
+            counter=counter,
+        )
+        self._ready = False
+        self._pending: Optional[_PendingEvent] = None
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+    def secret(self) -> int:
+        return self.ctx.secret()
+
+    @property
+    def is_controller(self) -> bool:
+        return self.ctx.is_controller
+
+    @property
+    def has_state(self) -> bool:
+        return self.ctx.group is not None
+
+    @property
+    def counter(self) -> ExpCounter:
+        return self.ctx.counter
+
+    def reset(self) -> None:
+        self.ctx.reset()
+        self._ready = False
+        self._pending = None
+
+    # -- view handling -------------------------------------------------------
+
+    def _announce(self, group: str) -> List[OutMessage]:
+        """Stateless path: broadcast a fresh blinded leaf key."""
+        return [OutMessage(self.ctx.make_join_request(group))]
+
+    def _sponsor_event(
+        self, departed: List[str], arrived_blinded: Dict[str, int]
+    ) -> List[OutMessage]:
+        token = self.ctx.start_event(departed, arrived_blinded)
+        self._ready = self.ctx.has_key
+        return [OutMessage(token)]
+
+    def on_view(self, view: ViewChange) -> List[OutMessage]:
+        self._ready = False
+        self._pending = None
+        me = self.ctx.name
+        if self.ctx.group is not None and view.anchor not in set(self.ctx.members):
+            # We are on the losing side of a merge: drop the stale tree
+            # and re-enter through the join protocol.
+            self.reset()
+        if self.ctx.group is None:
+            if view.alone:
+                self.ctx.create_first(view.group)
+                self._ready = True
+                return []
+            return self._announce(view.group)
+        my_old = set(self.ctx.members)
+        new_set = set(view.members)
+        departed = sorted(my_old - new_set)
+        arrived = sorted(new_set - my_old)
+        if not departed and not arrived:
+            self._ready = self.ctx.has_key
+            return []
+        if self.ctx.sponsor_for(departed, arrived) != me:
+            return []  # wait for the sponsor's tree broadcast
+        if not arrived:
+            return self._sponsor_event(departed, {})
+        # Wait for every arrival's join announce before restructuring.
+        self._pending = _PendingEvent(departed, set(arrived))
+        return []
+
+    def on_restart(self, view: ViewChange) -> List[OutMessage]:
+        self.reset()
+        me = self.ctx.name
+        if view.anchor != me:
+            return self._announce(view.group)
+        self.ctx.create_first(view.group)
+        others = sorted(m for m in view.members if m != me)
+        if not others:
+            self._ready = True
+            return []
+        self._pending = _PendingEvent([], set(others))
+        return []
+
+    def refresh(self) -> List[OutMessage]:
+        token = self.ctx.refresh()
+        self._ready = True
+        return [OutMessage(token)]
+
+    # -- token handling ------------------------------------------------------
+
+    def on_token(self, sender: str, token: Any) -> List[OutMessage]:
+        me = self.ctx.name
+        if sender == me:
+            return []
+        if isinstance(token, TGDHJoinToken):
+            pending = self._pending
+            if pending is None or sender not in pending.expected:
+                return []  # not the collecting sponsor (or a stray announce)
+            if self.ctx.group is not None and token.group != self.ctx.group:
+                raise TokenError(
+                    f"{me}: join announce for group {token.group!r}"
+                    f" while in {self.ctx.group!r}"
+                )
+            pending.blinded[sender] = token.blinded
+            if not pending.complete:
+                return []
+            self._pending = None
+            return self._sponsor_event(pending.departed, pending.blinded)
+        if isinstance(token, TGDHTreeToken):
+            update = self.ctx.process_tree(token)
+            self._ready = self.ctx.has_key
+            return [OutMessage(update)] if update is not None else []
+        if isinstance(token, TGDHUpdateToken):
+            update = self.ctx.process_update(token)
+            self._ready = self.ctx.has_key
+            return [OutMessage(update)] if update is not None else []
+        raise TokenError(f"unexpected TGDH token: {type(token).__name__}")

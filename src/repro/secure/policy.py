@@ -2,10 +2,17 @@
 
 The paper's architecture chooses security modules *at run time as new
 groups are created* (§5.2): one group can run distributed Cliques while
-another runs centralized CKD in the same system.  The registry maps
-module names to factories; a policy hook decides which module a group
-gets (default: whatever the application asked for, falling back to
-Cliques).
+another runs centralized CKD — or tree-based TGDH — in the same system.
+The registry maps module names to factories; a policy hook decides which
+module a group gets (default: whatever the application asked for,
+falling back to Cliques).
+
+Third-party protocols plug in through :func:`register_module`: any
+factory with the standard keyword signature (``member``, ``params``,
+``long_term``, ``directory``, ``source``, ``counter``) returning a
+:class:`~repro.secure.handlers.base.KeyAgreementModule` becomes
+selectable by name in :meth:`SecureClient.join` — the paper's "drop-in
+replacement" claim, as an API.
 
 Access control and richer policy are explicitly out of scope in the
 paper (§1.2); :class:`AllowAllPolicy` marks the seam where such a
@@ -16,14 +23,60 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.errors import ModuleNotFoundError_
+from repro.errors import ModuleNotFoundError_, ModuleRegistrationError
 from repro.secure.handlers.base import KeyAgreementModule
 from repro.secure.handlers.ckd_handler import CKDModule
 from repro.secure.handlers.cliques_handler import CliquesModule
+from repro.secure.handlers.tgdh_handler import TGDHModule
 
 ModuleFactory = Callable[..., KeyAgreementModule]
 
 DEFAULT_MODULE = "cliques"
+
+#: The protocols shipped with secure Spread.
+_BUILTIN_MODULES: Dict[str, ModuleFactory] = {
+    "cliques": CliquesModule,
+    "ckd": CKDModule,
+    "tgdh": TGDHModule,
+}
+
+#: Extension modules added through :func:`register_module`.
+_EXTENSIONS: Dict[str, ModuleFactory] = {}
+
+
+def register_module(
+    name: str, factory: ModuleFactory, replace: bool = False
+) -> None:
+    """Make a key agreement module selectable by ``name`` in every
+    registry created after this call (the public extension hook).
+
+    Raises :class:`~repro.errors.ModuleRegistrationError` if the name
+    collides with a built-in or previously registered module, unless
+    ``replace`` is given (built-ins can never be replaced).
+    """
+    if not name or not isinstance(name, str):
+        raise ModuleRegistrationError(f"invalid module name: {name!r}")
+    if name in _BUILTIN_MODULES:
+        raise ModuleRegistrationError(
+            f"cannot shadow built-in key agreement module {name!r}"
+        )
+    if name in _EXTENSIONS and not replace:
+        raise ModuleRegistrationError(
+            f"key agreement module {name!r} is already registered"
+            f" (pass replace=True to override)"
+        )
+    _EXTENSIONS[name] = factory
+
+
+def unregister_module(name: str) -> None:
+    """Remove an extension module (built-ins cannot be removed)."""
+    if name in _BUILTIN_MODULES:
+        raise ModuleRegistrationError(
+            f"cannot unregister built-in key agreement module {name!r}"
+        )
+    if name not in _EXTENSIONS:
+        raise ModuleRegistrationError(f"no extension module named {name!r}")
+    del _EXTENSIONS[name]
 
 
 class ModuleRegistry:
@@ -33,8 +86,8 @@ class ModuleRegistry:
         self._factories: Dict[str, ModuleFactory] = {}
 
     def register(self, name: str, factory: ModuleFactory) -> None:
-        """Add (or replace) a module factory — the paper's "drop-in
-        replacement" point for new key agreement protocols."""
+        """Add (or replace) a module factory on this registry instance —
+        the per-client counterpart of :func:`register_module`."""
         self._factories[name] = factory
 
     def create(self, name: str, **kwargs) -> KeyAgreementModule:
@@ -51,10 +104,13 @@ class ModuleRegistry:
 
 
 def default_registry() -> ModuleRegistry:
-    """The registry shipped with secure Spread: Cliques and CKD."""
+    """The registry shipped with secure Spread — Cliques, CKD and TGDH —
+    plus any extensions added through :func:`register_module`."""
     registry = ModuleRegistry()
-    registry.register("cliques", CliquesModule)
-    registry.register("ckd", CKDModule)
+    for name, factory in _BUILTIN_MODULES.items():
+        registry.register(name, factory)
+    for name, factory in _EXTENSIONS.items():
+        registry.register(name, factory)
     return registry
 
 

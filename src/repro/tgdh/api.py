@@ -1,0 +1,92 @@
+"""TGDH_API: the driver-level surface of the TGDH key agreement.
+
+Mirrors :mod:`repro.cliques.api` in shape — thin named wrappers over
+:class:`~repro.tgdh.context.TGDHContext` for drivers written against a
+flat C-style call surface.  New code can use the context methods
+directly.
+
+Call map:
+
+=====================  ==========================================
+``tgdh_new_ctx``        :func:`tgdh_new_ctx`
+``tgdh_first_member``   :func:`tgdh_first_member`
+``tgdh_join_request``   :func:`tgdh_join_request` (join announce)
+``tgdh_sponsor``        :func:`tgdh_sponsor` (deterministic election)
+``tgdh_event``          :func:`tgdh_event` (join/leave/partition/merge)
+``tgdh_refresh_key``    :func:`tgdh_refresh_key`
+``tgdh_process_token``  :func:`tgdh_process_token`
+``tgdh_destroy_ctx``    :func:`tgdh_destroy_ctx`
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.crypto.counters import ExpCounter
+from repro.crypto.dh import DHParams
+from repro.crypto.random_source import RandomSource
+from repro.errors import TokenError
+from repro.tgdh.context import TGDHContext
+from repro.tgdh.tokens import TGDHJoinToken, TGDHTreeToken, TGDHUpdateToken
+
+Token = Union[TGDHJoinToken, TGDHTreeToken, TGDHUpdateToken]
+
+
+def tgdh_new_ctx(
+    name: str,
+    params: DHParams,
+    long_term=None,
+    directory=None,
+    source: Optional[RandomSource] = None,
+    counter: Optional[ExpCounter] = None,
+) -> TGDHContext:
+    """Create a member context."""
+    return TGDHContext(name, params, long_term, directory, source, counter)
+
+
+def tgdh_first_member(ctx: TGDHContext, group: str) -> None:
+    """Create a singleton group."""
+    ctx.create_first(group)
+
+
+def tgdh_join_request(ctx: TGDHContext, group: str) -> TGDHJoinToken:
+    """Stateless member: announce a fresh blinded leaf key."""
+    return ctx.make_join_request(group)
+
+
+def tgdh_sponsor(
+    ctx: TGDHContext, departed: Sequence[str], arrived: Sequence[str]
+) -> str:
+    """Elect the sponsor of a membership event (same at every member)."""
+    return ctx.sponsor_for(departed, arrived)
+
+
+def tgdh_event(
+    ctx: TGDHContext, departed: Sequence[str], arrived_blinded: Dict[str, int]
+) -> TGDHTreeToken:
+    """Sponsor: apply any Table 1 event and broadcast the new tree."""
+    return ctx.start_event(departed, arrived_blinded)
+
+
+def tgdh_refresh_key(ctx: TGDHContext) -> TGDHTreeToken:
+    """Sponsor seat (rightmost leaf): force a new group secret."""
+    return ctx.refresh()
+
+
+def tgdh_process_token(ctx: TGDHContext, token: Token) -> Optional[TGDHUpdateToken]:
+    """Dispatch any received token; returns the update token this member
+    must broadcast next (if any).  Join announces are collected by the
+    event sponsor before :func:`tgdh_event` and carry no reply."""
+    if isinstance(token, TGDHTreeToken):
+        return ctx.process_tree(token)
+    if isinstance(token, TGDHUpdateToken):
+        return ctx.process_update(token)
+    if isinstance(token, TGDHJoinToken):
+        return None
+    raise TokenError(f"unknown token type: {type(token).__name__}")
+
+
+def tgdh_destroy_ctx(ctx: TGDHContext) -> None:
+    """Drop all key state (``clq_destroy_ctx`` moral equivalent)."""
+    ctx.reset()

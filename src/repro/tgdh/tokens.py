@@ -1,0 +1,70 @@
+"""TGDH protocol tokens.
+
+Three message kinds drive every Table 1 event:
+
+* :class:`TGDHJoinToken` — a stateless member (fresh joiner, or the
+  losing side of a network merge) announces its blinded leaf key;
+* :class:`TGDHTreeToken` — the sponsor broadcasts the restructured tree
+  with every blinded key it could compute;
+* :class:`TGDHUpdateToken` — blinded keys for nodes the sponsor could
+  not reach, published by the per-subtree sponsors; cascaded events need
+  at most ``height`` such rounds before every member holds the root.
+
+All tokens carry the group name and (except the join announce, whose
+sender has no state yet) the target epoch and member list, mirroring
+the Cliques tokens' stale-token guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.tgdh.tree import SerializedNode
+
+
+@dataclass(frozen=True)
+class TGDHJoinToken:
+    """Join announce: ``blinded`` is ``g^k mod p`` for the sender's fresh
+    leaf secret ``k``.  Carries no epoch — the sender has no tree yet."""
+
+    group: str
+    sender: str
+    blinded: int
+
+    def wire_size(self) -> int:
+        """Approximate on-the-wire size in bytes (for the network model)."""
+        return 64 + 64
+
+
+@dataclass(frozen=True)
+class TGDHTreeToken:
+    """Sponsor broadcast: the full restructured tree.  ``tree`` is the
+    nested-tuple serialization of :class:`~repro.tgdh.tree.TGDHTree`;
+    stale blinded keys are ``None`` until their sponsors publish them."""
+
+    group: str
+    sender: str
+    epoch: int
+    members: Tuple[str, ...]
+    tree: Optional[SerializedNode] = None
+
+    def wire_size(self) -> int:
+        # One blinded key (~64 bytes) per node; a tree over n members has
+        # 2n - 1 nodes.
+        return 64 + 80 * max(1, 2 * len(self.members) - 1)
+
+
+@dataclass(frozen=True)
+class TGDHUpdateToken:
+    """Blinded-key updates: node address (root-relative bit path) to the
+    newly computed ``BK = g^{k_node}``."""
+
+    group: str
+    sender: str
+    epoch: int
+    members: Tuple[str, ...]
+    blinded: Dict[str, int] = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        return 64 + 72 * max(1, len(self.blinded))

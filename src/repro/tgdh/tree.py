@@ -1,0 +1,334 @@
+"""The TGDH key tree.
+
+A binary tree whose leaves are group members.  Every node ``v`` has a
+secret key ``k_v`` and a *blinded key* ``BK_v = g^{k_v} mod p``; an
+internal node's secret is the pairwise Diffie-Hellman key of its
+children, ``k_v = BK_right ^ k_left = BK_left ^ k_right``.  Blinded keys
+are public and travel in tokens; secrets never leave the members that
+can derive them (exactly the leaves below the node).
+
+This module is pure structure: insertion, deletion, subtree merge,
+sponsor election, serialization.  All number-theoretic work (computing
+secrets and blinded keys) lives in :mod:`repro.tgdh.context`.
+
+Determinism
+-----------
+Every member must derive the identical tree from the same event, so all
+structural rules are canonical:
+
+* **insertion point** — the shallowest leaf, rightmost among ties
+  (fills the tree level by level, keeping height at ``ceil(log2 n)``
+  under sequential joins);
+* **batch arrivals** — attached as one balanced subtree of the sorted
+  joiner names at the insertion point (the TGDH *merge* of trees);
+* **removal** — the departed leaf's sibling subtree is promoted into the
+  parent's position;
+* **sponsor** — for an insertion, the member at the insertion leaf; for
+  a removal, the rightmost leaf of the promoted subtree; for compound
+  events (partition + merge), removals apply first in sorted order and
+  the insertion sponsor wins.
+
+Nodes are addressed by their path from the root as a bit string
+("" = root, "0" = left child, "1" = right child ...), the moral
+equivalent of the ⟨l, v⟩ labels in the TGDH papers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TGDHError
+
+#: Serialized node: ("L", member, blinded) | ("N", blinded, left, right).
+SerializedNode = tuple
+
+
+class TGDHNode:
+    """One key-tree node.  Leaves carry a member name; every node carries
+    the (public) blinded key, or ``None`` while it is stale/unknown."""
+
+    __slots__ = ("member", "left", "right", "parent", "blinded")
+
+    def __init__(
+        self,
+        member: Optional[str] = None,
+        left: Optional["TGDHNode"] = None,
+        right: Optional["TGDHNode"] = None,
+        blinded: Optional[int] = None,
+    ) -> None:
+        self.member = member
+        self.left = left
+        self.right = right
+        self.parent: Optional[TGDHNode] = None
+        self.blinded = blinded
+        if left is not None:
+            left.parent = self
+        if right is not None:
+            right.parent = self
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.member is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_leaf:
+            return f"Leaf({self.member})"
+        return f"Node({self.left!r}, {self.right!r})"
+
+
+class TGDHTree:
+    """The shared key tree of one group.
+
+    Structure is identical at every member (it is driven by broadcast
+    tokens and canonical rules); blinded keys fill in as sponsors
+    publish them.
+    """
+
+    def __init__(self, root: Optional[TGDHNode] = None) -> None:
+        self.root = root
+        self._leaves: Dict[str, TGDHNode] = {}
+        if root is not None:
+            for leaf in self._iter_leaves(root):
+                self._register_leaf(leaf)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def single(cls, member: str, blinded: Optional[int] = None) -> "TGDHTree":
+        return cls(TGDHNode(member=member, blinded=blinded))
+
+    @classmethod
+    def balanced(
+        cls, members: Sequence[str], blinded: Optional[Dict[str, Optional[int]]] = None
+    ) -> "TGDHTree":
+        """A balanced tree over ``members`` in the given order."""
+        if not members:
+            raise TGDHError("cannot build a tree with no members")
+        blinded = blinded or {}
+
+        def build(names: Sequence[str]) -> TGDHNode:
+            if len(names) == 1:
+                return TGDHNode(member=names[0], blinded=blinded.get(names[0]))
+            middle = (len(names) + 1) // 2
+            return TGDHNode(left=build(names[:middle]), right=build(names[middle:]))
+
+        return cls(build(list(members)))
+
+    def _register_leaf(self, leaf: TGDHNode) -> None:
+        if leaf.member in self._leaves:
+            raise TGDHError(f"duplicate leaf {leaf.member!r}")
+        self._leaves[leaf.member] = leaf
+
+    @staticmethod
+    def _iter_leaves(node: TGDHNode) -> Iterator[TGDHNode]:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                yield current
+            else:
+                stack.append(current.right)
+                stack.append(current.left)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return self.root is None
+
+    def members(self) -> List[str]:
+        """All member names, sorted."""
+        return sorted(self._leaves)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._leaves
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def leaf(self, member: str) -> TGDHNode:
+        node = self._leaves.get(member)
+        if node is None:
+            raise TGDHError(f"{member!r} is not a leaf of this tree")
+        return node
+
+    def height(self) -> int:
+        def depth_of(node: Optional[TGDHNode]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(depth_of(node.left), depth_of(node.right))
+
+        return depth_of(self.root)
+
+    def node_id(self, node: TGDHNode) -> str:
+        """The node's address: its root-to-node path as a bit string."""
+        bits: List[str] = []
+        while node.parent is not None:
+            bits.append("0" if node.parent.left is node else "1")
+            node = node.parent
+        return "".join(reversed(bits))
+
+    def find(self, node_id: str) -> Optional[TGDHNode]:
+        node = self.root
+        for bit in node_id:
+            if node is None or node.is_leaf:
+                return None
+            node = node.left if bit == "0" else node.right
+        return node
+
+    @staticmethod
+    def sibling(node: TGDHNode) -> Optional[TGDHNode]:
+        parent = node.parent
+        if parent is None:
+            return None
+        return parent.right if parent.left is node else parent.left
+
+    def rightmost_leaf(self, node: Optional[TGDHNode] = None) -> str:
+        """The sponsor seat of a subtree: its rightmost leaf member."""
+        node = node if node is not None else self.root
+        if node is None:
+            raise TGDHError("empty tree has no leaves")
+        while not node.is_leaf:
+            node = node.right
+        return node.member
+
+    def insertion_leaf(self) -> TGDHNode:
+        """Where the next arrival attaches: the shallowest leaf,
+        rightmost among equals (fills the tree level by level)."""
+        if self.root is None:
+            raise TGDHError("empty tree has no insertion point")
+        best: Optional[TGDHNode] = None
+        best_depth = -1
+        queue: List[Tuple[TGDHNode, int]] = [(self.root, 0)]
+        while queue:
+            node, depth = queue.pop(0)
+            if node.is_leaf:
+                if best is None or depth < best_depth:
+                    best, best_depth = node, depth
+                elif depth == best_depth:
+                    best = node  # later in BFS order == further right
+            else:
+                queue.append((node.left, depth + 1))
+                queue.append((node.right, depth + 1))
+        return best
+
+    # -- mutation -----------------------------------------------------------
+
+    def invalidate_up(self, node: TGDHNode) -> None:
+        """Mark every ancestor's blinded key stale (the subtree below the
+        ancestor changed, so its secret — and blinded key — will too)."""
+        current = node.parent
+        while current is not None:
+            current.blinded = None
+            current = current.parent
+
+    def attach(self, subtree: TGDHNode, at: TGDHNode) -> TGDHNode:
+        """The TGDH merge of trees: replace leaf-or-subtree ``at`` with a
+        new internal node whose children are ``at`` and ``subtree``.
+        Returns the new internal node."""
+        for leaf in self._iter_leaves(subtree):
+            self._register_leaf(leaf)
+        parent = at.parent
+        joint = TGDHNode(left=at, right=subtree)
+        if parent is None:
+            self.root = joint
+        else:
+            if parent.left is at:
+                parent.left = joint
+            else:
+                parent.right = joint
+            joint.parent = parent
+        self.invalidate_up(joint)
+        return joint
+
+    def remove_leaf(self, member: str) -> TGDHNode:
+        """Remove a member; its sibling subtree is promoted into the
+        parent's position.  Returns the promoted subtree's root."""
+        leaf = self.leaf(member)
+        del self._leaves[member]
+        parent = leaf.parent
+        if parent is None:
+            raise TGDHError(f"cannot remove {member!r}: it is the whole tree")
+        promoted = parent.right if parent.left is leaf else parent.left
+        grand = parent.parent
+        promoted.parent = grand
+        if grand is None:
+            self.root = promoted
+        else:
+            if grand.left is parent:
+                grand.left = promoted
+            else:
+                grand.right = promoted
+        self.invalidate_up(promoted)
+        return promoted
+
+    def apply_event(
+        self,
+        departed: Sequence[str],
+        arrived_blinded: Dict[str, Optional[int]],
+    ) -> str:
+        """Apply one membership event — removals first (sorted), then all
+        arrivals as one balanced subtree at the insertion point — and
+        return the elected sponsor's name.
+
+        The sponsor is always a *surviving* member: the insertion-leaf
+        member when there are arrivals, else the rightmost leaf of the
+        last promoted subtree.
+        """
+        sponsor: Optional[str] = None
+        for member in sorted(departed):
+            promoted = self.remove_leaf(member)
+            sponsor = self.rightmost_leaf(promoted)
+        if arrived_blinded:
+            arrivals = sorted(arrived_blinded)
+            already = [m for m in arrivals if m in self._leaves]
+            if already:
+                raise TGDHError(f"already members: {already}")
+            at = self.insertion_leaf()
+            sponsor = at.member
+            subtree = TGDHTree.balanced(arrivals, dict(arrived_blinded))
+            # Detach the built tree's leaves from its index; attach() will
+            # re-register them against this tree.
+            self.attach(subtree.root, at)
+        if sponsor is None:
+            raise TGDHError("event changed no membership")
+        return sponsor
+
+    # -- serialization ------------------------------------------------------
+
+    def serialize(self) -> Optional[SerializedNode]:
+        def pack(node: TGDHNode) -> SerializedNode:
+            if node.is_leaf:
+                return ("L", node.member, node.blinded)
+            return ("N", node.blinded, pack(node.left), pack(node.right))
+
+        return pack(self.root) if self.root is not None else None
+
+    @classmethod
+    def deserialize(cls, data: Optional[SerializedNode]) -> "TGDHTree":
+        if data is None:
+            return cls()
+
+        def unpack(item: SerializedNode) -> TGDHNode:
+            if item[0] == "L":
+                return TGDHNode(member=item[1], blinded=item[2])
+            if item[0] == "N":
+                return TGDHNode(
+                    blinded=item[1], left=unpack(item[2]), right=unpack(item[3])
+                )
+            raise TGDHError(f"malformed serialized tree node: {item[0]!r}")
+
+        return cls(unpack(data))
+
+    def clone(self) -> "TGDHTree":
+        return TGDHTree.deserialize(self.serialize())
+
+    def structure(self) -> str:
+        """A compact structural fingerprint (for tests and diagnostics)."""
+
+        def fmt(node: TGDHNode) -> str:
+            if node.is_leaf:
+                return node.member
+            return f"({fmt(node.left)},{fmt(node.right)})"
+
+        return fmt(self.root) if self.root is not None else "<empty>"

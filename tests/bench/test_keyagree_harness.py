@@ -6,6 +6,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.bench import keyagree
 from repro.bench.sweep import make_cells, run_cell, run_sweep
 from repro.sim.rng import stable_seed
@@ -27,12 +29,12 @@ def test_quick_harness_document(tmp_path):
     document = keyagree.run_harness(quick=True)
 
     assert document["quick"] is True
+    assert document["modules"] == list(keyagree.MODULES)
     cells = document["cells"]
     assert {(c["protocol"], c["operation"]) for c in cells} == {
-        ("cliques", "join"),
-        ("cliques", "leave"),
-        ("ckd", "join"),
-        ("ckd", "leave"),
+        (module, operation)
+        for module in keyagree.MODULES
+        for operation in ("join", "leave")
     }
     for cell in cells:
         assert set(cell) == EXPECTED_CELL_KEYS
@@ -50,6 +52,50 @@ def test_quick_harness_document(tmp_path):
     assert document["fixed_base_cache"]["builds"] > 0
 
     path = keyagree.write_report(document, tmp_path / "BENCH_keyagree.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["cells"] == cells
+
+
+def test_harness_module_subset_and_validation(tmp_path):
+    document = keyagree.run_harness(quick=True, modules=["tgdh"])
+    assert document["modules"] == ["tgdh"]
+    assert {c["protocol"] for c in document["cells"]} == {"tgdh"}
+    with pytest.raises(ValueError):
+        keyagree.run_harness(quick=True, modules=["gdh3"])
+
+
+def test_quick_comparison_document(tmp_path):
+    document = keyagree.run_comparison(quick=True)
+
+    assert document["schema"] == keyagree.COMPARISON_SCHEMA
+    assert document["all_counts_identical"] is True
+    cells = document["cells"]
+    assert {(c["protocol"], c["operation"]) for c in cells} == {
+        (module, operation)
+        for module in keyagree.MODULES
+        for operation in ("join", "leave")
+    }
+    by_key = {
+        (c["protocol"], c["operation"], c["size"]): c for c in cells
+    }
+    for cell in cells:
+        assert cell["median_s"] > 0
+        assert cell["serial_exps"] == sum(cell["exp_counts"].values())
+    # The headline asymptotics, visible even at smoke sizes: doubling n
+    # doubles-ish the Cliques join cost but adds a constant to TGDH's.
+    sizes = document["sizes"]
+    small, large = sizes[0], sizes[-1]
+    cliques_growth = (
+        by_key[("cliques", "join", large)]["serial_exps"]
+        - by_key[("cliques", "join", small)]["serial_exps"]
+    )
+    tgdh_growth = (
+        by_key[("tgdh", "join", large)]["serial_exps"]
+        - by_key[("tgdh", "join", small)]["serial_exps"]
+    )
+    assert tgdh_growth < cliques_growth
+
+    path = keyagree.write_comparison(document, tmp_path / "BENCH_tgdh.json")
     loaded = json.loads(path.read_text())
     assert loaded["cells"] == cells
 

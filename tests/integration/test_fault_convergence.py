@@ -74,15 +74,16 @@ def test_daemons_always_reconverge(data):
     assert status.alive_count == 4
 
 
+@pytest.mark.parametrize("module", ["cliques", "ckd", "tgdh"])
 @settings(max_examples=5, deadline=None)
 @given(data=st.data())
-def test_secure_group_recovers_from_random_faults(data):
+def test_secure_group_recovers_from_random_faults(module, data):
     h = SecureHarness(seed=67)
     a = h.member("a", "d0")
     b = h.member("b", "d1")
-    a.join("g")
+    a.join("g", module=module)
     h.wait_view(["a"], timeout=60)
-    b.join("g")
+    b.join("g", module=module)
     h.wait_view(["a", "b"], timeout=60)
     names = tuple(sorted(h.cluster.daemons))
     # Only partition/heal faults here: client connections do not survive

@@ -139,9 +139,9 @@ def test_sealed_wire_size():
 # -- policy / registry --------------------------------------------------------------------
 
 
-def test_registry_knows_both_modules():
+def test_registry_knows_all_builtin_modules():
     registry = default_registry()
-    assert registry.names() == ["ckd", "cliques"]
+    assert registry.names() == ["ckd", "cliques", "tgdh"]
 
 
 def test_registry_unknown_module_raises():

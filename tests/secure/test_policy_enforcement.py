@@ -1,9 +1,23 @@
-"""The policy seam: module selection and join admission (paper §1.2)."""
+"""The policy seam: module selection, join admission (paper §1.2), and
+the public key-agreement-module extension hook."""
+
+import hashlib
 
 import pytest
 
-from repro.errors import SecureGroupError
-from repro.secure.policy import AllowAllPolicy
+from repro.errors import (
+    ModuleNotFoundError_,
+    ModuleRegistrationError,
+    ReproError,
+    SecureGroupError,
+)
+from repro.secure.handlers.base import KeyAgreementModule
+from repro.secure.policy import (
+    AllowAllPolicy,
+    default_registry,
+    register_module,
+    unregister_module,
+)
 
 from tests.secure.conftest import SecureHarness
 
@@ -48,3 +62,129 @@ def test_default_policy_allows_and_respects_request():
     a = h.member("a", "d0")
     session = a.join("g", module="ckd")
     assert session.module.name == "ckd"
+
+
+def test_tgdh_selectable_by_default():
+    h = SecureHarness()
+    a = h.member("a", "d0")
+    session = a.join("g", module="tgdh")
+    assert session.module.name == "tgdh"
+    h.wait_view(["a"])
+    assert a.has_key("g")
+
+
+# -- unknown modules and the registration hook -------------------------------
+
+
+def test_unknown_module_error_lists_registered_names():
+    h = SecureHarness()
+    a = h.member("a", "d0")
+    with pytest.raises(ReproError) as excinfo:
+        a.join("g", module="quantum")
+    assert isinstance(excinfo.value, ModuleNotFoundError_)
+    message = str(excinfo.value)
+    for name in ("cliques", "ckd", "tgdh"):
+        assert name in message
+
+
+def test_default_registry_has_all_builtins():
+    assert default_registry().names() == ["ckd", "cliques", "tgdh"]
+
+
+def test_register_module_duplicate_name_guard():
+    def factory(**kwargs):  # pragma: no cover - never constructed
+        raise AssertionError
+
+    register_module("thirdparty-dup", factory)
+    try:
+        with pytest.raises(ModuleRegistrationError):
+            register_module("thirdparty-dup", factory)
+        register_module("thirdparty-dup", factory, replace=True)
+    finally:
+        unregister_module("thirdparty-dup")
+    with pytest.raises(ModuleRegistrationError):
+        unregister_module("thirdparty-dup")
+
+
+def test_register_module_cannot_shadow_builtin():
+    with pytest.raises(ModuleRegistrationError):
+        register_module("cliques", lambda **kwargs: None)
+    with pytest.raises(ModuleRegistrationError):
+        unregister_module("tgdh")
+
+
+class HashChainModule(KeyAgreementModule):
+    """A deliberately trivial third-party module: the "group secret" is a
+    hash of the view composition.  (No security whatsoever — it exists to
+    prove the extension hook drives an out-of-tree protocol through a
+    whole session, confirmation machinery included.)"""
+
+    name = "hashchain"
+
+    def __init__(self, member, params, long_term=None, directory=None,
+                 source=None, counter=None, **kwargs):
+        self.member = member
+        self._members = ()
+        self._group = None
+        self._ready = False
+
+    @property
+    def ready(self):
+        return self._ready
+
+    def secret(self):
+        digest = hashlib.sha256(
+            ("|".join((self._group,) + self._members)).encode()
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def _rekey(self, view):
+        self._group = view.group
+        self._members = view.members
+        self._ready = True
+        return []
+
+    def on_view(self, view):
+        return self._rekey(view)
+
+    def on_restart(self, view):
+        return self._rekey(view)
+
+    def on_token(self, sender, token):
+        return []
+
+    def reset(self):
+        self._ready = False
+        self._group = None
+        self._members = ()
+
+    def refresh(self):
+        return []
+
+    @property
+    def is_controller(self):
+        return bool(self._members) and self._members[0] == self.member
+
+    @property
+    def has_state(self):
+        return self._group is not None
+
+
+def test_third_party_module_runs_a_session():
+    register_module("hashchain", HashChainModule)
+    try:
+        h = SecureHarness()
+        a = h.member("a", "d0")
+        b = h.member("b", "d1")
+        session = a.join("g", module="hashchain")
+        assert session.module.name == "hashchain"
+        h.wait_view(["a"])
+        b.join("g", module="hashchain")
+        h.wait_view(["a", "b"])
+        assert h.same_key(["a", "b"])
+        a.send("g", b"through a third-party module")
+        h.run_until(
+            lambda: b"through a third-party module" in h.payloads_of("b")
+        )
+    finally:
+        unregister_module("hashchain")

@@ -1,5 +1,5 @@
 """Secure layer end-to-end: key agreement over the real stack, data
-protection, membership changes, both modules."""
+protection, membership changes, all three modules."""
 
 import pytest
 
@@ -14,7 +14,7 @@ from repro.secure.events import (
 from tests.secure.conftest import SecureHarness
 
 
-MODULES = ["cliques", "ckd"]
+MODULES = ["cliques", "ckd", "tgdh"]
 
 
 # -- basic keying -------------------------------------------------------------------

@@ -1,0 +1,115 @@
+"""A driver harness running TGDH contexts to convergence over a
+perfect broadcast bus (no network) — the unit-test counterpart of the
+secure-session integration tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.crypto.dh import DHParams
+from repro.crypto.random_source import DeterministicSource
+from repro.sim.rng import stable_seed
+from repro.tgdh.context import TGDHContext
+from repro.tgdh.tokens import TGDHTreeToken, TGDHUpdateToken
+
+
+class TGDHTestGroup:
+    """All member contexts of one group, plus an in-order token bus."""
+
+    def __init__(self, params: Optional[DHParams] = None, seed: int = 7):
+        self.params = params if params is not None else DHParams.small_test()
+        self.seed = seed
+        self.contexts: Dict[str, TGDHContext] = {}
+        self.group = "g"
+        self.rounds_last_event = 0
+
+    def _new_context(self, name: str) -> TGDHContext:
+        ctx = TGDHContext(
+            name,
+            self.params,
+            source=DeterministicSource(stable_seed(self.seed, name)),
+        )
+        self.contexts[name] = ctx
+        return ctx
+
+    @property
+    def members(self) -> List[str]:
+        return sorted(self.contexts)
+
+    def create(self, name: str) -> None:
+        self._new_context(name).create_first(self.group)
+
+    def _converge(self, first_token: TGDHTreeToken) -> None:
+        queue: List[object] = [first_token]
+        rounds = 0
+        while queue:
+            rounds += 1
+            assert rounds < 10 * (len(self.contexts) + 1), "no convergence"
+            token = queue.pop(0)
+            for name, ctx in self.contexts.items():
+                if name == token.sender:
+                    continue
+                if isinstance(token, TGDHTreeToken):
+                    out = ctx.process_tree(token)
+                else:
+                    out = ctx.process_update(token)
+                if out is not None:
+                    queue.append(out)
+        self.rounds_last_event = rounds
+        secrets = {ctx.secret() for ctx in self.contexts.values()}
+        assert len(secrets) == 1, "members disagree on the group secret"
+
+    def event(self, departed: Sequence[str] = (), arrived: Sequence[str] = ()):
+        """Run one membership event end to end and assert convergence."""
+        blinded: Dict[str, int] = {}
+        for name in arrived:
+            ctx = self._new_context(name)
+            blinded[name] = ctx.make_join_request(self.group).blinded
+        survivors = {
+            n: c for n, c in self.contexts.items()
+            if n not in set(arrived) and n not in set(departed)
+        }
+        sponsors = {c.sponsor_for(departed, arrived) for c in survivors.values()}
+        assert len(sponsors) == 1, "sponsor election disagreed"
+        sponsor = sponsors.pop()
+        for name in departed:
+            del self.contexts[name]
+        token = self.contexts[sponsor].start_event(list(departed), blinded)
+        self._converge(token)
+        return sponsor
+
+    def join(self, name: str) -> str:
+        return self.event(arrived=[name])
+
+    def leave(self, *names: str) -> str:
+        return self.event(departed=list(names))
+
+    def grow_to(self, size: int, prefix: str = "m") -> None:
+        if not self.contexts:
+            self.create(f"{prefix}000")
+        index = len(self.contexts)
+        while len(self.contexts) < size:
+            self.join(f"{prefix}{index:03d}")
+            index += 1
+
+    def refresh(self) -> str:
+        sponsor = next(iter(self.contexts.values())).controller
+        token = self.contexts[sponsor].refresh()
+        self._converge(token)
+        return sponsor
+
+    def secret(self) -> int:
+        secrets = {ctx.secret() for ctx in self.contexts.values()}
+        assert len(secrets) == 1
+        return secrets.pop()
+
+    def tree_of(self, name: Optional[str] = None):
+        name = name if name is not None else self.members[0]
+        return self.contexts[name].tree
+
+
+@pytest.fixture
+def group():
+    return TGDHTestGroup()

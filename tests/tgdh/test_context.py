@@ -1,0 +1,250 @@
+"""TGDH context protocol: convergence to byte-identical secrets across
+every Table 1 event shape, epoch guards, and stale-token rejection."""
+
+import pytest
+
+from repro.crypto.dh import DHParams
+from repro.crypto.random_source import DeterministicSource
+from repro.errors import ControllerError, TGDHError, TokenError
+from repro.tgdh.context import TGDHContext
+from repro.tgdh.tokens import TGDHTreeToken, TGDHUpdateToken
+
+from tests.tgdh.conftest import TGDHTestGroup
+
+
+def test_singleton_has_key_and_epoch():
+    group = TGDHTestGroup()
+    group.create("a")
+    ctx = group.contexts["a"]
+    assert ctx.has_key
+    assert ctx.epoch == 1
+    assert ctx.is_controller
+
+
+def test_two_member_join_agrees():
+    group = TGDHTestGroup()
+    group.create("a")
+    before = group.secret()
+    group.join("b")
+    assert group.secret() != before
+    assert group.contexts["a"].secret() == group.contexts["b"].secret()
+
+
+def test_sequential_joins_agree_and_rotate():
+    group = TGDHTestGroup()
+    group.create("m000")
+    seen = {group.secret()}
+    for i in range(1, 9):
+        group.join(f"m{i:03d}")
+        secret = group.secret()
+        assert secret not in seen, "key reuse across epochs"
+        seen.add(secret)
+
+
+def test_single_join_converges_in_one_round():
+    """A join needs only the sponsor's tree broadcast — no gossip."""
+    group = TGDHTestGroup()
+    group.grow_to(8)
+    group.join("zz")
+    assert group.rounds_last_event == 1
+
+
+def test_single_leave_converges_in_one_round():
+    group = TGDHTestGroup()
+    group.grow_to(8)
+    group.leave("m003")
+    assert group.rounds_last_event == 1
+
+
+def test_multi_leave_agrees():
+    group = TGDHTestGroup()
+    group.grow_to(8)
+    before = group.secret()
+    group.leave("m001", "m004", "m006")
+    assert sorted(group.members) == ["m000", "m002", "m003", "m005", "m007"]
+    assert group.secret() != before
+
+
+def test_batch_merge_agrees():
+    group = TGDHTestGroup()
+    group.grow_to(5)
+    before = group.secret()
+    group.event(arrived=["x1", "x2", "x3"])
+    assert len(group.members) == 8
+    assert group.secret() != before
+
+
+def test_compound_partition_merge_agrees():
+    group = TGDHTestGroup()
+    group.grow_to(6)
+    group.event(departed=["m001", "m003"], arrived=["n1", "n2"])
+    assert len(group.members) == 6
+    group.secret()
+
+
+def test_cascaded_events_back_to_back():
+    group = TGDHTestGroup()
+    group.grow_to(4)
+    for round_ in range(6):
+        group.join(f"j{round_}")
+        group.leave(f"j{round_}")
+    assert len(group.members) == 4
+    group.secret()
+
+
+def test_refresh_rotates_secret():
+    group = TGDHTestGroup()
+    group.grow_to(5)
+    before = group.secret()
+    sponsor = group.refresh()
+    assert group.secret() != before
+    assert sponsor == group.tree_of().rightmost_leaf()
+
+
+def test_refresh_requires_controller():
+    group = TGDHTestGroup()
+    group.grow_to(3)
+    controller = group.contexts[group.members[0]].controller
+    bystander = next(n for n in group.members if n != controller)
+    with pytest.raises(ControllerError):
+        group.contexts[bystander].refresh()
+
+
+def test_start_event_requires_sponsorship():
+    group = TGDHTestGroup()
+    group.grow_to(4)
+    sponsor = group.contexts[group.members[0]].sponsor_for(["m001"], [])
+    bystander = next(n for n in group.members if n not in (sponsor, "m001"))
+    with pytest.raises(ControllerError):
+        group.contexts[bystander].start_event(["m001"], {})
+
+
+def test_departed_member_cannot_follow():
+    """The departed member's state cannot absorb the new epoch: the tree
+    no longer contains its leaf."""
+    group = TGDHTestGroup()
+    group.grow_to(4)
+    departed_ctx = group.contexts["m002"]
+    group.leave("m002")
+    sponsor = group.tree_of().rightmost_leaf()
+    token = TGDHTreeToken(
+        group="g",
+        sender=sponsor,
+        epoch=departed_ctx.epoch + 1,
+        members=tuple(group.members),
+        tree=group.tree_of().serialize(),
+    )
+    with pytest.raises(TokenError):
+        departed_ctx.process_tree(token)
+
+
+def test_stale_epoch_tree_token_rejected():
+    group = TGDHTestGroup()
+    group.grow_to(4)
+    ctx = group.contexts["m000"]
+    stale = TGDHTreeToken(
+        group="g",
+        sender="m003",
+        epoch=ctx.epoch,  # replay of the current epoch, not epoch+1
+        members=tuple(group.members),
+        tree=ctx.tree.serialize(),
+    )
+    with pytest.raises(TokenError):
+        ctx.process_tree(stale)
+
+
+def test_stale_epoch_update_token_rejected():
+    group = TGDHTestGroup()
+    group.grow_to(4)
+    ctx = group.contexts["m000"]
+    stale = TGDHUpdateToken(
+        group="g", sender="m001", epoch=ctx.epoch - 1, members=(), blinded={}
+    )
+    with pytest.raises(TokenError):
+        ctx.process_update(stale)
+
+
+def test_wrong_group_token_rejected():
+    group = TGDHTestGroup()
+    group.grow_to(2)
+    ctx = group.contexts["m000"]
+    wrong = TGDHTreeToken(
+        group="other",
+        sender="m001",
+        epoch=ctx.epoch + 1,
+        members=tuple(group.members),
+        tree=ctx.tree.serialize(),
+    )
+    with pytest.raises(TokenError):
+        ctx.process_tree(wrong)
+
+
+def test_update_for_unknown_node_rejected():
+    group = TGDHTestGroup()
+    group.grow_to(4)
+    ctx = group.contexts["m000"]
+    bogus = TGDHUpdateToken(
+        group="g",
+        sender="m001",
+        epoch=ctx.epoch,
+        members=tuple(group.members),
+        blinded={"000000": 1234},
+    )
+    with pytest.raises(TokenError):
+        ctx.process_update(bogus)
+
+
+def test_reset_drops_all_state():
+    group = TGDHTestGroup()
+    group.grow_to(3)
+    ctx = group.contexts["m000"]
+    ctx.reset()
+    assert ctx.group is None
+    assert not ctx.has_key
+    with pytest.raises(TGDHError):
+        ctx.secret()
+
+
+def test_double_create_rejected():
+    ctx = TGDHContext("a", DHParams.small_test(), source=DeterministicSource(1))
+    ctx.create_first("g")
+    with pytest.raises(TGDHError):
+        ctx.create_first("g")
+    with pytest.raises(TGDHError):
+        ctx.make_join_request("h")
+
+
+def test_forward_secrecy_leaver_cannot_compute_new_key():
+    """After a leave, every secret on the departed leaf's path changed:
+    replaying the leaver's old path secrets against the new tree fails to
+    produce the new group key."""
+    group = TGDHTestGroup()
+    group.grow_to(4)
+    old_secret = group.secret()
+    group.leave("m001")
+    assert group.secret() != old_secret
+
+
+def test_backward_secrecy_joiner_key_differs():
+    """The sponsor refreshes its leaf share on every join, so the new
+    member cannot compute any previous group key."""
+    group = TGDHTestGroup()
+    group.grow_to(3)
+    old_secret = group.secret()
+    group.join("late")
+    assert group.contexts["late"].secret() != old_secret
+
+
+def test_cross_process_determinism_same_seed():
+    """Two independent runs with the same seeds produce byte-identical
+    group secrets (the property the secure layer's key confirmation
+    fingerprints rely on)."""
+
+    def run():
+        g = TGDHTestGroup(seed=23)
+        g.grow_to(6)
+        g.leave("m002")
+        g.event(arrived=["x1", "x2"])
+        return g.secret()
+
+    assert run() == run()

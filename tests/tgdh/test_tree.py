@@ -1,0 +1,135 @@
+"""Key-tree structure: canonical rules, determinism, serialization."""
+
+import pytest
+
+from repro.errors import TGDHError
+from repro.tgdh.tree import TGDHTree
+
+
+def test_single_and_membership():
+    tree = TGDHTree.single("a")
+    assert tree.members() == ["a"]
+    assert "a" in tree and "b" not in tree
+    assert tree.height() == 0
+    assert tree.rightmost_leaf() == "a"
+
+
+def test_balanced_structure_left_heavy():
+    tree = TGDHTree.balanced(["a", "b", "c"])
+    assert tree.structure() == "((a,b),c)"
+    assert tree.height() == 2
+    tree = TGDHTree.balanced(["a", "b", "c", "d", "e"])
+    assert tree.structure() == "(((a,b),c),(d,e))"
+
+
+def test_node_ids_round_trip():
+    tree = TGDHTree.balanced(["a", "b", "c", "d"])
+    for member in tree.members():
+        leaf = tree.leaf(member)
+        assert tree.find(tree.node_id(leaf)) is leaf
+    assert tree.find("") is tree.root
+    assert tree.find("0000") is None  # past a leaf
+
+
+def test_sequential_insertion_fills_levels():
+    """Shallowest-leaf insertion keeps the tree complete: height is
+    exactly ceil(log2 n) under sequential joins."""
+    import math
+
+    tree = TGDHTree.single("m00")
+    for i in range(1, 33):
+        tree.apply_event([], {f"m{i:02d}": None})
+        n = i + 1
+        assert tree.height() == math.ceil(math.log2(n)), tree.structure()
+
+
+def test_join_sponsor_is_insertion_leaf_member():
+    tree = TGDHTree.balanced(["a", "b", "c"])
+    # Shallowest leaf is c (depth 1) -> c sponsors, joint node is (c,d).
+    sponsor = tree.apply_event([], {"d": None})
+    assert sponsor == "c"
+    assert tree.structure() == "((a,b),(c,d))"
+
+
+def test_leave_promotes_sibling_and_elects_its_rightmost():
+    tree = TGDHTree.balanced(["a", "b", "c", "d"])
+    sponsor = tree.apply_event(["d"], {})
+    assert tree.structure() == "((a,b),c)"
+    assert sponsor == "c"
+    sponsor = tree.apply_event(["a"], {})
+    assert tree.structure() == "(b,c)"
+    assert sponsor == "b"
+
+
+def test_batch_arrivals_attach_as_balanced_subtree():
+    tree = TGDHTree.balanced(["a", "b", "c"])
+    sponsor = tree.apply_event([], {"x": None, "z": None, "y": None})
+    # Sorted arrivals, one balanced subtree at the insertion leaf (c).
+    assert tree.structure() == "((a,b),(c,((x,y),z)))"
+    assert sponsor == "c"
+
+
+def test_compound_event_removals_before_arrivals():
+    tree = TGDHTree.balanced(["a", "b", "c", "d"])
+    sponsor = tree.apply_event(["b", "c"], {"e": None})
+    assert sorted(tree.members()) == ["a", "d", "e"]
+    assert sponsor in tree.members()
+
+
+def test_empty_event_rejected():
+    tree = TGDHTree.balanced(["a", "b"])
+    with pytest.raises(TGDHError):
+        tree.apply_event([], {})
+
+
+def test_duplicate_member_rejected():
+    tree = TGDHTree.balanced(["a", "b"])
+    with pytest.raises(TGDHError):
+        tree.apply_event([], {"a": None})
+
+
+def test_removing_last_member_rejected():
+    tree = TGDHTree.single("a")
+    with pytest.raises(TGDHError):
+        tree.remove_leaf("a")
+
+
+def test_removal_invalidates_ancestor_blinded_keys():
+    tree = TGDHTree.balanced(
+        ["a", "b", "c", "d"], {"a": 11, "b": 12, "c": 13, "d": 14}
+    )
+    tree.root.blinded = 99
+    tree.root.left.blinded = 98
+    tree.root.right.blinded = 97
+    tree.apply_event(["b"], {})
+    # a's promoted path is stale; the untouched sibling subtree is not.
+    assert tree.root.blinded is None
+    assert tree.leaf("a").blinded == 11
+    assert tree.root.right.blinded == 97
+
+
+def test_serialize_round_trip_preserves_structure_and_keys():
+    tree = TGDHTree.balanced(["a", "b", "c"], {"a": 5, "b": 6, "c": 7})
+    tree.root.blinded = 42
+    clone = tree.clone()
+    assert clone.structure() == tree.structure()
+    assert clone.root.blinded == 42
+    assert clone.leaf("b").blinded == 6
+    # Clone is independent.
+    clone.leaf("b").blinded = 0
+    assert tree.leaf("b").blinded == 6
+
+
+def test_apply_event_is_deterministic_across_replicas():
+    """Two replicas applying the same event stream stay identical."""
+    events = [
+        ((), ("a",)), ((), ("b", "c")), (("a",), ()), ((), ("d", "e", "f")),
+        (("c", "e"), ("g",)),
+    ]
+    t1 = TGDHTree.single("root")
+    t2 = TGDHTree.single("root")
+    for departed, arrived in events:
+        s1 = t1.apply_event(list(departed), {m: None for m in arrived})
+        s2 = t2.apply_event(list(departed), {m: None for m in arrived})
+        assert s1 == s2
+        assert t1.structure() == t2.structure()
