@@ -1,0 +1,20 @@
+#!/bin/sh
+# Run the chaos crucible and record BENCH_chaos.json at the repo root.
+# Pass --quick for a CI-sized smoke soak, --seeds N to change the seed
+# count (default 25), --modules cliques,ckd,tgdh for a subset, or
+# --replay SEED --module M [--shrink] to replay (and minimize) one run.
+# PYTHONHASHSEED is pinned so trace fingerprints are comparable across
+# invocations.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+case " $* " in
+*" --output "*|*" --replay "*) set -- "$@" ;;
+*) set -- "$@" --output "$repo_root/BENCH_chaos.json" ;;
+esac
+
+PYTHONHASHSEED=0 \
+    PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.chaos.crucible "$@"

@@ -1,0 +1,42 @@
+"""The chaos crucible: randomized adversarial runs with checked invariants.
+
+The paper argues its robust key-agreement protocols keep a group secure
+and consistent across *any* sequence of asynchronous-network failures.
+This package turns that claim into an executable oracle:
+
+* :mod:`repro.chaos.invariants` — trace-driven checks of the properties
+  the integrated system must never violate: view synchrony, group key
+  agreement, secrecy boundaries, post-quiescence convergence.
+* :mod:`repro.chaos.harness` — a full-stack deployment under a seeded,
+  randomized fault schedule (crashes, stalls, partitions, one-way
+  severs, duplication / corruption / reordering windows) plus client
+  churn and continuous application traffic.
+* :mod:`repro.chaos.shrink` — ddmin delta-debugging of a failing fault
+  schedule down to a locally minimal reproducer.
+* :mod:`repro.chaos.crucible` — the soak driver: many seeds x all key
+  agreement modules, verdicts to ``BENCH_chaos.json``, deterministic
+  replay of any failing seed.
+"""
+
+from repro.chaos.invariants import (
+    EndState,
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+    trace_fingerprint,
+)
+from repro.chaos.harness import ChaosHarness, ChaosResult, generate_schedule, run_chaos
+from repro.chaos.shrink import shrink_schedule
+
+__all__ = [
+    "ChaosHarness",
+    "ChaosResult",
+    "EndState",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "generate_schedule",
+    "run_chaos",
+    "shrink_schedule",
+    "trace_fingerprint",
+]

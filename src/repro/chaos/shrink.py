@@ -1,0 +1,111 @@
+"""Delta debugging for fault schedules (Zeller's ddmin).
+
+When a seeded chaos run violates an invariant, its fault schedule is
+usually mostly noise: three partitions, a stall and an adversarial
+window, of which one partition at one moment is what actually tickles
+the bug.  :func:`shrink_schedule` reduces a failing schedule to a
+*1-minimal* one — removing any single remaining action makes the
+failure disappear — by re-executing candidate subsets through a caller
+-supplied predicate (deterministic replay makes each re-execution
+faithful).
+
+Actions the caller marks with ``keep`` (typically the end-of-window
+repair block) are always retained, so the shrinker cannot "reproduce"
+the failure by simply never repairing the network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.net.fault import FaultAction, FaultSchedule
+
+Predicate = Callable[[FaultSchedule], bool]
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    failing: Predicate,
+    keep: Optional[Callable[[FaultAction], bool]] = None,
+    max_runs: int = 200,
+) -> FaultSchedule:
+    """ddmin over the schedule's action list.
+
+    ``failing(candidate)`` must return True when the candidate schedule
+    still reproduces the failure; it is never called more than
+    ``max_runs`` times (the current best reduction is returned when the
+    budget runs out).  ``keep`` marks actions that are part of every
+    candidate (e.g. the final repair actions).
+    """
+    always = [a for a in schedule.actions if keep is not None and keep(a)]
+    shrinkable: List[FaultAction] = [
+        a for a in schedule.actions if not (keep is not None and keep(a))
+    ]
+    runs = 0
+
+    def test(subset: Sequence[FaultAction]) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        candidate = FaultSchedule(
+            actions=sorted(list(subset) + always, key=lambda a: a.at)
+        )
+        return failing(candidate)
+
+    if not test(shrinkable):
+        raise ValueError(
+            "schedule does not reproduce the failure (predicate is False"
+            " on the full action list)"
+        )
+
+    granularity = 2
+    while len(shrinkable) >= 2:
+        chunks = _split(shrinkable, granularity)
+        reduced = False
+        # Try each chunk alone...
+        for chunk in chunks:
+            if test(chunk):
+                shrinkable = list(chunk)
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # ...then each complement.
+        if granularity > 2:
+            for index in range(len(chunks)):
+                complement = [
+                    action
+                    for j, chunk in enumerate(chunks)
+                    for action in chunk
+                    if j != index
+                ]
+                if test(complement):
+                    shrinkable = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if granularity >= len(shrinkable):
+            break
+        granularity = min(len(shrinkable), granularity * 2)
+
+    return FaultSchedule(
+        actions=sorted(shrinkable + always, key=lambda a: a.at)
+    )
+
+
+def _split(items: List[FaultAction], pieces: int) -> List[List[FaultAction]]:
+    """Split into ``pieces`` nearly equal contiguous chunks."""
+    size, remainder = divmod(len(items), pieces)
+    chunks: List[List[FaultAction]] = []
+    cursor = 0
+    for index in range(pieces):
+        extent = size + (1 if index < remainder else 0)
+        if extent == 0:
+            continue
+        chunks.append(items[cursor : cursor + extent])
+        cursor += extent
+    return chunks

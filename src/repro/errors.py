@@ -55,6 +55,10 @@ class PartitionError(NetworkError):
     """Invalid partition specification (e.g. overlapping components)."""
 
 
+class FaultError(NetworkError):
+    """Invalid fault schedule: unknown action kind or unregistered target."""
+
+
 # ---------------------------------------------------------------------------
 # Group communication (Spread substrate)
 # ---------------------------------------------------------------------------

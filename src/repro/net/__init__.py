@@ -7,8 +7,17 @@ re-merge.  Built on the :mod:`repro.sim` kernel so every scenario is
 deterministic and replayable.
 """
 
+from repro.net.corrupt import CorruptedDatagram, corrupt_payload
 from repro.net.link import LinkModel
 from repro.net.network import Network
-from repro.net.fault import FaultSchedule, FaultInjector
+from repro.net.fault import FaultAction, FaultSchedule, FaultInjector
 
-__all__ = ["LinkModel", "Network", "FaultSchedule", "FaultInjector"]
+__all__ = [
+    "CorruptedDatagram",
+    "corrupt_payload",
+    "LinkModel",
+    "Network",
+    "FaultAction",
+    "FaultSchedule",
+    "FaultInjector",
+]

@@ -1,20 +1,44 @@
-"""Fault injection: scripted crash / recover / partition / heal schedules.
+"""Fault injection: scripted failure schedules as declarative data.
 
-The paper's failure model is fail-stop or crash-and-recover processors plus
-network partitions and merges.  A :class:`FaultSchedule` is a declarative
-list of timed fault actions; a :class:`FaultInjector` arms them on the
-kernel.  Tests and the robustness benchmarks drive all failure scenarios
-through this module so each scenario is a reviewable data structure.
+The paper's failure model is fail-stop or crash-and-recover processors
+plus network partitions and merges.  The chaos crucible widens that to
+the full asynchronous-adversary surface:
+
+* ``crash`` / ``recover`` — fail-stop and crash-and-recover processes;
+* ``stall`` / ``resume`` — a live-but-silent process (SIGSTOP model):
+  nothing is lost, everything replays on resume;
+* ``partition`` / ``heal`` — symmetric component splits and merges;
+* ``sever`` / ``restore`` — one-way (asymmetric) cuts: traffic from the
+  sources to the destinations is dropped while the reverse flows;
+* ``set_link`` — swap the network's default :class:`LinkModel`, opening
+  or closing an adversarial window (loss, duplication, corruption,
+  reordering, delay spikes) mid-run.
+
+A :class:`FaultSchedule` is a declarative list of timed fault actions; a
+:class:`FaultInjector` validates and arms them on the kernel.  Tests and
+the robustness benchmarks drive all failure scenarios through this
+module so each scenario is a reviewable data structure, and the chaos
+shrinker can delta-debug a failing schedule action by action.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.errors import FaultError
+from repro.net.link import LinkModel
 from repro.net.network import Network
 from repro.sim.kernel import Kernel
 from repro.sim.process import SimProcess
+
+#: Action kinds aimed at named processes (validated against the registry).
+PROCESS_KINDS = frozenset({"crash", "recover", "stall", "resume"})
+
+#: Every action kind a schedule may contain.
+VALID_KINDS = PROCESS_KINDS | frozenset(
+    {"partition", "heal", "sever", "restore", "set_link"}
+)
 
 
 @dataclass(frozen=True)
@@ -22,15 +46,22 @@ class FaultAction:
     """One scripted fault: what happens, to whom, and when."""
 
     at: float
-    kind: str  # "crash" | "recover" | "partition" | "heal"
+    kind: str
     targets: tuple = ()
-    components: tuple = ()  # for "partition": tuple of tuples of node names
+    components: tuple = ()  # partition: component tuples; sever: (sources, destinations)
+    link: Optional[LinkModel] = None  # for "set_link"
 
     def describe(self) -> str:
         if self.kind == "partition":
             return f"t={self.at}: partition {[list(c) for c in self.components]}"
-        if self.kind == "heal":
-            return f"t={self.at}: heal"
+        if self.kind == "sever":
+            sources, destinations = self.components
+            return f"t={self.at}: sever {list(sources)} -> {list(destinations)}"
+        if self.kind in ("heal", "restore"):
+            return f"t={self.at}: {self.kind}"
+        if self.kind == "set_link":
+            tag = "adversarial" if self.link.adversarial else "clean"
+            return f"t={self.at}: set_link ({tag})"
         return f"t={self.at}: {self.kind} {list(self.targets)}"
 
 
@@ -48,6 +79,16 @@ class FaultSchedule:
         self.actions.append(FaultAction(at=at, kind="recover", targets=tuple(names)))
         return self
 
+    def stall(self, at: float, *names: str) -> "FaultSchedule":
+        """Suspend processes (live but silent) at ``at``."""
+        self.actions.append(FaultAction(at=at, kind="stall", targets=tuple(names)))
+        return self
+
+    def resume(self, at: float, *names: str) -> "FaultSchedule":
+        """Wake stalled processes; their backlog replays in order."""
+        self.actions.append(FaultAction(at=at, kind="resume", targets=tuple(names)))
+        return self
+
     def partition(
         self, at: float, components: Sequence[Sequence[str]]
     ) -> "FaultSchedule":
@@ -59,6 +100,30 @@ class FaultSchedule:
 
     def heal(self, at: float) -> "FaultSchedule":
         self.actions.append(FaultAction(at=at, kind="heal"))
+        return self
+
+    def sever(
+        self, at: float, sources: Sequence[str], destinations: Sequence[str]
+    ) -> "FaultSchedule":
+        """One-way cut: sources' datagrams to destinations are dropped."""
+        self.actions.append(
+            FaultAction(
+                at=at,
+                kind="sever",
+                components=(tuple(sources), tuple(destinations)),
+            )
+        )
+        return self
+
+    def restore(self, at: float) -> "FaultSchedule":
+        """Repair all one-way severs (symmetric partitions unaffected)."""
+        self.actions.append(FaultAction(at=at, kind="restore"))
+        return self
+
+    def set_link(self, at: float, link: LinkModel) -> "FaultSchedule":
+        """Swap the network's default link model at ``at`` (open or close
+        an adversarial chaos window)."""
+        self.actions.append(FaultAction(at=at, kind="set_link", link=link))
         return self
 
     def describe(self) -> List[str]:
@@ -84,8 +149,41 @@ class FaultInjector:
         """Make a process addressable by fault actions."""
         self.processes[process.name] = process
 
+    def validate(self, schedule: FaultSchedule) -> None:
+        """Reject malformed schedules before anything is armed.
+
+        Raises :class:`~repro.errors.FaultError` for an unknown action
+        kind, a process target that was never registered, or a
+        structurally incomplete action — at arm time, not at fire time,
+        so a bad schedule cannot half-execute.
+        """
+        for action in schedule.actions:
+            if action.kind not in VALID_KINDS:
+                raise FaultError(
+                    f"unknown fault kind {action.kind!r};"
+                    f" valid kinds: {sorted(VALID_KINDS)}"
+                )
+            if action.kind in PROCESS_KINDS:
+                unknown = [
+                    name for name in action.targets if name not in self.processes
+                ]
+                if unknown:
+                    raise FaultError(
+                        f"{action.kind} targets unregistered process(es)"
+                        f" {unknown}; registered: {sorted(self.processes)}"
+                    )
+            if action.kind == "partition" and not action.components:
+                raise FaultError("partition action needs components")
+            if action.kind == "sever" and len(action.components) != 2:
+                raise FaultError(
+                    "sever action needs (sources, destinations) components"
+                )
+            if action.kind == "set_link" and action.link is None:
+                raise FaultError("set_link action needs a link model")
+
     def arm(self, schedule: FaultSchedule) -> None:
-        """Schedule every action on the kernel."""
+        """Validate, then schedule every action on the kernel."""
+        self.validate(schedule)
         for action in schedule.actions:
             self.kernel.call_at(
                 action.at,
@@ -101,18 +199,47 @@ class FaultInjector:
                 fault=action.kind,
                 at=action.at,
                 targets=list(action.targets),
+                components=[list(c) for c in action.components],
             )
             if action.kind == "crash":
                 for name in action.targets:
-                    self.processes[name].crash()
+                    self._process(name, action).crash()
             elif action.kind == "recover":
+                # Ensure-alive semantics: a recover against a process
+                # that never crashed is a no-op, so repair blocks (and
+                # the shrinker's candidate schedules, which may drop the
+                # matching crash) stay valid.
                 for name in action.targets:
-                    self.processes[name].recover()
+                    process = self._process(name, action)
+                    if not process.alive:
+                        process.recover()
+            elif action.kind == "stall":
+                for name in action.targets:
+                    self._process(name, action).stall()
+            elif action.kind == "resume":
+                for name in action.targets:
+                    self._process(name, action).resume()
             elif action.kind == "partition":
                 self.network.partition([list(c) for c in action.components])
             elif action.kind == "heal":
                 self.network.heal()
-            else:  # pragma: no cover - schedule construction prevents this
-                raise ValueError(f"unknown fault kind {action.kind!r}")
+            elif action.kind == "sever":
+                sources, destinations = action.components
+                self.network.sever(sources, destinations)
+            elif action.kind == "restore":
+                self.network.restore()
+            elif action.kind == "set_link":
+                self.network.set_default_link(action.link)
+            else:  # pragma: no cover - validate() prevents this
+                raise FaultError(f"unknown fault kind {action.kind!r}")
 
         return run
+
+    def _process(self, name: str, action: FaultAction) -> SimProcess:
+        try:
+            return self.processes[name]
+        except KeyError:
+            raise FaultError(
+                f"fault {action.kind!r} at t={action.at} targets"
+                f" unregistered process {name!r}"
+            ) from None

@@ -33,12 +33,35 @@ class LinkModel:
         Max uniform extra delay in seconds (draws in ``[0, jitter]``).
     loss_rate:
         Probability in ``[0, 1]`` that a datagram is silently dropped.
+    duplicate_rate:
+        Probability that a delivered datagram arrives a second time
+        (the duplicate takes an independent, possibly longer, delay).
+    corrupt_rate:
+        Probability that a datagram's payload is corrupted in flight
+        (a bit flip on the wire; the HMAC / checksum layer must catch it).
+    reorder_rate:
+        Probability that a datagram is adversarially delayed by up to
+        ``reorder_window`` extra seconds, making it land behind later
+        sends (bounded adversarial reordering).
+    reorder_window:
+        Maximum extra delay (seconds) a reordered datagram suffers.
+    spike_rate:
+        Probability of a delay spike of ``spike_delay`` extra seconds —
+        a stalled queue or routing transient, far above the jitter band.
+    spike_delay:
+        The size of one delay spike in seconds.
     """
 
     base_latency: float = 0.0001
     bandwidth: Optional[float] = None
     jitter: float = 0.0
     loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_window: float = 0.0
+    spike_rate: float = 0.0
+    spike_delay: float = 0.0
 
     def __post_init__(self) -> None:
         if self.base_latency < 0:
@@ -47,12 +70,55 @@ class LinkModel:
             raise LinkError(f"non-positive bandwidth: {self.bandwidth}")
         if self.jitter < 0:
             raise LinkError(f"negative jitter: {self.jitter}")
-        if not 0.0 <= self.loss_rate <= 1.0:
-            raise LinkError(f"loss rate outside [0,1]: {self.loss_rate}")
+        for rate_attr in (
+            "loss_rate",
+            "duplicate_rate",
+            "corrupt_rate",
+            "reorder_rate",
+            "spike_rate",
+        ):
+            rate = getattr(self, rate_attr)
+            if not 0.0 <= rate <= 1.0:
+                raise LinkError(f"{rate_attr} outside [0,1]: {rate}")
+        if self.reorder_window < 0:
+            raise LinkError(f"negative reorder window: {self.reorder_window}")
+        if self.spike_delay < 0:
+            raise LinkError(f"negative spike delay: {self.spike_delay}")
+        if self.reorder_rate > 0 and self.reorder_window == 0:
+            raise LinkError("reorder_rate needs a positive reorder_window")
+        if self.spike_rate > 0 and self.spike_delay == 0:
+            raise LinkError("spike_rate needs a positive spike_delay")
+
+    @property
+    def adversarial(self) -> bool:
+        """True when any adversarial behaviour is configured."""
+        return (
+            self.duplicate_rate > 0
+            or self.corrupt_rate > 0
+            or self.reorder_rate > 0
+            or self.spike_rate > 0
+        )
 
     def is_lost(self, rng: DeterministicRng) -> bool:
         """Decide whether one datagram is dropped."""
         return self.loss_rate > 0 and rng.random() < self.loss_rate
+
+    def is_duplicated(self, rng: DeterministicRng) -> bool:
+        """Decide whether one datagram arrives twice."""
+        return self.duplicate_rate > 0 and rng.random() < self.duplicate_rate
+
+    def is_corrupted(self, rng: DeterministicRng) -> bool:
+        """Decide whether one datagram is corrupted in flight."""
+        return self.corrupt_rate > 0 and rng.random() < self.corrupt_rate
+
+    def extra_delay(self, rng: DeterministicRng) -> float:
+        """Adversarial extra delay: reordering draw plus delay spikes."""
+        extra = 0.0
+        if self.reorder_rate > 0 and rng.random() < self.reorder_rate:
+            extra += rng.uniform(0.0, self.reorder_window)
+        if self.spike_rate > 0 and rng.random() < self.spike_rate:
+            extra += self.spike_delay
+        return extra
 
     def delay_for(self, size_bytes: int, rng: DeterministicRng) -> float:
         """One-way delay for a datagram of the given size."""
@@ -88,4 +154,29 @@ class LinkModel:
             bandwidth=1.5e6 / 8,
             jitter=0.010,
             loss_rate=loss_rate,
+        )
+
+    @classmethod
+    def chaotic(
+        cls,
+        loss_rate: float = 0.01,
+        duplicate_rate: float = 0.02,
+        corrupt_rate: float = 0.02,
+        reorder_rate: float = 0.05,
+        spike_rate: float = 0.01,
+    ) -> "LinkModel":
+        """A LAN under an active message-level adversary: duplication,
+        corruption, bounded reordering and delay spikes on top of loss.
+        The crucible's default chaos-window link."""
+        return cls(
+            base_latency=0.0002,
+            bandwidth=100e6 / 8,
+            jitter=0.00005,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            corrupt_rate=corrupt_rate,
+            reorder_rate=reorder_rate,
+            reorder_window=0.030,
+            spike_rate=spike_rate,
+            spike_delay=0.080,
         )

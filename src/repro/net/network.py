@@ -11,6 +11,18 @@ a datagram whose source and destination are in different components is
 silently dropped, which is exactly how an asynchronous network failure
 presents to the endpoints.  Healing the partition restores full
 connectivity and lets daemon membership merge the components.
+
+One-way (asymmetric) partitions are expressed separately as *severed*
+directed pairs (:meth:`Network.sever`): datagrams from a severed source
+to a severed destination are dropped while the reverse direction keeps
+flowing — the half-open link failure mode that stresses failure
+detectors hardest.  :meth:`Network.restore` (or a full :meth:`heal`)
+repairs them.
+
+Adversarial link behaviour (duplication, corruption, bounded
+reordering, delay spikes) is configured per link on
+:class:`~repro.net.link.LinkModel`; the network applies it per datagram
+from its deterministic RNG stream and traces every injected fault.
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PartitionError, UnknownAddressError
+from repro.net.corrupt import corrupt_payload
 from repro.net.link import LinkModel
 from repro.sim.kernel import Kernel
 from repro.sim.process import SimProcess
@@ -40,10 +53,14 @@ class Network:
         self._links: Dict[Tuple[str, str], LinkModel] = {}
         # None means fully connected; otherwise node -> component index.
         self._component_of: Optional[Dict[str, int]] = None
+        # Directed (source, destination) pairs currently cut one-way.
+        self._severed: Set[Tuple[str, str]] = set()
         self._rng = kernel.rng.child("network")
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
         self.datagrams_dropped = 0
+        self.datagrams_duplicated = 0
+        self.datagrams_corrupted = 0
         self.bytes_sent = 0
 
     # -- topology -------------------------------------------------------------
@@ -74,6 +91,21 @@ class Network:
         """Override the link model between two nodes (symmetric)."""
         self._links[(a, b)] = model
         self._links[(b, a)] = model
+
+    def set_default_link(self, model: LinkModel) -> None:
+        """Swap the default link model for every non-overridden pair —
+        how a fault schedule opens and closes an adversarial chaos
+        window at run time."""
+        self.default_link = model
+        self.kernel.tracer.record(
+            "net.link_change",
+            adversarial=model.adversarial,
+            loss_rate=model.loss_rate,
+            corrupt_rate=model.corrupt_rate,
+            duplicate_rate=model.duplicate_rate,
+            reorder_rate=model.reorder_rate,
+            spike_rate=model.spike_rate,
+        )
 
     def link_between(self, a: str, b: str) -> LinkModel:
         """The link model in effect between two nodes."""
@@ -106,21 +138,57 @@ class Network:
         )
 
     def heal(self) -> None:
-        """Restore full connectivity."""
+        """Restore full connectivity (components and one-way severs)."""
         self._component_of = None
+        self._severed.clear()
         self.kernel.tracer.record("net.heal")
 
+    def sever(
+        self, sources: Iterable[str], destinations: Iterable[str]
+    ) -> None:
+        """Cut the network one way: datagrams from any of ``sources`` to
+        any of ``destinations`` are dropped; the reverse direction (and
+        everything else) keeps flowing.  An asymmetric partition — the
+        half-open failure mode where one side still hears the other."""
+        sources = list(sources)
+        destinations = list(destinations)
+        if not sources or not destinations:
+            raise PartitionError("sever needs non-empty sources and destinations")
+        for source in sources:
+            for destination in destinations:
+                if source == destination:
+                    raise PartitionError(
+                        f"cannot sever node {source!r} from itself"
+                    )
+                self._severed.add((source, destination))
+        self.kernel.tracer.record(
+            "net.sever",
+            sources=sorted(set(sources)),
+            destinations=sorted(set(destinations)),
+        )
+
+    def restore(self) -> None:
+        """Repair all one-way severs (components stay as they are)."""
+        self._severed.clear()
+        self.kernel.tracer.record("net.restore")
+
     def reachable(self, a: str, b: str) -> bool:
-        """True when a datagram from ``a`` can currently reach ``b``."""
+        """True when a datagram from ``a`` can currently reach ``b``.
+
+        Directional: one-way severs block ``a -> b`` without blocking
+        ``b -> a``.
+        """
         if a == b:
             return True
+        if (a, b) in self._severed:
+            return False
         if self._component_of is None:
             return True
         return self._component_of.get(a, -1) == self._component_of.get(b, -2)
 
     @property
     def partitioned(self) -> bool:
-        return self._component_of is not None
+        return self._component_of is not None or bool(self._severed)
 
     def component_members(self, name: str) -> Set[str]:
         """Names of all nodes currently reachable from ``name``."""
@@ -138,9 +206,24 @@ class Network:
         """Queue one datagram for delivery (or loss) after the link delay."""
         if destination not in self._nodes:
             raise UnknownAddressError(destination)
+        sender = self._nodes.get(source)
+        if sender is not None and sender.stalled:
+            # A stalled (live-but-silent) process transmits nothing; the
+            # send replays when it resumes, as if the kernel had held
+            # the process off-CPU mid-syscall.
+            sender.defer_while_stalled(
+                lambda: self.send(source, destination, payload, size)
+            )
+            return
         self.datagrams_sent += 1
         wire_size = size if size is not None else _size_of(payload)
         self.bytes_sent += wire_size
+        if (source, destination) in self._severed:
+            self.datagrams_dropped += 1
+            self.kernel.tracer.record(
+                "net.drop_sever", source=source, destination=destination
+            )
+            return
         if not self.reachable(source, destination):
             self.datagrams_dropped += 1
             self.kernel.tracer.record(
@@ -154,13 +237,40 @@ class Network:
                 "net.drop_loss", source=source, destination=destination
             )
             return
-        delay = link.delay_for(wire_size, self._rng)
+        if link.is_corrupted(self._rng):
+            self.datagrams_corrupted += 1
+            payload = corrupt_payload(payload, self._rng)
+            self.kernel.tracer.record(
+                "net.corrupt",
+                source=source,
+                destination=destination,
+                payload_kind=type(payload).__name__,
+            )
+        delay = link.delay_for(wire_size, self._rng) + link.extra_delay(self._rng)
         self.kernel.call_later(
             delay,
             lambda: self._deliver(source, destination, payload),
             priority=PRIORITY_NETWORK,
             label=f"net:{source}->{destination}",
         )
+        if link.is_duplicated(self._rng):
+            # The duplicate rides an independent (often longer) delay,
+            # so it can arrive out of order relative to later sends.
+            self.datagrams_duplicated += 1
+            dup_delay = link.delay_for(wire_size, self._rng) + link.extra_delay(
+                self._rng
+            )
+            if link.reorder_window > 0:
+                dup_delay += self._rng.uniform(0.0, link.reorder_window)
+            self.kernel.tracer.record(
+                "net.duplicate", source=source, destination=destination
+            )
+            self.kernel.call_later(
+                dup_delay,
+                lambda: self._deliver(source, destination, payload),
+                priority=PRIORITY_NETWORK,
+                label=f"net:{source}->{destination}:dup",
+            )
 
     def multicast(
         self,

@@ -15,6 +15,7 @@ the real system's wall clock did.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
@@ -29,6 +30,7 @@ from repro.errors import (
     ReproError,
     SecureGroupError,
     SendBlockedError,
+    StaleKeyError,
 )
 from repro.secure.cascade import (
     AgreementEnvelope,
@@ -53,12 +55,23 @@ from repro.spread.events import (
     MembershipEvent,
     SelfLeaveEvent,
 )
+from repro.sim.trace import Tracer
 from repro.spread.flush import FlushClient
 from repro.types import GroupId, ProcessId, ServiceType
+
+#: Shared sink for sessions whose flush stack has no kernel (unit tests).
+_NULL_TRACER = Tracer(enabled=False)
 
 STATE_IDLE = "idle"
 STATE_AGREEING = "agreeing"
 STATE_CONFIRMED = "confirmed"
+
+#: Virtual seconds an agreement attempt may sit un-confirmed before the
+#: watchdog multicasts a restart round.  Generous against real token
+#: round-trips (milliseconds on the paper's LAN) so it only trips on
+#: genuinely wedged agreements — e.g. members whose operation
+#: classification diverged after an asymmetric failure.
+AGREEMENT_WATCHDOG = 5.0
 
 
 class CryptoCostModel:
@@ -120,6 +133,17 @@ class SecureGroupSession:
     # -- identity helpers -----------------------------------------------------
 
     @property
+    def _kernel(self):
+        # Tolerate stripped-down flush stand-ins in unit tests.
+        client = getattr(self.flush, "client", None)
+        return getattr(client, "kernel", None)
+
+    @property
+    def _tracer(self):
+        kernel = self._kernel
+        return kernel.tracer if kernel is not None else _NULL_TRACER
+
+    @property
     def me(self) -> str:
         return str(self.flush.pid)
 
@@ -150,6 +174,14 @@ class SecureGroupSession:
                 f" (state={self.state})"
             )
         sealed = self._protector.seal(self.group, self.me, payload, self._random)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "secure.send",
+                me=self.me,
+                group=self.group,
+                epoch=sealed.epoch_label,
+                digest=hashlib.sha256(payload).hexdigest()[:16],
+            )
         self.flush.multicast(self.group, sealed)
 
     def refresh(self) -> None:
@@ -338,9 +370,19 @@ class SecureGroupSession:
             previous_members=previous_members,
             operation=self.operation,
         )
-        if had_state and not previous_complete:
-            # Cascaded event: the previous agreement never finished here.
-            # Ask the whole view to restart from scratch.
+        members_now = {str(m) for m in event.members}
+        explained = (
+            previous_members - {str(m) for m in event.left}
+        ) | {str(m) for m in event.joined}
+        # A cascaded membership can supersede an in-progress flush so
+        # fast that this member never sees the intermediate view: the
+        # new member set then cannot be derived from the one we hold.
+        # Module state from the skipped era is unusable — restart.
+        skipped_view = bool(previous_members) and explained != members_now
+        if had_state and (not previous_complete or skipped_view):
+            # Cascaded event: the previous agreement never finished here
+            # (or a whole view was skipped).  Ask the whole view to
+            # restart from scratch.
             self._safe_multicast(RestartRequest(event.view_id, from_attempt=0))
             return
         messages, exps = self._run_module(lambda: self.module.on_view(view_change))
@@ -372,6 +414,38 @@ class SecureGroupSession:
         self._protector = None
         self._session_keys = None
         self._pending_challenges = {}  # stale challenges die with the view
+        self._arm_watchdog()
+
+    def _arm_watchdog(self) -> None:
+        """Schedule a restart round in case this attempt wedges.
+
+        The timer is a no-op unless the session is still AGREEING the
+        very same (view, attempt) when it fires — any progress (a key
+        confirmation, a newer view, a restart) disarms it implicitly.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            return  # unit-test stand-in flush stack: no timers available
+        view_key, attempt = self.view_key, self.attempt
+
+        def fire() -> None:
+            if (
+                self.state != STATE_AGREEING
+                or self.view_key != view_key
+                or self.attempt != attempt
+            ):
+                return
+            if self._tracer.enabled:
+                self._tracer.record(
+                    "secure.watchdog",
+                    me=self.me,
+                    group=self.group,
+                    view=str(view_key),
+                    attempt=attempt,
+                )
+            self._safe_multicast(RestartRequest(view_key, attempt))
+
+        kernel.call_later(AGREEMENT_WATCHDOG, fire, label="secure:watchdog")
 
     def _current_view_change(self) -> ViewChange:
         event = self.view
@@ -428,9 +502,13 @@ class SecureGroupSession:
         self._maybe_confirm()
 
     def _on_restart_request(self, request: RestartRequest) -> None:
-        if request.view_key != self.view_key or request.from_attempt != self.attempt:
+        if request.view_key != self.view_key or request.from_attempt < self.attempt:
             return  # stale request
-        self._begin_attempt(self.attempt + 1, self.operation)
+        # Accept requests from members *ahead* of us too (their attempt
+        # counter advanced while ours stalled — e.g. a lost self-delivery
+        # or a diverged operation classification): jumping to one past
+        # the highest announced attempt is how the view reconverges.
+        self._begin_attempt(request.from_attempt + 1, self.operation)
         messages, exps = self._run_module(
             lambda: self.module.on_restart(self._current_view_change())
         )
@@ -452,11 +530,45 @@ class SecureGroupSession:
 
     def _on_sealed(self, group: GroupId, sender: str, sealed: SealedMessage) -> None:
         if self._protector is None:
+            if self._tracer.enabled:
+                self._tracer.record(
+                    "secure.reject",
+                    me=self.me,
+                    group=str(group),
+                    sender=sender,
+                    epoch=sealed.epoch_label,
+                    reason="no_key",
+                )
             return  # no key (superseded traffic); VS makes this benign
         try:
             plaintext = self._protector.unseal(sealed)
-        except ReproError:
-            return  # wrong epoch or MAC: drop silently, as a router would
+        except ReproError as exc:
+            # Wrong epoch or MAC: drop, as a router would — but leave a
+            # trace so the chaos invariants can count every rejection and
+            # prove no corrupted payload ever reached the application.
+            if self._tracer.enabled:
+                self._tracer.record(
+                    "secure.reject",
+                    me=self.me,
+                    group=str(group),
+                    sender=sender,
+                    epoch=sealed.epoch_label,
+                    reason=(
+                        "stale_epoch"
+                        if isinstance(exc, StaleKeyError)
+                        else "mac_fail"
+                    ),
+                )
+            return
+        if self._tracer.enabled:
+            self._tracer.record(
+                "secure.data",
+                me=self.me,
+                group=str(group),
+                sender=sender,
+                epoch=sealed.epoch_label,
+                digest=hashlib.sha256(plaintext).hexdigest()[:16],
+            )
         self._emit(
             SecureDataEvent(
                 group=group,
@@ -548,6 +660,16 @@ class SecureGroupSession:
         )
         self.state = STATE_CONFIRMED
         self.rekeys_completed += 1
+        if self._tracer.enabled:
+            self._tracer.record(
+                "secure.confirmed",
+                me=self.me,
+                group=self.group,
+                view=str(self.view_key),
+                attempt=self.attempt,
+                members=self.members(),
+                fingerprint=mine,
+            )
         self._emit(
             SecureMembershipEvent(
                 group=self.view.group,

@@ -7,11 +7,19 @@ its timers and drops subsequent deliveries, modelling fail-stop.  A crashed
 process may later ``recover`` (crash-and-recover model), starting from
 clean volatile state — ``on_recover`` is the hook where a subclass rebuilds
 itself.
+
+Distinct from crashing, a process may be **stalled** (:meth:`stall` /
+:meth:`resume`): live but silent, as if SIGSTOPped or starved off-CPU.
+While stalled it transmits nothing and processes nothing — deliveries,
+timer fires and deferred callbacks queue up and replay, in order, when
+the process resumes.  To its peers a stalled process is indistinguishable
+from a failed one until it suddenly speaks again, which is exactly the
+failure-detector stress the asynchronous model permits.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable, List
 
 from repro.errors import ProcessError
 from repro.sim.kernel import Kernel
@@ -28,9 +36,13 @@ class SimProcess:
     def __init__(self, kernel: Kernel, name: str) -> None:
         self.kernel = kernel
         self.name = name
-        self.timers = TimerWheel(kernel, owner=name)
+        self.timers = TimerWheel(
+            kernel, owner=name, interceptor=self._run_or_defer
+        )
         self._alive = False
         self._started = False
+        self._stalled = False
+        self._stall_buffer: List[Callable[[], None]] = []
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -53,6 +65,8 @@ class SimProcess:
         if not self._alive:
             return
         self._alive = False
+        self._stalled = False
+        self._stall_buffer.clear()  # volatile: queued work dies too
         self.timers.cancel_all()
         self.kernel.tracer.record("process.crash", name=self.name)
         self.on_crash()
@@ -64,17 +78,69 @@ class SimProcess:
         if not self._started:
             raise ProcessError(f"{self.name} never started; cannot recover")
         self._alive = True
-        self.timers = TimerWheel(self.kernel, owner=self.name)
+        self.timers = TimerWheel(
+            self.kernel, owner=self.name, interceptor=self._run_or_defer
+        )
         self.kernel.tracer.record("process.recover", name=self.name)
         self.on_recover()
+
+    # -- stall (live but silent) ---------------------------------------------
+
+    @property
+    def stalled(self) -> bool:
+        """True while the process is suspended (alive, processing nothing)."""
+        return self._stalled
+
+    def stall(self) -> None:
+        """Suspend the process: deliveries, timer fires and outbound
+        transmissions queue until :meth:`resume`.  No-op when down."""
+        if not self._alive or self._stalled:
+            return
+        self._stalled = True
+        self.kernel.tracer.record("process.stall", name=self.name)
+
+    def resume(self) -> None:
+        """Wake a stalled process and replay everything it missed, in
+        arrival order.  No-op unless stalled."""
+        if not self._stalled:
+            return
+        self._stalled = False
+        backlog, self._stall_buffer = self._stall_buffer, []
+        self.kernel.tracer.record(
+            "process.resume", name=self.name, backlog=len(backlog)
+        )
+        for thunk in backlog:
+            if not self._alive or self._stalled:
+                break  # crashed or re-stalled mid-replay
+            thunk()
+
+    def defer_while_stalled(self, thunk: Callable[[], None]) -> None:
+        """Queue work to replay on resume (used by the network for the
+        stalled process's own outbound sends)."""
+        self._stall_buffer.append(thunk)
+
+    def _run_or_defer(self, callback: Callable[[], None]) -> None:
+        """Timer-fire interceptor: run now, or queue while stalled."""
+        if not self._alive:
+            return
+        if self._stalled:
+            self._stall_buffer.append(callback)
+            return
+        callback()
 
     # -- delivery -----------------------------------------------------------
 
     def deliver(self, source: str, payload: Any) -> None:
-        """Entry point used by the network; drops messages while crashed."""
+        """Entry point used by the network; drops messages while crashed,
+        queues them while stalled."""
         if not self._alive:
             self.kernel.tracer.record(
                 "process.drop_dead", name=self.name, source=source
+            )
+            return
+        if self._stalled:
+            self._stall_buffer.append(
+                lambda: self.on_message(source, payload)
             )
             return
         self.on_message(source, payload)
@@ -97,16 +163,18 @@ class SimProcess:
     # -- conveniences ---------------------------------------------------------
 
     def after(self, delay: float, callback, label: str = "") -> None:
-        """Schedule a callback that only fires if the process is alive."""
+        """Schedule a callback that only fires if the process is alive
+        (deferred to resume time while the process is stalled)."""
 
         def guarded() -> None:
-            if self._alive:
-                callback()
+            self._run_or_defer(callback)
 
         self.kernel.call_later(delay, guarded, label=label or f"{self.name}.after")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self._alive else "down"
+        if self._alive and self._stalled:
+            state = "stalled"
         return f"<{type(self).__name__} {self.name} ({state})>"
 
 

@@ -30,12 +30,16 @@ class Timer:
         delay: float,
         period: Optional[float] = None,
         label: str = "timer",
+        interceptor: Optional[Callable[[Callable[[], None]], None]] = None,
     ) -> None:
         self._kernel = kernel
         self._callback = callback
         self.delay = delay
         self.period = period
         self.label = label
+        # Routes each fire through the owner (e.g. to defer while the
+        # owning process is stalled); None invokes the callback directly.
+        self._interceptor = interceptor
         self._event: Optional[Event] = None
 
     @property
@@ -61,7 +65,10 @@ class Timer:
         self._event = None
         if self.period is not None:
             self.start(self.period)
-        self._callback()
+        if self._interceptor is not None:
+            self._interceptor(self._callback)
+        else:
+            self._callback()
 
 
 class TimerWheel:
@@ -71,9 +78,15 @@ class TimerWheel:
     the owning process crashes so no stale callbacks fire afterwards.
     """
 
-    def __init__(self, kernel: Kernel, owner: str = "") -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        owner: str = "",
+        interceptor: Optional[Callable[[Callable[[], None]], None]] = None,
+    ) -> None:
         self._kernel = kernel
         self._owner = owner
+        self._interceptor = interceptor
         self._timers: Dict[str, Timer] = {}
         self._dead = False
 
@@ -95,6 +108,7 @@ class TimerWheel:
             delay,
             period,
             label=f"{self._owner}.{name}",
+            interceptor=self._interceptor,
         )
         self._timers[name] = timer
         return timer

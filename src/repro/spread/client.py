@@ -45,7 +45,7 @@ class SpreadClient(SimProcess):
         self._send_seq = 0
         self._my_groups: set = set()
         self._fragment_counter = 0
-        self._reassembler = Reassembler()
+        self._reassembler = Reassembler(tracer=kernel.tracer)
 
     # ------------------------------------------------------------------
     # connection lifecycle

@@ -283,6 +283,20 @@ class SpreadDaemon(SimProcess):
     # ------------------------------------------------------------------
 
     def on_message(self, source: str, payload: Any) -> None:
+        from repro.net.corrupt import CorruptedDatagram
+
+        if isinstance(payload, CorruptedDatagram):
+            # A frame damaged on the wire and caught by the transport
+            # checksum: drop before any interpretation (it does not even
+            # count as hearing the sender).  Reliable traffic is repaired
+            # by the NACK machinery from the sender's buffer.
+            self.kernel.tracer.record(
+                "daemon.corrupt_drop",
+                me=self.name,
+                source=source,
+                original=payload.original_kind,
+            )
+            return
         self.last_heard[source] = self.kernel.now
         if self.security is not None:
             handled, unsealed = self.security.intercept(source, payload)
@@ -431,6 +445,19 @@ class SpreadDaemon(SimProcess):
     # ------------------------------------------------------------------
 
     def _deliver_ordered(self, message: DataMessage) -> None:
+        tracer = self.kernel.tracer
+        if tracer.enabled and message.seq != UNRELIABLE_SEQ:
+            # The invariant checker's raw material: which daemon delivered
+            # which reliable message in which view.  (message.view_id, not
+            # self.view: flush-time deliveries belong to the closing view.)
+            tracer.record(
+                "daemon.deliver",
+                me=self.name,
+                view=str(message.view_id),
+                sender=message.sender_daemon,
+                seq=message.seq,
+                msg_kind=message.kind,
+            )
         if message.kind == KIND_APP:
             self._deliver_app(message)
         elif message.kind == KIND_GROUP_JOIN:
@@ -606,13 +633,30 @@ class SpreadDaemon(SimProcess):
         )
         # Change counters must advance identically on every daemon of the
         # new view (flush acknowledgements are keyed by them), so every
-        # group in the merged table gets exactly one install-time bump —
-        # the notification itself goes only to groups that changed here.
+        # group in the merged table gets exactly one install-time bump.
+        # Whether the group's members are *notified* must be decided
+        # uniformly too: a daemon-local "nothing changed here" test
+        # diverges under asymmetric failures (one side may have dropped
+        # and re-gained members the other side kept throughout), leaving
+        # part of a group flushing a view the rest never saw.  The
+        # uniform rule: always notify when the group's hosting daemons
+        # arrive from more than one prior view (a merge for this group —
+        # ``install.synced`` is identical on every receiving daemon, so
+        # all of them agree); otherwise the purely local delta decides,
+        # which is safe because single-origin hosting daemons share the
+        # same group history.
+        origin_of = {
+            daemon: old_view
+            for old_view, daemons in install.synced.items()
+            for daemon in daemons
+        }
         for group in sorted(after):
             counter = self.groups.bump_change(group)
             old_members = set(before.get(group, ()))
             new_members = set(after.get(group, ()))
-            if old_members == new_members:
+            hosting = {daemon_of(m) for m in new_members}
+            origins = {origin_of[d] for d in hosting if d in origin_of}
+            if old_members == new_members and len(origins) <= 1:
                 continue
             self._group_event(
                 group,

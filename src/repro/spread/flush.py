@@ -189,6 +189,12 @@ class FlushClient:
             return ()
         return state.current_view.members
 
+    def flushing(self, group: str) -> bool:
+        """True while a membership change is flushing for ``group``
+        (multicasts to it would raise SendBlockedError)."""
+        state = self._groups.get(group)
+        return state is not None and state.blocked
+
     def _emit(self, event: Any) -> None:
         self.queue.append(event)
         for callback in list(self._callbacks):

@@ -10,6 +10,13 @@ Fragments of one logical message share the sender's fragment id; the
 per-sender ordering guarantees (FIFO and above) make reassembly a
 simple append — a gap or reordering within one sender's fragments is
 impossible at the service levels that deliver them.
+
+The reassembler is nevertheless hardened against an adversarial
+substrate (the chaos crucible's duplication faults): a re-delivered
+fragment is idempotent, and a fragment belonging to a message id the
+sender has already completed (a *superseded* id) is dropped with a
+trace event instead of corrupting the reassembly buffer or leaking a
+partial entry that can never complete.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import IllegalMessageError
+from repro.sim.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -54,15 +62,37 @@ def split_payload(
 class Reassembler:
     """Collects fragments per (sender, fragment id) into whole payloads."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._partial: Dict[Tuple[str, int], List[Optional[bytes]]] = {}
+        # Highest fragment id already fully reassembled, per sender:
+        # anything at or below it is superseded and must not reopen a
+        # buffer (fragment ids grow monotonically per connection).
+        self._completed: Dict[str, int] = {}
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.stale_dropped = 0
+        self.duplicates_ignored = 0
 
     def accept(self, sender: str, fragment: MessageFragment) -> Optional[bytes]:
-        """Feed one fragment; returns the whole payload when complete."""
+        """Feed one fragment; returns the whole payload when complete.
+
+        Duplicated fragments are idempotent; fragments of a superseded
+        message id are dropped (with a ``fragments.stale_drop`` trace
+        event) rather than corrupting the buffer.
+        """
         if fragment.total < 1 or not 0 <= fragment.index < fragment.total:
             raise IllegalMessageError(
                 f"malformed fragment {fragment.index}/{fragment.total}"
             )
+        if fragment.fragment_id <= self._completed.get(sender, 0):
+            self.stale_dropped += 1
+            self._tracer.record(
+                "fragments.stale_drop",
+                sender=sender,
+                fragment_id=fragment.fragment_id,
+                index=fragment.index,
+                completed_upto=self._completed.get(sender, 0),
+            )
+            return None
         key = (sender, fragment.fragment_id)
         slots = self._partial.get(key)
         if slots is None:
@@ -72,10 +102,27 @@ class Reassembler:
             raise IllegalMessageError(
                 "fragment total changed mid-message"
             )
+        existing = slots[fragment.index]
+        if existing is not None:
+            if existing != fragment.chunk:
+                raise IllegalMessageError(
+                    f"conflicting re-delivery of fragment"
+                    f" {fragment.index}/{fragment.total} from {sender}"
+                )
+            self.duplicates_ignored += 1
+            self._tracer.record(
+                "fragments.duplicate",
+                sender=sender,
+                fragment_id=fragment.fragment_id,
+                index=fragment.index,
+            )
+            return None
         slots[fragment.index] = fragment.chunk
         if any(chunk is None for chunk in slots):
             return None
         del self._partial[key]
+        previous = self._completed.get(sender, 0)
+        self._completed[sender] = max(previous, fragment.fragment_id)
         return b"".join(slots)
 
     def pending_count(self) -> int:
@@ -86,3 +133,4 @@ class Reassembler:
         """Discard partial state from a departed sender (view change)."""
         for key in [k for k in self._partial if k[0] == sender]:
             del self._partial[key]
+        self._completed.pop(sender, None)

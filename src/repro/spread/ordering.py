@@ -367,17 +367,36 @@ class ViewPipeline:
     # -- membership flush --------------------------------------------------------
 
     def cut(self) -> Tuple[Tuple[DataMessage, ...], int, Dict[str, int]]:
-        """Everything ingested but not delivered, plus delivery horizons."""
-        undelivered: List[DataMessage] = []
+        """Everything a co-moving peer might still be missing, plus
+        delivery horizons.
+
+        The cut carries every retained message that is not yet *stable*
+        (acknowledged-as-ingested by every view member, per the SAFE ack
+        horizon) — whether or not it was delivered here.  Undelivered
+        messages are needed to finish our own flush; delivered-but-
+        unstable ones are needed because a daemon moving to the new view
+        with us may have missed a message we already delivered (lost on
+        the wire, sender unreachable for NACK repair), and the EVS
+        same-set guarantee obliges the complement to hand it over.
+        Stable messages are ingested everywhere by definition, so they
+        are the cut's garbage-collection line, exactly as in Totem.
+        """
+        stable = (
+            min(self._ack_of(name) for name in self.peers)
+            if self.peers
+            else 0
+        )
+        unstable: List[DataMessage] = []
         delivered_fifo: Dict[str, int] = {}
         for name, peer in self.peers.items():
             delivered_fifo[name] = peer.fifo_delivered
             for seq in sorted(peer.received):
-                if seq > peer.fifo_delivered:
-                    undelivered.append(peer.received[seq])
+                message = peer.received[seq]
+                if seq > peer.fifo_delivered or message.lamport > stable:
+                    unstable.append(message)
         # Held totally-ordered messages have seq <= fifo_delivered only
         # after delivery, so the scan above already includes them.
-        return tuple(undelivered), self.delivered_ts, delivered_fifo
+        return tuple(unstable), self.delivered_ts, delivered_fifo
 
     def flush_with(
         self,

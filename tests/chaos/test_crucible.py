@@ -1,0 +1,214 @@
+"""The crucible end to end: seeded runs hold every invariant, replay is
+byte-identical, and the ddmin shrinker minimizes failing schedules."""
+
+import json
+
+import pytest
+
+from repro.chaos.crucible import _is_repair, soak
+from repro.chaos.harness import MODULES, generate_churn, generate_schedule, run_chaos
+from repro.chaos.shrink import shrink_schedule
+from repro.net.fault import FaultSchedule
+from repro.net.link import LinkModel
+from repro.sim.rng import DeterministicRng
+
+
+# -- seeded runs ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_quick_chaos_run_holds_invariants(module):
+    result = run_chaos(5, module, quick=True)
+    assert result.ok, result.violations
+    # The storm actually stormed: faults fired and the HMAC layer saw
+    # (and rejected) corrupted traffic, yet nothing reached the app.
+    assert result.stats["fault.fire"] > 0
+    assert result.stats["net.corrupt"] > 0
+
+
+def test_same_seed_replays_to_identical_trace():
+    first = run_chaos(2, "cliques", quick=True)
+    second = run_chaos(2, "cliques", quick=True)
+    assert first.fingerprint == second.fingerprint
+    assert first.schedule == second.schedule
+    assert first.stats == second.stats
+
+
+def test_different_seeds_diverge():
+    first = run_chaos(2, "cliques", quick=True)
+    second = run_chaos(3, "cliques", quick=True)
+    assert first.fingerprint != second.fingerprint
+
+
+def test_explicit_schedule_overrides_generated_one():
+    quiet = FaultSchedule()  # no faults at all
+    result = run_chaos(2, "cliques", quick=True, schedule=quiet, churn=[])
+    assert result.ok
+    assert result.stats["fault.fire"] == 0
+    assert result.stats["secure.data"] > 0  # traffic still flowed
+
+
+def test_soak_document_shape():
+    document = soak([4], ["ckd"], quick=True, progress=False)
+    assert document["summary"]["runs"] == 1
+    assert document["summary"]["passed"] == 1
+    assert document["summary"]["per_module"]["ckd"]["passed"] == 1
+    run = document["runs"][0]
+    assert run["seed"] == 4 and run["module"] == "ckd"
+    json.dumps(document)  # JSON-serializable end to end
+
+
+# -- schedule generation ----------------------------------------------------------
+
+
+def test_generated_schedule_is_self_repairing():
+    rng = DeterministicRng(99, label="chaos")
+    schedule = generate_schedule(
+        rng.child("schedule"), 1.0, 9.0, daemons=["d0", "d1", "d2", "d3"]
+    )
+    kinds = [a.kind for a in schedule.actions]
+    # Opens adversarial, closes clean.
+    links = [a for a in schedule.actions if a.kind == "set_link"]
+    assert links[0].link.adversarial and not links[-1].link.adversarial
+    # The final repair block runs at the window end.
+    tail = [a for a in schedule.actions if a.at == 9.0]
+    assert {a.kind for a in tail} == {"resume", "restore", "heal", "set_link"}
+    # Crash faults only ever target the spare daemon.
+    for action in schedule.actions:
+        if action.kind == "crash":
+            assert action.targets == ("d3",)
+    assert kinds == [a.kind for a in sorted(schedule.actions, key=lambda a: a.at)]
+
+
+def test_generated_churn_stays_inside_window():
+    rng = DeterministicRng(5, label="chaos")
+    plan = generate_churn(rng.child("churn"), 1.0, 9.0)
+    for op in plan:
+        assert 1.0 < op.at < 9.0
+    joins = [op for op in plan if op.op == "join"]
+    leaves = [op for op in plan if op.op == "leave"]
+    if leaves:
+        assert joins and leaves[0].at > joins[0].at
+
+
+# -- the shrinker -----------------------------------------------------------------
+
+
+def minimal_predicate(culprit_kinds):
+    """Failing iff the candidate still contains every culprit kind."""
+
+    def failing(schedule: FaultSchedule) -> bool:
+        kinds = {a.kind for a in schedule.actions}
+        return culprit_kinds <= kinds
+
+    return failing
+
+
+def test_shrinker_reduces_to_the_culprits():
+    schedule = (
+        FaultSchedule()
+        .set_link(0.0, LinkModel.chaotic())
+        .stall(1.0, "d1")
+        .partition(2.0, [["d0"], ["d1", "d2"]])
+        .crash(3.0, "d3")
+        .resume(4.0, "d1")
+        .recover(5.0, "d3")
+        .heal(6.0)
+        .set_link(6.0, LinkModel.ethernet_100base_t())
+    )
+    failing = minimal_predicate({"partition", "crash"})
+    minimal = shrink_schedule(schedule, failing, keep=_is_repair)
+    shrunk_kinds = [a.kind for a in minimal.actions if not _is_repair(a)]
+    # 1-minimal: exactly the two culprit actions survive (plus repairs).
+    assert sorted(shrunk_kinds) == ["crash", "partition"]
+    repair_kinds = {a.kind for a in minimal.actions if _is_repair(a)}
+    assert {"resume", "recover", "heal"} <= repair_kinds
+
+
+def test_shrinker_single_culprit():
+    schedule = (
+        FaultSchedule()
+        .stall(1.0, "d1")
+        .sever(2.0, ["d0"], ["d1"])
+        .stall(3.0, "d2")
+        .restore(4.0)
+        .resume(5.0, "d1", "d2")
+    )
+    minimal = shrink_schedule(
+        schedule, minimal_predicate({"sever"}), keep=_is_repair
+    )
+    culprits = [a for a in minimal.actions if not _is_repair(a)]
+    assert [a.kind for a in culprits] == ["sever"]
+
+
+def test_shrinker_rejects_non_failing_schedule():
+    schedule = FaultSchedule().stall(1.0, "d1")
+    with pytest.raises(ValueError):
+        shrink_schedule(schedule, lambda s: False)
+
+
+def test_shrinker_respects_run_budget():
+    schedule = FaultSchedule()
+    for i in range(16):
+        schedule.stall(float(i), f"d{i % 4}")
+    calls = {"n": 0}
+
+    def failing(candidate: FaultSchedule) -> bool:
+        calls["n"] += 1
+        return len(candidate.actions) >= 1
+
+    shrink_schedule(schedule, failing, max_runs=10)
+    assert calls["n"] <= 10
+
+
+def test_shrinker_keeps_candidate_schedules_time_sorted():
+    """Every candidate the predicate sees must be a valid schedule:
+    actions in time order, repairs retained."""
+    schedule = (
+        FaultSchedule()
+        .stall(1.0, "d1")
+        .partition(2.0, [["d0"], ["d1"]])
+        .heal(3.0)
+        .resume(4.0, "d1")
+    )
+    seen = []
+
+    def failing(candidate: FaultSchedule) -> bool:
+        seen.append([a.at for a in candidate.actions])
+        return any(a.kind == "partition" for a in candidate.actions)
+
+    shrink_schedule(schedule, failing, keep=_is_repair)
+    for times in seen:
+        assert times == sorted(times)
+
+
+# -- shrinking an injected regression, end to end ---------------------------------
+
+
+def test_shrinker_on_injected_regression():
+    """Plant a 'regression': a schedule that never repairs its sever.
+
+    The convergence invariant fails; the shrinker must strip the noise
+    (stalls, crash) and keep the unrepaired sever that causes it.
+    """
+    base = run_chaos(2, "cliques", quick=True)  # healthy baseline
+    assert base.ok
+    start = 2.0
+    broken = (
+        FaultSchedule()
+        .stall(start + 0.2, "d3")
+        .crash(start + 0.4, "d3")
+        .sever(start + 0.6, ["d0"], ["d1", "d2"])  # never restored
+        .recover(start + 1.0, "d3")
+        .resume(start + 1.2, "d3")
+    )
+
+    def failing(candidate: FaultSchedule) -> bool:
+        return not run_chaos(
+            2, "cliques", quick=True, schedule=candidate, churn=[]
+        ).ok
+
+    assert failing(broken), "the injected regression must reproduce"
+    minimal = shrink_schedule(broken, failing, keep=_is_repair, max_runs=30)
+    kinds = [a.kind for a in minimal.actions if not _is_repair(a)]
+    assert kinds == ["sever"]

@@ -1,0 +1,215 @@
+"""Adversarial fault kinds: arm-time validation, trace detail, and the
+stall / sever semantics the crucible leans on."""
+
+import pytest
+
+from repro.errors import FaultError, ProcessError
+from repro.net.corrupt import CorruptedDatagram, corrupt_payload
+from repro.net.fault import FaultAction, FaultInjector, FaultSchedule
+from repro.net.link import LinkModel
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.process import FunctionProcess
+from repro.sim.rng import DeterministicRng
+
+
+from repro.sim.trace import Tracer
+
+
+def make_net(n=3, seed=1):
+    kernel = Kernel(seed=seed, tracer=Tracer())
+    network = Network(kernel)
+    nodes = []
+    for i in range(n):
+        node = FunctionProcess(kernel, f"n{i}")
+        node.start()
+        network.add_node(node)
+        nodes.append(node)
+    return kernel, network, nodes
+
+
+def make_injector(n=3, seed=1):
+    kernel, network, nodes = make_net(n, seed)
+    injector = FaultInjector(kernel, network, {p.name: p for p in nodes})
+    return kernel, network, nodes, injector
+
+
+# -- arm-time validation ---------------------------------------------------------
+
+
+def test_unknown_kind_raises_fault_error():
+    kernel, __, ___, injector = make_injector()
+    schedule = FaultSchedule(
+        actions=[FaultAction(at=1.0, kind="meltdown", targets=("n0",))]
+    )
+    with pytest.raises(FaultError, match="meltdown"):
+        injector.arm(schedule)
+
+
+def test_unregistered_target_raises_fault_error_at_arm_time():
+    kernel, __, ___, injector = make_injector()
+    schedule = FaultSchedule().crash(1.0, "n7")
+    with pytest.raises(FaultError, match="n7"):
+        injector.arm(schedule)
+    # Nothing was armed: the kernel runs out of work without firing.
+    kernel.run(until=5.0)
+    assert injector.fired == []
+
+
+def test_half_bad_schedule_arms_nothing():
+    """A schedule with one bad action must not half-execute: the good
+    crash at t=1 never fires because validation rejects the whole
+    schedule up front."""
+    kernel, __, nodes, injector = make_injector()
+    schedule = FaultSchedule().crash(1.0, "n0").stall(2.0, "ghost")
+    with pytest.raises(FaultError):
+        injector.arm(schedule)
+    kernel.run(until=5.0)
+    assert nodes[0].alive
+
+
+def test_structurally_incomplete_actions_rejected():
+    __, ___, ____, injector = make_injector()
+    for bad in (
+        FaultAction(at=1.0, kind="partition"),
+        FaultAction(at=1.0, kind="sever", components=(("n0",),)),
+        FaultAction(at=1.0, kind="set_link"),
+    ):
+        with pytest.raises(FaultError):
+            injector.validate(FaultSchedule(actions=[bad]))
+
+
+# -- fire-time tracing -----------------------------------------------------------
+
+
+def test_partition_fire_trace_includes_components():
+    kernel, network, __, injector = make_injector()
+    schedule = FaultSchedule().partition(1.0, [["n0"], ["n1", "n2"]])
+    injector.arm(schedule)
+    kernel.run(until=2.0)
+    fires = kernel.tracer.of_kind("fault.fire")
+    assert len(fires) == 1
+    assert fires[0]["fault"] == "partition"
+    assert fires[0]["components"] == [["n0"], ["n1", "n2"]]
+    assert not network.reachable("n0", "n1")
+
+
+def test_sever_fire_trace_includes_direction():
+    kernel, network, __, injector = make_injector()
+    schedule = FaultSchedule().sever(1.0, ["n0"], ["n1"])
+    injector.arm(schedule)
+    kernel.run(until=2.0)
+    fires = kernel.tracer.of_kind("fault.fire")
+    assert fires[0]["components"] == [["n0"], ["n1"]]
+
+
+# -- sever: one-way semantics ----------------------------------------------------
+
+
+def test_sever_is_asymmetric():
+    kernel, network, nodes, injector = make_injector()
+    injector.arm(FaultSchedule().sever(0.5, ["n0"], ["n1"]))
+    kernel.run(until=1.0)
+    assert not network.reachable("n0", "n1")
+    assert network.reachable("n1", "n0")  # reverse direction flows
+    network.send("n0", "n1", b"into the void")
+    network.send("n1", "n0", b"heard loud and clear")
+    kernel.run(until=2.0)
+    assert [p for __, p in nodes[1].inbox] == []
+    assert [p for __, p in nodes[0].inbox] == [b"heard loud and clear"]
+    assert kernel.tracer.count("net.drop_sever") == 1
+
+
+def test_restore_repairs_severs_only():
+    kernel, network, __, injector = make_injector()
+    injector.arm(
+        FaultSchedule()
+        .sever(0.5, ["n0"], ["n1"])
+        .partition(0.5, [["n2"]])
+        .restore(1.0)
+    )
+    kernel.run(until=2.0)
+    assert network.reachable("n0", "n1")  # sever repaired
+    assert not network.reachable("n0", "n2")  # partition untouched
+
+
+# -- stall / resume ---------------------------------------------------------------
+
+
+def test_stalled_process_buffers_and_replays():
+    kernel, network, nodes, injector = make_injector()
+    injector.arm(FaultSchedule().stall(0.5, "n1").resume(2.0, "n1"))
+    kernel.run(until=1.0)
+    assert nodes[1].stalled
+    network.send("n0", "n1", b"delivered late")
+    kernel.run(until=1.5)
+    assert [p for __, p in nodes[1].inbox] == []  # buffered, not lost
+    kernel.run(until=3.0)
+    assert [p for __, p in nodes[1].inbox] == [b"delivered late"]
+
+
+def test_stalled_sender_holds_transmissions():
+    kernel, network, nodes, injector = make_injector()
+    injector.arm(FaultSchedule().stall(0.5, "n0").resume(2.0, "n0"))
+    kernel.run(until=1.0)
+    network.send("n0", "n1", b"deferred send")
+    kernel.run(until=1.5)
+    assert [p for __, p in nodes[1].inbox] == []
+    kernel.run(until=3.0)
+    assert [p for __, p in nodes[1].inbox] == [b"deferred send"]
+
+
+def test_stall_resume_are_idempotent_and_recover_guards():
+    kernel, __, nodes, injector = make_injector()
+    node = nodes[0]
+    node.stall()
+    node.stall()  # no-op
+    node.resume()
+    node.resume()  # no-op
+    assert node.alive and not node.stalled
+    with pytest.raises(ProcessError):
+        node.recover()  # recover is for crashed processes only
+
+
+# -- adversarial link draws -------------------------------------------------------
+
+
+def test_duplicate_rate_duplicates_datagrams():
+    kernel, network, nodes, __ = make_injector()
+    network.set_default_link(LinkModel(duplicate_rate=1.0))
+    network.send("n0", "n1", b"twice")
+    kernel.run(until=1.0)
+    assert [p for __, p in nodes[1].inbox] == [b"twice", b"twice"]
+    assert kernel.tracer.count("net.duplicate") == 1
+
+
+def test_corrupt_rate_flips_byte_payloads():
+    kernel, network, nodes, __ = make_injector()
+    network.set_default_link(LinkModel(corrupt_rate=1.0))
+    network.send("n0", "n1", b"pristine")
+    kernel.run(until=1.0)
+    (received,) = [p for __, p in nodes[1].inbox]
+    assert received != b"pristine"
+    assert len(received) == len(b"pristine")  # one bit flipped, not truncated
+    assert kernel.tracer.count("net.corrupt") == 1
+
+
+def test_corrupt_structured_payload_becomes_checksum_drop():
+    class Hello:  # no byte fields to flip
+        pass
+
+    damaged = corrupt_payload(Hello(), DeterministicRng(7))
+    assert isinstance(damaged, CorruptedDatagram)
+    assert damaged.original_kind == "Hello"
+
+
+def test_spike_rate_adds_delay():
+    kernel, network, nodes, __ = make_injector()
+    network.set_default_link(
+        LinkModel(base_latency=0.001, spike_rate=1.0, spike_delay=0.5)
+    )
+    network.send("n0", "n1", b"slow boat")
+    kernel.run(until=0.1)
+    assert [p for __, p in nodes[1].inbox] == []
+    kernel.run(until=1.0)
+    assert [p for __, p in nodes[1].inbox] == [b"slow boat"]

@@ -83,6 +83,77 @@ def test_split_reassemble_roundtrip(payload, size):
     assert result == payload
 
 
+# -- adversarial hardening ---------------------------------------------------------
+
+
+def test_duplicate_fragment_is_idempotent_and_traced():
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    reassembler = Reassembler(tracer=tracer)
+    parts = split_payload(b"abcdef", 2, fragment_id=1)
+    assert reassembler.accept("#a#d0", parts[0]) is None
+    assert reassembler.accept("#a#d0", parts[0]) is None  # re-delivery
+    assert reassembler.duplicates_ignored == 1
+    duplicates = tracer.of_kind("fragments.duplicate")
+    assert len(duplicates) == 1
+    assert duplicates[0]["sender"] == "#a#d0"
+    assert duplicates[0]["index"] == 0
+    # The message still completes normally afterwards.
+    assert reassembler.accept("#a#d0", parts[1]) is None
+    assert reassembler.accept("#a#d0", parts[2]) == b"abcdef"
+
+
+def test_superseded_fragment_dropped_not_reopened():
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    reassembler = Reassembler(tracer=tracer)
+    parts = split_payload(b"abcd", 2, fragment_id=3)
+    for fragment in parts:
+        reassembler.accept("#a#d0", fragment)
+    # A straggler duplicate of the now-completed id must not reopen a
+    # buffer that can never complete again.
+    assert reassembler.accept("#a#d0", parts[0]) is None
+    assert reassembler.pending_count() == 0
+    assert reassembler.stale_dropped == 1
+    stale = tracer.of_kind("fragments.stale_drop")
+    assert len(stale) == 1
+    assert stale[0]["fragment_id"] == 3
+    assert stale[0]["completed_upto"] == 3
+    # Fragments of an *older* id are equally superseded.
+    old = split_payload(b"zz", 2, fragment_id=2)
+    assert reassembler.accept("#a#d0", old[0]) is None
+    assert reassembler.stale_dropped == 2
+
+
+def test_conflicting_re_delivery_raises():
+    reassembler = Reassembler()
+    reassembler.accept("#a#d0", MessageFragment(1, 0, 2, b"aa"))
+    with pytest.raises(IllegalMessageError, match="conflicting re-delivery"):
+        reassembler.accept("#a#d0", MessageFragment(1, 0, 2, b"XX"))
+
+
+def test_fragment_total_change_mid_message_raises():
+    reassembler = Reassembler()
+    reassembler.accept("#a#d0", MessageFragment(1, 0, 3, b"aa"))
+    with pytest.raises(IllegalMessageError, match="total changed"):
+        reassembler.accept("#a#d0", MessageFragment(1, 1, 2, b"bb"))
+
+
+def test_drop_sender_resets_completed_watermark():
+    """A departed sender's name may be reused by a fresh connection whose
+    fragment ids restart at 1 — the watermark must not outlive them."""
+    reassembler = Reassembler()
+    for fragment in split_payload(b"abcd", 2, fragment_id=5):
+        reassembler.accept("#a#d0", fragment)
+    reassembler.drop_sender("#a#d0")
+    result = None
+    for fragment in split_payload(b"wxyz", 2, fragment_id=1):
+        result = reassembler.accept("#a#d0", fragment)
+    assert result == b"wxyz"
+
+
 # -- config --------------------------------------------------------------------------
 
 

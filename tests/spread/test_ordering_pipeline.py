@@ -211,15 +211,33 @@ def test_gap_cleared_when_filled():
 # -- cut & flush --------------------------------------------------------------------------
 
 
-def test_cut_reports_undelivered():
+def test_cut_reports_unstable():
+    """The cut carries everything not yet acked by all members — the
+    delivered-but-unstable (b, 1) included, because a co-moving peer may
+    have missed it and can only recover it through the complement."""
     pipeline, __ = make_pipeline()
     pipeline.ingest(msg("b", 1, 1), now=0.0)  # delivered (fifo)
     pipeline.ingest(msg("b", 3, 3), now=0.0)  # held (gap)
     pipeline.ingest(msg("c", 1, 5, ServiceType.AGREED), now=0.0)  # held (order)
-    undelivered, delivered_ts, fifo = pipeline.cut()
-    keys = {(m.sender_daemon, m.seq) for m in undelivered}
-    assert keys == {("b", 3), ("c", 1)}
+    unstable, delivered_ts, fifo = pipeline.cut()
+    keys = {(m.sender_daemon, m.seq) for m in unstable}
+    assert keys == {("b", 1), ("b", 3), ("c", 1)}
     assert fifo["b"] == 1
+
+
+def test_cut_garbage_collects_stable_messages():
+    """Once every member has acked past a delivered message's timestamp
+    (the SAFE horizon), the cut drops it: it is ingested everywhere and
+    can never be needed for a flush complement."""
+    pipeline, __ = make_pipeline()
+    pipeline.ingest(msg("b", 1, 1), now=0.0)  # delivered (fifo)
+    pipeline.ingest(msg("b", 3, 3), now=0.0)  # held (gap)
+    pipeline.ingest(msg("c", 1, 5, ServiceType.AGREED), now=0.0)  # held (order)
+    pipeline.note_hello("b", lamport=3, all_received=1, sent_seq=3)
+    pipeline.note_hello("c", lamport=5, all_received=1, sent_seq=1)
+    unstable, __, __ = pipeline.cut()
+    keys = {(m.sender_daemon, m.seq) for m in unstable}
+    assert keys == {("b", 3), ("c", 1)}  # stable (b, 1) dropped
 
 
 def test_flush_with_union_delivers_same_set():
