@@ -340,6 +340,9 @@ def run_harness(
         "modules": list(modules),
         "sizes": list(sizes),
         "iterations": iterations,
+        # One untimed warm-up cycle per backend runs before sampling in
+        # every cell (see run_cell); it never lands in the medians.
+        "warmup_cycles": 1,
         "cells": cells,
         "median_speedup_joinleave": _median([c["speedup"] for c in cells]),
         "all_counts_identical": all(c["counts_identical"] for c in cells),
@@ -416,6 +419,7 @@ def run_comparison(
         "modules": list(modules),
         "sizes": list(sizes),
         "iterations": iterations,
+        "warmup_cycles": 1,
         "cells": cells,
         "serial_exps_by_size": {
             f"{protocol}/{operation}": growth(protocol, operation)
@@ -424,6 +428,53 @@ def run_comparison(
         },
         "all_counts_identical": all(c["counts_identical"] for c in cells),
     }
+
+
+def dump_metrics(dump_dir: str, document: Dict[str, object]) -> str:
+    """Write a metrics-only observability dump of a harness document.
+
+    The A/B harness has no simulation trace, so the dump carries an
+    empty ``trace.jsonl`` and a :class:`~repro.obs.metrics.MetricsRegistry`
+    built from the cells: per-cell ``keyagree.exponentiations`` counters
+    (labelled by module/operation/size/op, the Tables 2-4 axes) and the
+    wall-clock medians as gauges.  Inspect it with
+    ``python -m repro.obs.inspect DIR``.
+    """
+    from repro.obs.dump import DUMP_SCHEMA, dump_run
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for cell in document["cells"]:
+        labels = {
+            "module": cell["protocol"],
+            "operation": cell["operation"],
+            "size": str(cell["size"]),
+        }
+        for op, count in cell["exp_counts"].items():
+            registry.counter(
+                "keyagree.exponentiations", op=op, **labels
+            ).inc(count)
+        registry.gauge("keyagree.fast_median_s", **labels).set(
+            cell["fast_median_s"]
+        )
+        registry.gauge("keyagree.ref_median_s", **labels).set(
+            cell["ref_median_s"]
+        )
+    return dump_run(
+        str(Path(dump_dir) / "keyagree-bench"),
+        events=[],
+        metrics=registry,
+        meta={
+            "schema": DUMP_SCHEMA,
+            "benchmark": "keyagree_fastpath",
+            "module": ",".join(document["modules"]),
+            "quick": document["quick"],
+            "sizes": document["sizes"],
+            "iterations": document["iterations"],
+            "warmup_cycles": document["warmup_cycles"],
+            "all_counts_identical": document["all_counts_identical"],
+        },
+    )
 
 
 def write_report(
@@ -498,6 +549,11 @@ def main(argv=None) -> int:
         default=None,
         help=f"comparison JSON path (default: {_COMPARISON_OUTPUT})",
     )
+    parser.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="also write a metrics-only observability dump under DIR"
+        " (inspect with: python -m repro.obs.inspect DIR)",
+    )
     args = parser.parse_args(argv)
     quick = args.quick or args.smoke
     modules = _parse_modules(args.modules)
@@ -523,6 +579,8 @@ def main(argv=None) -> int:
         f"  median speedup {document['median_speedup_joinleave']:.2f}x,"
         f" counts identical: {document['all_counts_identical']}"
     )
+    if args.dump_dir:
+        print(f"wrote obs dump {dump_metrics(args.dump_dir, document)}")
     if args.compare:
         started = time.perf_counter()
         comparison = run_comparison(

@@ -44,17 +44,28 @@ def _is_repair(action: FaultAction) -> bool:
     return action.kind == "set_link" and not action.link.adversarial
 
 
+#: Default trace-retention cap for soak mode: generous (a quick run
+#: records ~50k events) but bounded, so long soaks cannot grow without
+#: limit.  Replay/shrink runs stay uncapped — the invariant checker and
+#: the shrinker need the whole trace.
+SOAK_TRACE_CAP = 250_000
+
+
 def soak(
     seeds: List[int],
     modules: List[str],
     quick: bool = False,
     progress: bool = True,
+    trace_cap: Optional[int] = SOAK_TRACE_CAP,
+    dump_dir: Optional[str] = None,
 ) -> Dict:
     """Run every (seed, module) combination; return the BENCH document."""
     runs: List[ChaosResult] = []
     for seed in seeds:
         for module in modules:
-            result = run_chaos(seed, module, quick=quick)
+            result = run_chaos(
+                seed, module, quick=quick, trace_cap=trace_cap, dump_dir=dump_dir
+            )
             runs.append(result)
             if progress:
                 status = "ok  " if result.ok else "FAIL"
@@ -107,9 +118,10 @@ def replay(
     quick: bool = False,
     shrink: bool = False,
     max_shrink_runs: int = 60,
+    dump_dir: Optional[str] = None,
 ) -> int:
     """Replay one seed twice (fingerprint check), optionally shrinking."""
-    first = run_chaos(seed, module, quick=quick)
+    first = run_chaos(seed, module, quick=quick, dump_dir=dump_dir)
     second = run_chaos(seed, module, quick=quick)
     identical = first.fingerprint == second.fingerprint
     print(f"seed={seed} module={module} ok={first.ok}")
@@ -185,20 +197,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--shrink", action="store_true",
         help="with --replay of a failing seed: ddmin the fault schedule",
     )
+    parser.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="write an observability dump per run under DIR"
+        " (inspect with: python -m repro.obs.inspect DIR)",
+    )
+    parser.add_argument(
+        "--trace-cap", type=int, default=None, metavar="N",
+        help="soak mode: retain at most N trace events per run"
+        f" (ring buffer; default {SOAK_TRACE_CAP}, 0 = unlimited)",
+    )
     args = parser.parse_args(argv)
 
     if args.replay is not None:
         if args.module is None:
             parser.error("--replay requires --module")
         return replay(args.replay, args.module, quick=args.quick,
-                      shrink=args.shrink)
+                      shrink=args.shrink, dump_dir=args.dump_dir)
 
     modules = [m.strip() for m in args.modules.split(",") if m.strip()]
     for module in modules:
         if module not in MODULES:
             parser.error(f"unknown module {module!r}; choose from {MODULES}")
     seeds = list(range(args.seeds))
-    document = soak(seeds, modules, quick=args.quick)
+    if args.trace_cap is None:
+        trace_cap: Optional[int] = SOAK_TRACE_CAP
+    else:
+        trace_cap = args.trace_cap if args.trace_cap > 0 else None
+    document = soak(
+        seeds, modules, quick=args.quick, trace_cap=trace_cap,
+        dump_dir=args.dump_dir,
+    )
     summary = document["summary"]
     print(
         f"chaos soak: {summary['passed']}/{summary['runs']} runs green"

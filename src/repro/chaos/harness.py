@@ -23,8 +23,8 @@ from repro.chaos.invariants import (
     EndState,
     InvariantChecker,
     InvariantReport,
-    trace_fingerprint,
 )
+from repro.obs.bus import TraceBus
 from repro.crypto.dh import DHParams
 from repro.errors import DeadlockError, ReproError
 from repro.net.fault import FaultInjector, FaultSchedule
@@ -33,7 +33,6 @@ from repro.net.network import Network
 from repro.secure.events import SecureDataEvent
 from repro.sim.kernel import Kernel
 from repro.sim.rng import DeterministicRng, stable_seed
-from repro.sim.trace import Tracer
 from repro.spread.config import SpreadConfig
 from repro.spread.daemon import SpreadDaemon
 from repro.bench.testbed import SecureTestbed
@@ -107,6 +106,7 @@ class ChaosHarness(SecureTestbed):
         module: str,
         member_count: int = 3,
         daemon_count: int = 4,
+        trace_cap: Optional[int] = None,
     ) -> None:
         if module not in MODULES:
             raise ValueError(f"unknown key agreement module {module!r}")
@@ -115,7 +115,15 @@ class ChaosHarness(SecureTestbed):
         # Deliberately NOT calling SecureTestbed.__init__: the testbed
         # hard-wires a disabled tracer and no spare daemon.  We rebuild
         # the same attribute surface so every inherited helper works.
-        self.tracer = Tracer(enabled=True, keep=lambda kind: kind != "kernel.event")
+        # ``trace_cap`` bounds retention (ring buffer) for long soaks;
+        # the replay fingerprint stays exact because the tracer folds it
+        # in incrementally, but the invariant checker only sees retained
+        # events — so replay/shrink runs must stay uncapped.
+        self.tracer = TraceBus(
+            enabled=True,
+            keep=lambda kind: kind != "kernel.event",
+            max_events=trace_cap,
+        )
         kernel_seed = stable_seed("chaos", seed, module)
         self.kernel = Kernel(seed=kernel_seed, tracer=self.tracer)
         self.network = Network(
@@ -389,6 +397,8 @@ def run_chaos(
     quick: bool = False,
     schedule: Optional[FaultSchedule] = None,
     churn: Optional[List[ChurnOp]] = None,
+    trace_cap: Optional[int] = None,
+    dump_dir: Optional[str] = None,
 ) -> ChaosResult:
     """Execute one seeded chaos run and return its verdict.
 
@@ -396,8 +406,12 @@ def run_chaos(
     ones are replaced — the replay/shrink path — while every other
     random stream still derives from the seed, so the run around the
     schedule is unchanged.
+
+    ``trace_cap`` bounds trace retention (soak mode); ``dump_dir``
+    writes an observability run dump (trace, metrics, spans) under
+    ``dump_dir/seed{seed}-{module}/`` for ``repro.obs.inspect``.
     """
-    harness = ChaosHarness(seed, module)
+    harness = ChaosHarness(seed, module, trace_cap=trace_cap)
     harness.establish_group()
     chaos_span = 4.0 if quick else 8.0
     start = harness.kernel.now + CHAOS_LEAD_IN
@@ -423,16 +437,55 @@ def run_chaos(
         failure = harness.run_probes()
     end_state = harness.end_state(failure)
     report = InvariantChecker(harness.tracer.events).run(end_state)
-    return ChaosResult(
+    result = ChaosResult(
         seed=seed,
         module=module,
         ok=report.ok,
         violations=[str(v) for v in report.violations],
         stats=report.stats,
-        fingerprint=trace_fingerprint(harness.tracer.events),
+        # The tracer's incremental fingerprint: identical to
+        # trace_fingerprint(events) when uncapped, and still exact when
+        # a trace_cap has rotated early events out of retention.
+        fingerprint=harness.tracer.fingerprint(),
         schedule=schedule.describe(),
         churn=[f"t={op.at:.3f}: {op.op} {op.member}@{op.daemon}" for op in churn],
         virtual_time=harness.kernel.now,
         report=report,
         schedule_obj=schedule,
+    )
+    if dump_dir is not None:
+        dump_chaos_run(dump_dir, harness, result)
+    return result
+
+
+def dump_chaos_run(dump_dir: str, harness: ChaosHarness, result: ChaosResult) -> str:
+    """Write the observability dump for one finished chaos run."""
+    import os
+
+    from repro.obs.dump import DUMP_SCHEMA, dump_run
+    from repro.obs.metrics import MetricsRegistry, collect_testbed
+
+    registry = collect_testbed(MetricsRegistry(), harness)
+    for layer, count in sorted(harness.tracer.events_by_layer().items()):
+        registry.counter("trace.retained_events", layer=layer).inc(count)
+    registry.counter("trace.dropped_events").inc(harness.tracer.dropped_events)
+    directory = os.path.join(
+        dump_dir, f"seed{result.seed}-{result.module}"
+    )
+    return dump_run(
+        directory,
+        harness.tracer.events,
+        metrics=registry,
+        meta={
+            "schema": DUMP_SCHEMA,
+            "seed": result.seed,
+            "module": result.module,
+            "ok": result.ok,
+            "violations": result.violations,
+            "virtual_time": round(result.virtual_time, 6),
+            "fingerprint": result.fingerprint,
+            "trace_retained": len(harness.tracer),
+            "trace_recorded": harness.tracer.recorded_total,
+            "trace_dropped": harness.tracer.dropped_events,
+        },
     )

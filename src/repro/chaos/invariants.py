@@ -36,22 +36,13 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.sim.trace import TraceEvent
+from repro.sim.trace import (  # re-exported for backward compatibility
+    FINGERPRINT_EXCLUDE,
+    TraceEvent,
+    canonical_event,
+)
 
-#: Trace kinds excluded from fingerprints: per-event kernel bookkeeping
-#: whose volume would dwarf the protocol-level record.
-FINGERPRINT_EXCLUDE = frozenset({"kernel.event"})
-
-
-def _canonical(event: TraceEvent) -> str:
-    """One line per event, fields in sorted order, ``repr`` values.
-
-    Deterministic across runs of the same seed within a process and,
-    with ``PYTHONHASHSEED`` pinned, across processes — the trace layer
-    records only scalars, strings and lists (never sets or dicts).
-    """
-    fields = ",".join(f"{k}={event.fields[k]!r}" for k in sorted(event.fields))
-    return f"{event.kind}|{fields}"
+_canonical = canonical_event
 
 
 def trace_fingerprint(events: Iterable[TraceEvent]) -> str:
@@ -59,12 +50,17 @@ def trace_fingerprint(events: Iterable[TraceEvent]) -> str:
 
     Two runs of the same seeded scenario must produce equal
     fingerprints; a divergence pinpoints lost determinism.
+
+    Equals :meth:`repro.sim.trace.Tracer.fingerprint` when the tracer
+    retains every event; a capped (ring-buffer) tracer must use the
+    incremental method instead, because early events are gone from the
+    retained list.
     """
     digest = hashlib.sha256()
     for event in events:
         if event.kind in FINGERPRINT_EXCLUDE:
             continue
-        digest.update(_canonical(event).encode())
+        digest.update(canonical_event(event).encode())
         digest.update(b"\n")
     return digest.hexdigest()
 

@@ -62,6 +62,7 @@ class Network:
         self.datagrams_duplicated = 0
         self.datagrams_corrupted = 0
         self.bytes_sent = 0
+        self.bytes_delivered = 0
 
     # -- topology -------------------------------------------------------------
 
@@ -218,38 +219,43 @@ class Network:
         self.datagrams_sent += 1
         wire_size = size if size is not None else _size_of(payload)
         self.bytes_sent += wire_size
+        tracer = self.kernel.tracer
         if (source, destination) in self._severed:
             self.datagrams_dropped += 1
-            self.kernel.tracer.record(
-                "net.drop_sever", source=source, destination=destination
-            )
+            if tracer.enabled:
+                tracer.record(
+                    "net.drop_sever", source=source, destination=destination
+                )
             return
         if not self.reachable(source, destination):
             self.datagrams_dropped += 1
-            self.kernel.tracer.record(
-                "net.drop_partition", source=source, destination=destination
-            )
+            if tracer.enabled:
+                tracer.record(
+                    "net.drop_partition", source=source, destination=destination
+                )
             return
         link = self.link_between(source, destination)
         if link.is_lost(self._rng):
             self.datagrams_dropped += 1
-            self.kernel.tracer.record(
-                "net.drop_loss", source=source, destination=destination
-            )
+            if tracer.enabled:
+                tracer.record(
+                    "net.drop_loss", source=source, destination=destination
+                )
             return
         if link.is_corrupted(self._rng):
             self.datagrams_corrupted += 1
             payload = corrupt_payload(payload, self._rng)
-            self.kernel.tracer.record(
-                "net.corrupt",
-                source=source,
-                destination=destination,
-                payload_kind=type(payload).__name__,
-            )
+            if tracer.enabled:
+                tracer.record(
+                    "net.corrupt",
+                    source=source,
+                    destination=destination,
+                    payload_kind=type(payload).__name__,
+                )
         delay = link.delay_for(wire_size, self._rng) + link.extra_delay(self._rng)
         self.kernel.call_later(
             delay,
-            lambda: self._deliver(source, destination, payload),
+            lambda: self._deliver(source, destination, payload, wire_size),
             priority=PRIORITY_NETWORK,
             label=f"net:{source}->{destination}",
         )
@@ -262,12 +268,13 @@ class Network:
             )
             if link.reorder_window > 0:
                 dup_delay += self._rng.uniform(0.0, link.reorder_window)
-            self.kernel.tracer.record(
-                "net.duplicate", source=source, destination=destination
-            )
+            if tracer.enabled:
+                tracer.record(
+                    "net.duplicate", source=source, destination=destination
+                )
             self.kernel.call_later(
                 dup_delay,
-                lambda: self._deliver(source, destination, payload),
+                lambda: self._deliver(source, destination, payload, wire_size),
                 priority=PRIORITY_NETWORK,
                 label=f"net:{source}->{destination}:dup",
             )
@@ -284,7 +291,9 @@ class Network:
             if destination != source:
                 self.send(source, destination, payload, size)
 
-    def _deliver(self, source: str, destination: str, payload: Any) -> None:
+    def _deliver(
+        self, source: str, destination: str, payload: Any, wire_size: int = 0
+    ) -> None:
         node = self._nodes.get(destination)
         if node is None:
             self.datagrams_dropped += 1
@@ -294,13 +303,16 @@ class Network:
         # semantics clean (no stragglers from the other side).
         if not self.reachable(source, destination):
             self.datagrams_dropped += 1
-            self.kernel.tracer.record(
-                "net.drop_partition_inflight",
-                source=source,
-                destination=destination,
-            )
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.record(
+                    "net.drop_partition_inflight",
+                    source=source,
+                    destination=destination,
+                )
             return
         self.datagrams_delivered += 1
+        self.bytes_delivered += wire_size
         node.deliver(source, payload)
 
 

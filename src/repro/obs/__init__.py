@@ -1,0 +1,76 @@
+"""repro.obs — the observability layer.
+
+One coherent pipeline over every layer of the stack:
+
+* :mod:`repro.obs.bus` — the :class:`~repro.obs.bus.TraceBus` and the
+  event-kind namespace catalogue (which layer owns which ``prefix.*``).
+* :mod:`repro.obs.metrics` — counters/gauges/histograms keyed by layer
+  labels, plus collectors that sample the layers' always-on counters.
+* :mod:`repro.obs.spans` — sim-time spans derived from the trace
+  (re-key latency, daemon view lifetimes, fault windows) with JSONL and
+  Chrome ``trace_event`` exports.
+* :mod:`repro.obs.dump` — run-dump directories tying the three together.
+* :mod:`repro.obs.inspect` — the CLI that renders a dump
+  (``python -m repro.obs.inspect``).
+"""
+
+from repro.obs.bus import (
+    KIND_NAMESPACES,
+    LAYERS,
+    TraceBus,
+    is_namespaced,
+    layer_of,
+    namespace_of,
+)
+from repro.obs.dump import RunDump, dump_run, iter_runs, load_run
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_daemon,
+    collect_exp_counter,
+    collect_kernel,
+    collect_network,
+    collect_session,
+    collect_testbed,
+    registry_from_json,
+)
+from repro.obs.spans import (
+    Span,
+    chrome_trace,
+    derive_spans,
+    rekey_latency_table,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "KIND_NAMESPACES",
+    "LAYERS",
+    "TraceBus",
+    "is_namespaced",
+    "layer_of",
+    "namespace_of",
+    "RunDump",
+    "dump_run",
+    "iter_runs",
+    "load_run",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_daemon",
+    "collect_exp_counter",
+    "collect_kernel",
+    "collect_network",
+    "collect_session",
+    "collect_testbed",
+    "registry_from_json",
+    "Span",
+    "chrome_trace",
+    "derive_spans",
+    "rekey_latency_table",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,108 @@
+"""The unified trace bus: namespaced event kinds over every layer.
+
+:class:`TraceBus` is the observability generalization of
+:class:`~repro.sim.trace.Tracer` (and a drop-in subclass of it, so every
+existing consumer — the kernel, the invariant checker, the tests —
+keeps working unchanged).  On top of the tracer's ring-buffer retention,
+incremental fingerprinting and subscriber hooks, the bus knows the
+**event-kind namespace catalogue**: which layer owns which ``prefix.*``
+family, so dumps and the inspector can group a raw trace by layer
+without hard-coding kind strings everywhere.
+
+The catalogue (documented in ``docs/OBSERVABILITY.md``):
+
+========== =============================================================
+layer      kind namespaces
+========== =============================================================
+sim        ``kernel.*`` ``process.*``
+net        ``net.*``
+spread     ``daemon.*`` ``memb.*`` ``fragments.*`` ``daemon_security.*``
+secure     ``secure.*``
+keyagree   ``keyagree.*``
+chaos      ``fault.*`` ``chaos.*``
+obs        ``obs.*``
+========== =============================================================
+
+Every ``tracer.record(kind, ...)`` call site in the library must use a
+kind from a registered namespace — enforced by the grep-based lint in
+``tests/obs/test_trace_kind_lint.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.sim.trace import TraceEvent, Tracer
+
+#: Kind-namespace root -> owning layer.
+KIND_NAMESPACES: Dict[str, str] = {
+    "kernel": "sim",
+    "process": "sim",
+    "net": "net",
+    "daemon": "spread",
+    "memb": "spread",
+    "fragments": "spread",
+    "daemon_security": "spread",
+    "secure": "secure",
+    "keyagree": "keyagree",
+    "fault": "chaos",
+    "chaos": "chaos",
+    "obs": "obs",
+    # Metric-name roots (repro.obs.metrics names instruments by layer
+    # directly); no trace event uses these namespaces.
+    "spread": "spread",
+    "trace": "obs",
+}
+
+#: The layers, in stack order (top of the stack first).
+LAYERS = ("secure", "keyagree", "spread", "net", "sim", "chaos", "obs")
+
+
+def namespace_of(kind: str) -> str:
+    """The namespace root of an event kind (``"net.drop_loss"`` -> ``"net"``)."""
+    return kind.split(".", 1)[0]
+
+
+def layer_of(kind: str) -> str:
+    """The layer that owns an event kind (``"unknown"`` when unregistered)."""
+    return KIND_NAMESPACES.get(namespace_of(kind), "unknown")
+
+
+def is_namespaced(kind: str) -> bool:
+    """True when ``kind`` is a well-formed, registered namespaced kind."""
+    if "." not in kind:
+        return False
+    root, __, rest = kind.partition(".")
+    return root in KIND_NAMESPACES and bool(rest)
+
+
+class TraceBus(Tracer):
+    """A :class:`~repro.sim.trace.Tracer` with the namespace catalogue
+    and convenience wiring for live metrics.
+
+    Parameters are those of :class:`Tracer`; additionally a
+    :class:`~repro.obs.metrics.MetricsRegistry` can be attached so every
+    recorded event increments a per-layer/per-kind counter — one of the
+    bus's multiple-subscriber use cases.
+    """
+
+    def attach_metrics(self, registry) -> Callable[[TraceEvent], None]:
+        """Subscribe ``registry`` to the bus: every event bumps
+        ``trace.events{layer=..., kind=...}``.  Returns the subscriber
+        (pass it to :meth:`Tracer.unsubscribe` to detach)."""
+
+        def feed(event: TraceEvent) -> None:
+            registry.counter(
+                "trace.events", layer=layer_of(event.kind), kind=event.kind
+            ).inc()
+
+        self.subscribe(feed)
+        return feed
+
+    def events_by_layer(self) -> Dict[str, int]:
+        """Retained-event counts grouped by owning layer."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            layer = layer_of(event.kind)
+            counts[layer] = counts.get(layer, 0) + 1
+        return counts

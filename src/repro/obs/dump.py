@@ -1,0 +1,169 @@
+"""Run dumps: one directory per observed run, inspectable offline.
+
+A dump directory contains::
+
+    meta.json          # who/what/when: seed, module, verdict, fingerprint
+    trace.jsonl        # one TraceEvent per line ({kind, t, fields})
+    metrics.json       # MetricsRegistry snapshot
+    spans.jsonl        # derived spans, one per line
+    chrome_trace.json  # the same spans in Chrome trace_event format
+
+Producers: the chaos crucible (``--dump-dir``) and the key-agreement
+bench.  Consumer: ``python -m repro.obs.inspect``.  Values that are not
+JSON-native (ViewId, ProcessId, enums...) are serialized via ``repr`` —
+the dump is for inspection and span math over strings, not for
+round-tripping live objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    Span,
+    derive_spans,
+    load_spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.sim.trace import TraceEvent
+
+TRACE_FILE = "trace.jsonl"
+METRICS_FILE = "metrics.json"
+SPANS_FILE = "spans.jsonl"
+CHROME_FILE = "chrome_trace.json"
+META_FILE = "meta.json"
+
+#: Bumped when the on-disk layout changes incompatibly.
+DUMP_SCHEMA = "obs-dump/1"
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON-encode ``value``, stringifying anything non-native."""
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        if isinstance(value, (list, tuple)):
+            return [_jsonable(item) for item in value]
+        if isinstance(value, dict):
+            return {str(k): _jsonable(v) for k, v in value.items()}
+        if isinstance(value, (set, frozenset)):
+            return sorted(repr(item) for item in value)
+        return repr(value)
+
+
+def dump_run(
+    directory: str,
+    events: Iterable[TraceEvent],
+    metrics: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    spans: Optional[List[Span]] = None,
+) -> str:
+    """Write one run dump; returns the directory path.
+
+    ``spans`` defaults to :func:`~repro.obs.spans.derive_spans` over the
+    given events.
+    """
+    os.makedirs(directory, exist_ok=True)
+    events = list(events)
+    with open(os.path.join(directory, TRACE_FILE), "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": event.kind,
+                        "t": event.t,
+                        "fields": {
+                            key: _jsonable(value)
+                            for key, value in event.fields.items()
+                        },
+                    },
+                    sort_keys=True,
+                )
+            )
+            handle.write("\n")
+    if metrics is not None:
+        with open(
+            os.path.join(directory, METRICS_FILE), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(metrics.snapshot(), handle, sort_keys=True, indent=1)
+    if spans is None:
+        spans = derive_spans(events)
+    write_spans_jsonl(os.path.join(directory, SPANS_FILE), spans)
+    write_chrome_trace(os.path.join(directory, CHROME_FILE), spans)
+    document = {"schema": DUMP_SCHEMA}
+    document.update({key: _jsonable(value) for key, value in (meta or {}).items()})
+    with open(os.path.join(directory, META_FILE), "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, indent=1)
+    return directory
+
+
+class RunDump:
+    """One loaded run dump."""
+
+    def __init__(
+        self,
+        directory: str,
+        meta: Dict[str, Any],
+        events: List[TraceEvent],
+        metrics: Optional[Dict[str, Any]],
+        spans: List[Span],
+    ) -> None:
+        self.directory = directory
+        self.meta = meta
+        self.events = events
+        self.metrics = metrics
+        self.spans = spans
+
+    @property
+    def name(self) -> str:
+        return os.path.basename(os.path.normpath(self.directory))
+
+
+def load_run(directory: str) -> RunDump:
+    """Load one dump directory back into memory."""
+    with open(os.path.join(directory, META_FILE), "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    events: List[TraceEvent] = []
+    trace_path = os.path.join(directory, TRACE_FILE)
+    if os.path.exists(trace_path):
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                events.append(
+                    TraceEvent(
+                        kind=row["kind"],
+                        fields=row.get("fields", {}),
+                        t=row.get("t", 0.0),
+                    )
+                )
+    metrics = None
+    metrics_path = os.path.join(directory, METRICS_FILE)
+    if os.path.exists(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    spans_path = os.path.join(directory, SPANS_FILE)
+    spans = load_spans_jsonl(spans_path) if os.path.exists(spans_path) else []
+    return RunDump(directory, meta, events, metrics, spans)
+
+
+def is_run_dump(directory: str) -> bool:
+    return os.path.isfile(os.path.join(directory, META_FILE))
+
+
+def iter_runs(root: str) -> Iterator[RunDump]:
+    """Yield every run dump at or (one level) under ``root``."""
+    if is_run_dump(root):
+        yield load_run(root)
+        return
+    for entry in sorted(os.listdir(root)):
+        candidate = os.path.join(root, entry)
+        if os.path.isdir(candidate) and is_run_dump(candidate):
+            yield load_run(candidate)

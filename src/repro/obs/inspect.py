@@ -1,0 +1,280 @@
+"""The run inspector: render an observability dump for humans.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.inspect DUMP_DIR [options]
+
+``DUMP_DIR`` is a single run dump (a directory with ``meta.json``) or a
+parent holding several (e.g. the crucible's ``--dump-dir`` with one
+sub-directory per seed/module).  For each run the inspector prints:
+
+* the run header (seed, module, verdict, virtual time, fingerprint),
+* a timeline of the notable events (faults, installs, re-keys...),
+* the per-epoch traffic summary (sealed sends, deliveries, rejects),
+* the view-change -> key-installed latency table,
+* the span summary and a per-layer metrics digest.
+
+``--check`` exits non-zero when a run has no spans or no completed
+re-key latency row — the CI smoke gate that the observability pipeline
+is actually wired through the stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.bus import layer_of
+from repro.obs.dump import RunDump, iter_runs
+from repro.obs.spans import rekey_latency_table
+
+#: Event kinds worth a timeline row (the chatty per-message kinds are
+#: summarized by the epoch table instead).
+TIMELINE_KINDS = (
+    "fault.fire",
+    "net.partition",
+    "net.heal",
+    "net.sever",
+    "net.restore",
+    "net.link_change",
+    "process.crash",
+    "process.recover",
+    "process.stall",
+    "process.resume",
+    "daemon.install",
+    "secure.rekey_started",
+    "secure.confirmed",
+    "secure.watchdog",
+    "chaos.note",
+)
+
+
+def _fmt_fields(fields: Dict[str, Any], limit: int = 4) -> str:
+    parts = []
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, list) and len(value) > 3:
+            value = f"[{len(value)} items]"
+        parts.append(f"{key}={value}")
+        if len(parts) >= limit:
+            break
+    return " ".join(parts)
+
+
+def _table(rows: List[List[str]], header: List[str]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(header), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def print_header(run: RunDump) -> None:
+    meta = run.meta
+    print(f"== run {run.name} ==")
+    keys = ("seed", "module", "ok", "virtual_time", "fingerprint", "schema")
+    row = [f"{key}={meta[key]}" for key in keys if key in meta]
+    if row:
+        print("   " + "  ".join(str(item) for item in row))
+    violations = meta.get("violations") or []
+    for violation in violations:
+        print(f"   VIOLATION: {violation}")
+
+
+def print_timeline(run: RunDump, limit: int) -> None:
+    notable = [e for e in run.events if e.kind in TIMELINE_KINDS]
+    if not notable:
+        print("  (no timeline events)")
+        return
+    print(f"  timeline ({min(limit, len(notable))} of {len(notable)} notable"
+          f" events, {len(run.events)} total):")
+    for event in notable[:limit]:
+        print(
+            f"    t={event.t:9.4f}  [{layer_of(event.kind):7s}]"
+            f" {event.kind:22s} {_fmt_fields(event.fields)}"
+        )
+
+
+def epoch_summary(run: RunDump) -> List[List[str]]:
+    epochs: Dict[str, Dict[str, int]] = {}
+    for event in run.events:
+        if event.kind not in ("secure.send", "secure.data", "secure.reject"):
+            continue
+        epoch = event.get("epoch", "?")
+        row = epochs.setdefault(
+            epoch, {"sent": 0, "delivered": 0, "rejected": 0, "first_t": None}
+        )
+        if row["first_t"] is None:
+            row["first_t"] = event.t
+        if event.kind == "secure.send":
+            row["sent"] += 1
+        elif event.kind == "secure.data":
+            row["delivered"] += 1
+        else:
+            row["rejected"] += 1
+    rows = []
+    ordered = sorted(epochs.items(), key=lambda kv: (kv[1]["first_t"], kv[0]))
+    for epoch, row in ordered:
+        rows.append(
+            [
+                epoch,
+                f"{row['first_t']:.4f}",
+                str(row["sent"]),
+                str(row["delivered"]),
+                str(row["rejected"]),
+            ]
+        )
+    return rows
+
+
+def print_epochs(run: RunDump) -> None:
+    rows = epoch_summary(run)
+    if not rows:
+        print("  (no secure traffic recorded)")
+        return
+    print("  per-epoch traffic:")
+    table = _table(rows, ["epoch", "first_t", "sent", "delivered", "rejected"])
+    print("    " + table.replace("\n", "\n    "))
+
+
+def print_latency(run: RunDump) -> List[Dict[str, Any]]:
+    table = rekey_latency_table(run.events)
+    if not table:
+        print("  (no re-key epochs recorded)")
+        return table
+    rows = []
+    for row in table:
+        latency = row["latency"]
+        rows.append(
+            [
+                row["group"],
+                row["view"],
+                str(row["operation"]),
+                f"{row['started_at']:.4f}",
+                f"{row['confirmed']}/{row['members']}",
+                f"{latency * 1000:.3f} ms" if latency is not None else "(superseded)",
+            ]
+        )
+    print("  view-change -> key-installed latency:")
+    rendered = _table(
+        rows, ["group", "view", "operation", "started_at", "confirmed", "latency"]
+    )
+    print("    " + rendered.replace("\n", "\n    "))
+    return table
+
+
+def print_spans(run: RunDump) -> None:
+    if not run.spans:
+        print("  (no spans)")
+        return
+    by_name: Dict[str, List[float]] = {}
+    for span in run.spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+    rows = []
+    for name in sorted(by_name):
+        durations = by_name[name]
+        rows.append(
+            [
+                name,
+                str(len(durations)),
+                f"{min(durations) * 1000:.3f}",
+                f"{max(durations) * 1000:.3f}",
+                f"{sum(durations) / len(durations) * 1000:.3f}",
+            ]
+        )
+    print(f"  spans ({len(run.spans)} total):")
+    rendered = _table(rows, ["span", "count", "min ms", "max ms", "mean ms"])
+    print("    " + rendered.replace("\n", "\n    "))
+
+
+def print_metrics(run: RunDump) -> None:
+    if not run.metrics:
+        return
+    instruments = list(run.metrics.get("counters", [])) + list(
+        run.metrics.get("gauges", [])
+    )
+    if not instruments:
+        return
+    by_layer: Dict[str, float] = {}
+    highlights = {
+        "kernel.events_fired",
+        "net.datagrams_sent",
+        "net.bytes_sent",
+        "net.bytes_delivered",
+        "net.datagrams_dropped",
+    }
+    lines = []
+    for row in instruments:
+        layer = layer_of(row["name"])
+        by_layer[layer] = by_layer.get(layer, 0) + 1
+        if row["name"] in highlights:
+            lines.append(f"    {row['name']} = {row['value']:g}")
+    summary = ", ".join(
+        f"{layer}:{count}" for layer, count in sorted(by_layer.items())
+    )
+    print(f"  metrics ({len(instruments)} instruments; {summary}):")
+    for line in sorted(set(lines)):
+        print(line)
+
+
+def inspect_run(run: RunDump, timeline: int) -> Dict[str, Any]:
+    print_header(run)
+    print_timeline(run, timeline)
+    print_epochs(run)
+    latency = print_latency(run)
+    print_spans(run)
+    print_metrics(run)
+    print()
+    completed = [row for row in latency if row["latency"] is not None]
+    return {"spans": len(run.spans), "completed_rekeys": len(completed)}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.inspect", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument("path", help="run dump directory (or parent of several)")
+    parser.add_argument(
+        "--timeline",
+        type=int,
+        default=30,
+        metavar="N",
+        help="max notable events to print per run (default 30)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every run has spans and a completed re-key",
+    )
+    options = parser.parse_args(argv)
+    runs = list(iter_runs(options.path))
+    if not runs:
+        print(f"no run dumps found under {options.path}", file=sys.stderr)
+        return 1
+    failures = 0
+    for run in runs:
+        verdict = inspect_run(run, options.timeline)
+        if options.check and (
+            verdict["spans"] == 0 or verdict["completed_rekeys"] == 0
+        ):
+            print(
+                f"CHECK FAILED for {run.name}: spans={verdict['spans']}"
+                f" completed_rekeys={verdict['completed_rekeys']}",
+                file=sys.stderr,
+            )
+            failures += 1
+    if options.check:
+        print(
+            f"obs check: {len(runs) - failures}/{len(runs)} runs have spans"
+            " and completed re-key latencies"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

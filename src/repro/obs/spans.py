@@ -1,0 +1,341 @@
+"""Span timing over sim-time: intervals derived from the recorded trace.
+
+A :class:`Span` is a named interval of virtual time attributed to an
+actor — a member, a daemon, the network.  Spans are **derived post-hoc**
+from the trace (every :class:`~repro.sim.trace.TraceEvent` carries the
+virtual time ``t`` its kernel stamped on it), so span timing costs the
+hot paths nothing and works equally on a live tracer or a loaded dump.
+
+The catalogue of derived spans:
+
+``rekey``
+    ``secure.rekey_started`` -> ``secure.confirmed`` for the same
+    member, group and view: the paper's view-change-to-key-installed
+    interval (Figure 3's unit of measure).  A rekey superseded by the
+    next view change before confirming is dropped and counted.
+``first_delivery``
+    A member's *first* ``secure.rekey_started`` for a group to its
+    first ``secure.data`` delivery: join-request-to-first-sealed-payload.
+``daemon_view``
+    ``daemon.install`` -> the daemon's next install: how long each
+    daemon-level view configuration lived.
+``crash`` / ``stall``
+    ``process.crash`` -> ``process.recover`` and ``process.stall`` ->
+    ``process.resume`` per process: the fault windows.
+``partition`` / ``sever``
+    ``net.partition`` -> ``net.heal`` and ``net.sever`` ->
+    ``net.restore``: the network fault windows.
+
+Exports: JSONL (one span per line) and the Chrome ``trace_event``
+format, loadable in ``chrome://tracing`` / Perfetto, with one pseudo
+thread per actor.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.trace import TraceEvent
+
+
+@dataclass
+class Span:
+    """One named interval of virtual time, attributed to an actor."""
+
+    name: str
+    category: str  # the owning layer (secure, spread, sim, net, chaos)
+    actor: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "actor": self.actor,
+            "start": round(self.start, 9),
+            "end": round(self.end, 9),
+            "duration": round(self.duration, 9),
+            "attrs": self.attrs,
+        }
+
+
+def derive_spans(events: Iterable[TraceEvent]) -> List[Span]:
+    """Derive the span catalogue from a recorded (or loaded) trace."""
+    events = list(events)
+    trace_end = max((event.t for event in events), default=0.0)
+    spans: List[Span] = []
+    superseded_rekeys = 0
+
+    # -- rekey + first_delivery (secure layer) -----------------------------
+    open_rekeys: Dict[Tuple[str, str], TraceEvent] = {}
+    first_start: Dict[Tuple[str, str], float] = {}
+    first_done: set = set()
+    for event in events:
+        if event.kind == "secure.rekey_started":
+            key = (event["me"], event["group"])
+            if key in open_rekeys:
+                superseded_rekeys += 1
+            open_rekeys[key] = event
+            first_start.setdefault(key, event.t)
+        elif event.kind == "secure.confirmed":
+            key = (event["me"], event["group"])
+            started = open_rekeys.pop(key, None)
+            if started is not None and started["view"] == event["view"]:
+                spans.append(
+                    Span(
+                        name="rekey",
+                        category="secure",
+                        actor=event["me"],
+                        start=started.t,
+                        end=event.t,
+                        attrs={
+                            "group": event["group"],
+                            "view": event["view"],
+                            "attempt": event["attempt"],
+                            "operation": started.get("operation", ""),
+                            "members": len(event["members"]),
+                        },
+                    )
+                )
+            elif started is not None:
+                # Confirmation for a different view than the open start:
+                # the start it matches was superseded.  Keep bookkeeping.
+                superseded_rekeys += 1
+        elif event.kind == "secure.data":
+            key = (event["me"], event["group"])
+            if key in first_start and key not in first_done:
+                first_done.add(key)
+                spans.append(
+                    Span(
+                        name="first_delivery",
+                        category="secure",
+                        actor=event["me"],
+                        start=first_start[key],
+                        end=event.t,
+                        attrs={"group": event["group"], "epoch": event["epoch"]},
+                    )
+                )
+
+    # -- daemon view lifetimes (spread layer) ------------------------------
+    open_views: Dict[str, TraceEvent] = {}
+    for event in events:
+        if event.kind != "daemon.install":
+            continue
+        daemon = event["me"]
+        previous = open_views.get(daemon)
+        if previous is not None:
+            spans.append(
+                Span(
+                    name="daemon_view",
+                    category="spread",
+                    actor=daemon,
+                    start=previous.t,
+                    end=event.t,
+                    attrs={
+                        "view": previous["view"],
+                        "members": len(previous.get("members", ())),
+                    },
+                )
+            )
+        open_views[daemon] = event
+    for daemon, previous in sorted(open_views.items()):
+        spans.append(
+            Span(
+                name="daemon_view",
+                category="spread",
+                actor=daemon,
+                start=previous.t,
+                end=trace_end,
+                attrs={
+                    "view": previous["view"],
+                    "members": len(previous.get("members", ())),
+                    "open": True,
+                },
+            )
+        )
+
+    # -- fault windows (sim + net layers) ----------------------------------
+    windows = (
+        ("process.crash", "process.recover", "crash", "sim", "name"),
+        ("process.stall", "process.resume", "stall", "sim", "name"),
+        ("net.partition", "net.heal", "partition", "net", None),
+        ("net.sever", "net.restore", "sever", "net", None),
+    )
+    for open_kind, close_kind, name, category, actor_field in windows:
+        open_by_actor: Dict[str, TraceEvent] = {}
+        for event in events:
+            if event.kind == open_kind:
+                actor = event[actor_field] if actor_field else "net"
+                open_by_actor.setdefault(actor, event)
+            elif event.kind == close_kind:
+                if actor_field:
+                    actors = [event[actor_field]]
+                else:
+                    actors = list(open_by_actor)  # heal/restore close all
+                for actor in actors:
+                    started = open_by_actor.pop(actor, None)
+                    if started is not None:
+                        spans.append(
+                            Span(
+                                name=name,
+                                category=category,
+                                actor=actor,
+                                start=started.t,
+                                end=event.t,
+                            )
+                        )
+        for actor, started in sorted(open_by_actor.items()):
+            spans.append(
+                Span(
+                    name=name,
+                    category=category,
+                    actor=actor,
+                    start=started.t,
+                    end=trace_end,
+                    attrs={"open": True},
+                )
+            )
+
+    if superseded_rekeys:
+        # Surface the count once, as a zero-length marker span.
+        spans.append(
+            Span(
+                name="superseded_rekeys",
+                category="secure",
+                actor="group",
+                start=trace_end,
+                end=trace_end,
+                attrs={"count": superseded_rekeys},
+            )
+        )
+    spans.sort(key=lambda span: (span.start, span.end, span.actor, span.name))
+    return spans
+
+
+def rekey_latency_table(events: Iterable[TraceEvent]) -> List[Dict[str, Any]]:
+    """The view-change -> key-installed latency table.
+
+    One row per ``(group, view)`` epoch that started an agreement: when
+    the view change hit, how many members confirmed, and the latency
+    until the *last* member installed the key (the group is secure only
+    once everyone holds it).  ``latency`` is ``None`` for epochs that
+    were superseded before completing — normal under cascades.
+    """
+    started: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for event in events:
+        if event.kind == "secure.rekey_started":
+            key = (event["group"], event["view"])
+            row = started.setdefault(
+                key,
+                {
+                    "group": event["group"],
+                    "view": event["view"],
+                    "operation": event.get("operation", ""),
+                    "started_at": event.t,
+                    "confirms": {},
+                    "members": None,
+                },
+            )
+            row["started_at"] = min(row["started_at"], event.t)
+        elif event.kind == "secure.confirmed":
+            key = (event["group"], event["view"])
+            row = started.get(key)
+            if row is None:
+                continue
+            row["confirms"][event["me"]] = event.t
+            row["members"] = len(event["members"])
+    table: List[Dict[str, Any]] = []
+    for __, row in sorted(started.items(), key=lambda kv: kv[1]["started_at"]):
+        confirms = row.pop("confirms")
+        members = row.pop("members")
+        complete = members is not None and len(confirms) >= members
+        row["confirmed"] = len(confirms)
+        row["members"] = members if members is not None else 0
+        row["latency"] = (
+            round(max(confirms.values()) - row["started_at"], 9)
+            if complete
+            else None
+        )
+        row["started_at"] = round(row["started_at"], 9)
+        table.append(row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# exports
+# ---------------------------------------------------------------------------
+
+
+def write_spans_jsonl(path, spans: Iterable[Span]) -> None:
+    """One JSON object per line: the machine-diffable span dump."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_json(), sort_keys=True))
+            handle.write("\n")
+
+
+def load_spans_jsonl(path) -> List[Span]:
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            spans.append(
+                Span(
+                    name=row["name"],
+                    category=row["category"],
+                    actor=row["actor"],
+                    start=row["start"],
+                    end=row["end"],
+                    attrs=row.get("attrs", {}),
+                )
+            )
+    return spans
+
+
+def chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Spans in Chrome ``trace_event`` format (chrome://tracing,
+    Perfetto).  Virtual seconds map to microseconds; each actor gets a
+    named pseudo-thread."""
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+    for span in spans:
+        tid = tids.setdefault(span.actor, len(tids) + 1)
+        trace_events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1_000_000,
+                "dur": span.duration * 1_000_000,
+                "pid": 1,
+                "tid": tid,
+                "args": span.attrs,
+            }
+        )
+    for actor, tid in tids.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": actor},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, spans: Iterable[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle, sort_keys=True)

@@ -129,6 +129,14 @@ class SecureGroupSession:
         self.rekeys_completed = 0
         self._auth_pairwise: Dict[str, int] = {}
         self._pending_challenges: Dict[bytes, Any] = {}
+        # Observability counters (repro.obs.metrics.collect_session):
+        # sealed/unsealed totals count SealedMessage wire bytes, so the
+        # cross-layer conservation inequalities compare like with like.
+        self.sealed_messages = 0
+        self.sealed_bytes = 0
+        self.unsealed_messages = 0
+        self.unsealed_bytes = 0
+        self.rejected_messages = 0
 
     # -- identity helpers -----------------------------------------------------
 
@@ -174,6 +182,8 @@ class SecureGroupSession:
                 f" (state={self.state})"
             )
         sealed = self._protector.seal(self.group, self.me, payload, self._random)
+        self.sealed_messages += 1
+        self.sealed_bytes += sealed.wire_size()
         if self._tracer.enabled:
             self._tracer.record(
                 "secure.send",
@@ -359,6 +369,17 @@ class SecureGroupSession:
         self.view = event
         self.operation = classify_event(event)
         self._begin_attempt(0, self.operation)
+        if self._tracer.enabled:
+            # Opens the view-change -> key-installed span; the matching
+            # secure.confirmed (same me/group/view) closes it.
+            self._tracer.record(
+                "secure.rekey_started",
+                me=self.me,
+                group=self.group,
+                view=str(event.view_id),
+                operation=self.operation.value,
+                members=sorted(str(m) for m in event.members),
+            )
         self._emit(RekeyStartedEvent(group=event.group, operation=self.operation))
 
         view_change = ViewChange(
@@ -530,6 +551,7 @@ class SecureGroupSession:
 
     def _on_sealed(self, group: GroupId, sender: str, sealed: SealedMessage) -> None:
         if self._protector is None:
+            self.rejected_messages += 1
             if self._tracer.enabled:
                 self._tracer.record(
                     "secure.reject",
@@ -546,6 +568,7 @@ class SecureGroupSession:
             # Wrong epoch or MAC: drop, as a router would — but leave a
             # trace so the chaos invariants can count every rejection and
             # prove no corrupted payload ever reached the application.
+            self.rejected_messages += 1
             if self._tracer.enabled:
                 self._tracer.record(
                     "secure.reject",
@@ -560,6 +583,8 @@ class SecureGroupSession:
                     ),
                 )
             return
+        self.unsealed_messages += 1
+        self.unsealed_bytes += sealed.wire_size()
         if self._tracer.enabled:
             self._tracer.record(
                 "secure.data",
@@ -592,6 +617,16 @@ class SecureGroupSession:
     ) -> None:
         if not messages:
             return
+        if self._tracer.enabled:
+            self._tracer.record(
+                "keyagree.round",
+                me=self.me,
+                group=self.group,
+                module=self.module.name,
+                attempt=self.attempt,
+                messages=len(messages),
+                exponentiations=exponentiations,
+            )
         delay = self.cost_model.delay(exponentiations)
         if delay > 0:
             kernel = self.flush.client.kernel

@@ -108,8 +108,13 @@ class Kernel:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._events_cancelled = 0
         self.rng = DeterministicRng(seed)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        if getattr(self.tracer, "clock", None) is None:
+            # Stamp every trace event with this kernel's virtual time
+            # (the raw material for span timing in repro.obs).
+            self.tracer.clock = lambda: self._now
 
     # -- clock ------------------------------------------------------------
 
@@ -122,6 +127,17 @@ class Kernel:
     def events_processed(self) -> int:
         """Number of events the kernel has executed so far."""
         return self._events_processed
+
+    @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled on this kernel."""
+        return self._next_seq
+
+    @property
+    def events_cancelled(self) -> int:
+        """Cancelled events discarded so far (cancellation is lazy, so
+        this counts discard at the queue heads, not ``cancel()`` calls)."""
+        return self._events_cancelled
 
     # -- scheduling -------------------------------------------------------
 
@@ -173,8 +189,10 @@ class Kernel:
         queue = self._queue
         while ready and ready[0].cancelled:
             ready.popleft()
+            self._events_cancelled += 1
         while queue and queue[0].cancelled:
             heapq.heappop(queue)
+            self._events_cancelled += 1
         if not ready:
             return heapq.heappop(queue) if queue else None
         if not queue or ready[0] < queue[0]:
@@ -187,8 +205,10 @@ class Kernel:
         queue = self._queue
         while ready and ready[0].cancelled:
             ready.popleft()
+            self._events_cancelled += 1
         while queue and queue[0].cancelled:
             heapq.heappop(queue)
+            self._events_cancelled += 1
         if not ready:
             return queue[0] if queue else None
         if not queue or ready[0] < queue[0]:

@@ -134,9 +134,11 @@ class SimProcess:
         """Entry point used by the network; drops messages while crashed,
         queues them while stalled."""
         if not self._alive:
-            self.kernel.tracer.record(
-                "process.drop_dead", name=self.name, source=source
-            )
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.record(
+                    "process.drop_dead", name=self.name, source=source
+                )
             return
         if self._stalled:
             self._stall_buffer.append(

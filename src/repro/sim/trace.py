@@ -4,20 +4,56 @@ A :class:`Tracer` collects :class:`TraceEvent` records (a kind string plus
 arbitrary fields).  Tests use it to assert on protocol behaviour ("exactly
 one membership install happened", "no data message crossed the partition")
 and benchmarks use it to count messages and rounds.
+
+Observability extensions (see :mod:`repro.obs`):
+
+* **Bounded retention** — ``max_events`` turns the event store into a
+  ring buffer so long soaks cannot grow without bound; the oldest
+  events are discarded (and counted in :attr:`Tracer.dropped_events`).
+* **Incremental fingerprinting** — the deterministic-replay fingerprint
+  is folded into a running SHA-256 digest *as events are recorded*, so
+  :meth:`Tracer.fingerprint` stays correct even after the ring buffer
+  has discarded early events.
+* **Sim-time stamps** — when a :class:`~repro.sim.kernel.Kernel` owns
+  the tracer it installs :attr:`Tracer.clock`, and every event carries
+  the virtual time it was recorded at (``TraceEvent.t``), the raw
+  material for span timing.
+* **Subscribers** — callbacks invoked per recorded event, which is how
+  the :class:`~repro.obs.bus.TraceBus` feeds live metrics without the
+  recording layers knowing about them.
+
+The event-kind strings are namespaced (``net.drop_loss``,
+``daemon.install``, ``secure.confirmed``...); the catalogue lives in
+``docs/OBSERVABILITY.md`` and the namespace-to-layer mapping in
+:mod:`repro.obs.bus`.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Trace kinds excluded from fingerprints: per-event kernel bookkeeping
+#: whose volume would dwarf the protocol-level record.
+FINGERPRINT_EXCLUDE = frozenset({"kernel.event"})
 
 
 @dataclass
 class TraceEvent:
-    """One trace record: a kind tag plus free-form fields."""
+    """One trace record: a kind tag plus free-form fields.
+
+    ``t`` is the virtual time the event was recorded at (0.0 when the
+    tracer has no clock, e.g. in pure unit tests).  It is deliberately
+    *not* part of the replay fingerprint: the fingerprint captures the
+    protocol-level record, and two traces that differ only in timing
+    metadata still describe the same causal history.
+    """
 
     kind: str
     fields: Dict[str, Any] = field(default_factory=dict)
+    t: float = 0.0
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
@@ -27,7 +63,18 @@ class TraceEvent:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         parts = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
-        return f"TraceEvent({self.kind}: {parts})"
+        return f"TraceEvent({self.kind} @ {self.t:.6f}: {parts})"
+
+
+def canonical_event(event: TraceEvent) -> str:
+    """One line per event, fields in sorted order, ``repr`` values.
+
+    Deterministic across runs of the same seed within a process and,
+    with ``PYTHONHASHSEED`` pinned, across processes — the trace layer
+    records only scalars, strings and lists (never sets or dicts).
+    """
+    fields = ",".join(f"{k}={event.fields[k]!r}" for k in sorted(event.fields))
+    return f"{event.kind}|{fields}"
 
 
 class Tracer:
@@ -37,20 +84,46 @@ class Tracer:
     ----------
     enabled:
         When False, :meth:`record` is a no-op (the default for benchmark
-        runs where tracing overhead matters).
+        runs where tracing overhead matters).  Hot call sites hoist this
+        check (``if tracer.enabled: tracer.record(...)``) so a disabled
+        tracer costs one attribute test and no argument evaluation.
     keep:
         Optional predicate on the kind string; events whose kind fails the
-        predicate are dropped.
+        predicate are dropped (they are neither retained, fingerprinted,
+        nor delivered to subscribers).
+    max_events:
+        Optional retention cap.  ``None`` (the default) retains every
+        event for the life of the run — the right choice for tests and
+        short experiments.  With a cap, the store becomes a ring buffer:
+        the oldest events are discarded as new ones arrive (counted in
+        :attr:`dropped_events`) while :meth:`fingerprint` remains exact
+        because it is computed incrementally at record time.
     """
 
     def __init__(
         self,
         enabled: bool = True,
         keep: Optional[Callable[[str], bool]] = None,
+        max_events: Optional[int] = None,
     ) -> None:
         self.enabled = enabled
         self._keep = keep
-        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self.events: "deque[TraceEvent] | List[TraceEvent]" = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
+        #: Events discarded by the ring buffer (never counts keep-filter
+        #: drops: those were never retained in the first place).
+        self.dropped_events = 0
+        #: Total events recorded (retained-or-rotated-out), i.e. what
+        #: ``len(tracer)`` would be without a cap.
+        self.recorded_total = 0
+        #: Virtual-time source; installed by the owning kernel.
+        self.clock: Optional[Callable[[], float]] = None
+        self._digest = hashlib.sha256()
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
 
     def record(self, kind: str, **fields: Any) -> None:
         """Record one event (no-op when the tracer is disabled)."""
@@ -58,7 +131,48 @@ class Tracer:
             return
         if self._keep is not None and not self._keep(kind):
             return
-        self.events.append(TraceEvent(kind=kind, fields=fields))
+        clock = self.clock
+        event = TraceEvent(
+            kind=kind, fields=fields, t=clock() if clock is not None else 0.0
+        )
+        events = self.events
+        if self.max_events is not None and len(events) == self.max_events:
+            self.dropped_events += 1
+        events.append(event)
+        self.recorded_total += 1
+        if kind not in FINGERPRINT_EXCLUDE:
+            self._digest.update(canonical_event(event).encode())
+            self._digest.update(b"\n")
+        if self._subscribers:
+            for subscriber in self._subscribers:
+                subscriber(event)
+
+    # -- fingerprinting -----------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical serialization of every event this
+        tracer has recorded since construction (or the last
+        :meth:`clear`).
+
+        Computed incrementally at record time, so it stays exact even
+        when ``max_events`` has rotated early events out of
+        :attr:`events`.  Without a cap it equals
+        ``repro.chaos.invariants.trace_fingerprint(self.events)``.
+        """
+        return self._digest.hexdigest()
+
+    # -- subscribers --------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` for every subsequently recorded event."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Remove a previously subscribed callback (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     # -- queries ------------------------------------------------------------
 
@@ -71,12 +185,15 @@ class Tracer:
         return [event for event in self.events if event.kind.startswith(prefix)]
 
     def count(self, kind: str) -> int:
-        """Number of events of the given kind."""
+        """Number of retained events of the given kind."""
         return sum(1 for event in self.events if event.kind == kind)
 
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events and reset the running fingerprint."""
         self.events.clear()
+        self.dropped_events = 0
+        self.recorded_total = 0
+        self._digest = hashlib.sha256()
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)

@@ -141,6 +141,16 @@ class SpreadDaemon(SimProcess):
         )
         self.engine.incarnation = self.incarnation
         self.views_installed = 0
+        # Observability counters (repro.obs.metrics.collect_daemon).
+        # Cheap always-on totals: unlike the trace they survive a
+        # disabled tracer.  Volatile by design — a recovered daemon's
+        # deliveries start from zero like everything else it knows.
+        self.flush_cuts = 0
+        self.retransmissions = 0
+        self.messages_delivered = 0
+        self.remote_bytes_delivered = 0
+        self.client_messages_delivered = 0
+        self.client_bytes_delivered = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -217,6 +227,7 @@ class SpreadDaemon(SimProcess):
         }
 
     def _make_sync(self, round_id: int, new_view: ViewId) -> SyncInfo:
+        self.flush_cuts += 1
         undelivered, delivered_ts, delivered_fifo = self.pipeline.cut()
         return SyncInfo(
             sender=self.name,
@@ -290,12 +301,14 @@ class SpreadDaemon(SimProcess):
             # checksum: drop before any interpretation (it does not even
             # count as hearing the sender).  Reliable traffic is repaired
             # by the NACK machinery from the sender's buffer.
-            self.kernel.tracer.record(
-                "daemon.corrupt_drop",
-                me=self.name,
-                source=source,
-                original=payload.original_kind,
-            )
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.record(
+                    "daemon.corrupt_drop",
+                    me=self.name,
+                    source=source,
+                    original=payload.original_kind,
+                )
             return
         self.last_heard[source] = self.kernel.now
         if self.security is not None:
@@ -356,6 +369,9 @@ class SpreadDaemon(SimProcess):
     def _on_nack(self, nack: Nack) -> None:
         if nack.view_id != self.view:
             return
+        retransmit = getattr(self.pipeline, "retransmit", None)
+        if retransmit is not None:
+            self.retransmissions += len(retransmit(nack.missing))
         self.pipeline.on_nack(nack)
 
     # ------------------------------------------------------------------
@@ -445,6 +461,13 @@ class SpreadDaemon(SimProcess):
     # ------------------------------------------------------------------
 
     def _deliver_ordered(self, message: DataMessage) -> None:
+        self.messages_delivered += 1
+        if message.seq != UNRELIABLE_SEQ and message.sender_daemon != self.name:
+            # Remote reliable delivery: these bytes crossed the network
+            # (inside the DataMessage itself or a flush complement), so
+            # net.bytes_delivered bounds their sum — the conservation
+            # inequality tests/obs/test_conservation.py holds us to.
+            self.remote_bytes_delivered += message.wire_size()
         tracer = self.kernel.tracer
         if tracer.enabled and message.seq != UNRELIABLE_SEQ:
             # The invariant checker's raw material: which daemon delivered
@@ -502,6 +525,8 @@ class SpreadDaemon(SimProcess):
                     payload=message.payload,
                     seq=message.origin_seq,
                 )
+                self.client_messages_delivered += 1
+                self.client_bytes_delivered += message.wire_size()
                 self._push(client, event)
             return
         event = DataEvent(
@@ -515,6 +540,8 @@ class SpreadDaemon(SimProcess):
             if message.service & ServiceType.SELF_DISCARD and message.origin is not None:
                 if pid == str(message.origin):
                     continue
+            self.client_messages_delivered += 1
+            self.client_bytes_delivered += message.wire_size()
             self._push(client, event)
 
     def _group_event(

@@ -85,13 +85,14 @@ class Reassembler:
             )
         if fragment.fragment_id <= self._completed.get(sender, 0):
             self.stale_dropped += 1
-            self._tracer.record(
-                "fragments.stale_drop",
-                sender=sender,
-                fragment_id=fragment.fragment_id,
-                index=fragment.index,
-                completed_upto=self._completed.get(sender, 0),
-            )
+            if self._tracer.enabled:
+                self._tracer.record(
+                    "fragments.stale_drop",
+                    sender=sender,
+                    fragment_id=fragment.fragment_id,
+                    index=fragment.index,
+                    completed_upto=self._completed.get(sender, 0),
+                )
             return None
         key = (sender, fragment.fragment_id)
         slots = self._partial.get(key)
@@ -110,12 +111,13 @@ class Reassembler:
                     f" {fragment.index}/{fragment.total} from {sender}"
                 )
             self.duplicates_ignored += 1
-            self._tracer.record(
-                "fragments.duplicate",
-                sender=sender,
-                fragment_id=fragment.fragment_id,
-                index=fragment.index,
-            )
+            if self._tracer.enabled:
+                self._tracer.record(
+                    "fragments.duplicate",
+                    sender=sender,
+                    fragment_id=fragment.fragment_id,
+                    index=fragment.index,
+                )
             return None
         slots[fragment.index] = fragment.chunk
         if any(chunk is None for chunk in slots):

@@ -1,0 +1,219 @@
+"""The trace bus: ring retention, exact fingerprints, subscribers, and
+the event-kind namespace catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.invariants import trace_fingerprint
+from repro.obs.bus import (
+    KIND_NAMESPACES,
+    LAYERS,
+    TraceBus,
+    is_namespaced,
+    layer_of,
+    namespace_of,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import Tracer
+
+
+def _feed(tracer, count, kind="net.drop_loss"):
+    for index in range(count):
+        tracer.record(kind, index=index)
+
+
+# -- ring-buffer retention ---------------------------------------------------
+
+
+def test_uncapped_tracer_retains_everything():
+    tracer = Tracer(enabled=True)
+    _feed(tracer, 12)
+    assert len(tracer) == 12
+    assert tracer.dropped_events == 0
+    assert tracer.recorded_total == 12
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    tracer = Tracer(enabled=True, max_events=5)
+    _feed(tracer, 12)
+    assert len(tracer) == 5
+    assert tracer.dropped_events == 7
+    assert tracer.recorded_total == 12
+    # The *newest* events survive; the oldest rotated out.
+    assert [event["index"] for event in tracer.events] == [7, 8, 9, 10, 11]
+
+
+def test_max_events_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(max_events=0)
+    with pytest.raises(ValueError):
+        Tracer(max_events=-3)
+
+
+def test_clear_resets_ring_and_fingerprint():
+    tracer = Tracer(enabled=True, max_events=3)
+    _feed(tracer, 7)
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped_events == 0
+    assert tracer.recorded_total == 0
+    assert tracer.fingerprint() == Tracer(enabled=True).fingerprint()
+
+
+# -- incremental fingerprinting ----------------------------------------------
+
+
+def _varied_feed(tracer):
+    tracer.record("daemon.install", me="d0", view="v1", members=["d0", "d1"])
+    tracer.record("secure.send", me="m0", group="g", epoch="g|v1|0")
+    tracer.record("net.drop_loss", source="d0", destination="d1")
+    tracer.record("secure.data", me="m1", group="g", epoch="g|v1|0")
+    for index in range(40):
+        tracer.record("net.corrupt", index=index)
+
+
+def test_fingerprint_equals_legacy_function_when_uncapped():
+    tracer = Tracer(enabled=True)
+    _varied_feed(tracer)
+    assert tracer.fingerprint() == trace_fingerprint(tracer.events)
+
+
+def test_capped_fingerprint_survives_rotation():
+    capped = Tracer(enabled=True, max_events=8)
+    uncapped = Tracer(enabled=True)
+    _varied_feed(capped)
+    _varied_feed(uncapped)
+    assert capped.dropped_events > 0
+    # Rotation discards events from retention, never from the digest.
+    assert capped.fingerprint() == uncapped.fingerprint()
+    # The retained tail alone would hash differently.
+    assert trace_fingerprint(capped.events) != capped.fingerprint()
+
+
+def test_kernel_event_kind_excluded_from_fingerprint():
+    with_noise = Tracer(enabled=True)
+    without = Tracer(enabled=True)
+    with_noise.record("kernel.event", time=1.0, label="x")
+    with_noise.record("daemon.install", me="d0")
+    without.record("daemon.install", me="d0")
+    assert with_noise.fingerprint() == without.fingerprint()
+
+
+def test_keep_filter_drops_before_retention_and_digest():
+    filtered = Tracer(enabled=True, keep=lambda kind: kind != "kernel.event")
+    plain = Tracer(enabled=True)
+    filtered.record("kernel.event", time=0.0, label="x")
+    filtered.record("net.heal")
+    plain.record("net.heal")
+    assert [event.kind for event in filtered.events] == ["net.heal"]
+    assert filtered.recorded_total == 1
+    assert filtered.fingerprint() == plain.fingerprint()
+
+
+def test_timing_metadata_not_part_of_fingerprint():
+    early = Tracer(enabled=True)
+    late = Tracer(enabled=True)
+    late.clock = lambda: 42.5
+    early.record("secure.send", me="m0", group="g", epoch="e")
+    late.record("secure.send", me="m0", group="g", epoch="e")
+    assert late.events[0].t == 42.5
+    assert early.fingerprint() == late.fingerprint()
+
+
+# -- subscribers -------------------------------------------------------------
+
+
+def test_subscribers_see_every_retained_event():
+    tracer = Tracer(enabled=True, keep=lambda kind: kind.startswith("net."))
+    seen = []
+    tracer.subscribe(lambda event: seen.append(event.kind))
+    tracer.record("net.heal")
+    tracer.record("daemon.install", me="d0")  # keep-filtered: not delivered
+    tracer.record("net.restore")
+    assert seen == ["net.heal", "net.restore"]
+
+
+def test_unsubscribe_detaches():
+    tracer = Tracer(enabled=True)
+    seen = []
+    callback = lambda event: seen.append(event.kind)  # noqa: E731
+    tracer.subscribe(callback)
+    tracer.record("net.heal")
+    tracer.unsubscribe(callback)
+    tracer.unsubscribe(callback)  # double-detach is a no-op
+    tracer.record("net.restore")
+    assert seen == ["net.heal"]
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    seen = []
+    tracer.subscribe(lambda event: seen.append(event))
+    tracer.record("net.heal")
+    assert len(tracer) == 0 and not seen
+    assert tracer.fingerprint() == Tracer(enabled=True).fingerprint()
+
+
+# -- the namespace catalogue -------------------------------------------------
+
+
+def test_layer_catalogue_covers_the_stack():
+    assert layer_of("daemon.install") == "spread"
+    assert layer_of("memb.transition") == "spread"
+    assert layer_of("secure.confirmed") == "secure"
+    assert layer_of("keyagree.round") == "keyagree"
+    assert layer_of("net.drop_loss") == "net"
+    assert layer_of("kernel.event") == "sim"
+    assert layer_of("process.crash") == "sim"
+    assert layer_of("fault.fire") == "chaos"
+    assert layer_of("bogus.kind") == "unknown"
+    assert namespace_of("net.drop_loss") == "net"
+    assert set(KIND_NAMESPACES.values()) <= set(LAYERS) | {"unknown"}
+
+
+def test_is_namespaced():
+    assert is_namespaced("secure.send")
+    assert is_namespaced("net.drop_partition_inflight")
+    assert not is_namespaced("nodot")
+    assert not is_namespaced("unregistered.kind")
+    assert not is_namespaced("net.")
+
+
+# -- TraceBus ----------------------------------------------------------------
+
+
+def test_bus_is_a_tracer():
+    bus = TraceBus(enabled=True, max_events=4)
+    _feed(bus, 6)
+    assert isinstance(bus, Tracer)
+    assert len(bus) == 4 and bus.dropped_events == 2
+
+
+def test_attach_metrics_feeds_per_kind_counters():
+    bus = TraceBus(enabled=True)
+    registry = MetricsRegistry()
+    feed = bus.attach_metrics(registry)
+    bus.record("net.drop_loss", source="a", destination="b")
+    bus.record("net.drop_loss", source="a", destination="b")
+    bus.record("daemon.install", me="d0")
+    assert (
+        registry.value("trace.events", layer="net", kind="net.drop_loss") == 2
+    )
+    assert (
+        registry.value("trace.events", layer="spread", kind="daemon.install")
+        == 1
+    )
+    bus.unsubscribe(feed)
+    bus.record("net.drop_loss", source="a", destination="b")
+    assert (
+        registry.value("trace.events", layer="net", kind="net.drop_loss") == 2
+    )
+
+
+def test_events_by_layer_groups_retained_events():
+    bus = TraceBus(enabled=True)
+    bus.record("net.heal")
+    bus.record("net.restore")
+    bus.record("daemon.install", me="d0")
+    assert bus.events_by_layer() == {"net": 2, "spread": 1}

@@ -1,0 +1,192 @@
+"""Spans, run dumps, and the inspector, end to end over a real chaos run."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.harness import run_chaos
+from repro.obs import inspect as obs_inspect
+from repro.obs.dump import is_run_dump, iter_runs, load_run
+from repro.obs.spans import (
+    Span,
+    chrome_trace,
+    derive_spans,
+    rekey_latency_table,
+)
+from repro.sim.trace import TraceEvent
+
+
+# -- span derivation over a synthetic trace ----------------------------------
+
+
+def _event(kind, t, **fields):
+    return TraceEvent(kind=kind, fields=fields, t=t)
+
+
+def test_rekey_span_closed_by_matching_confirm():
+    events = [
+        _event(
+            "secure.rekey_started",
+            1.0, me="m0", group="g", view="v1", operation="join",
+            members=["m0", "m1"],
+        ),
+        _event(
+            "secure.confirmed",
+            1.4, me="m0", group="g", view="v1", attempt=0,
+            members=["m0", "m1"], fingerprint="ab",
+        ),
+        _event("secure.data", 1.6, me="m0", group="g", sender="m1", epoch="e"),
+    ]
+    spans = derive_spans(events)
+    rekey = [s for s in spans if s.name == "rekey"]
+    first = [s for s in spans if s.name == "first_delivery"]
+    assert len(rekey) == 1 and len(first) == 1
+    assert rekey[0].actor == "m0"
+    assert rekey[0].duration == pytest.approx(0.4)
+    assert rekey[0].attrs["operation"] == "join"
+    assert first[0].start == 1.0 and first[0].end == 1.6
+
+
+def test_superseded_rekey_becomes_marker_not_span():
+    events = [
+        _event("secure.rekey_started", 1.0, me="m0", group="g", view="v1",
+               operation="join", members=["m0"]),
+        _event("secure.rekey_started", 2.0, me="m0", group="g", view="v2",
+               operation="merge", members=["m0"]),
+        _event("secure.confirmed", 2.5, me="m0", group="g", view="v2",
+               attempt=0, members=["m0"], fingerprint="cd"),
+    ]
+    spans = derive_spans(events)
+    assert [s.name for s in spans if s.name == "rekey"] == ["rekey"]
+    markers = [s for s in spans if s.name == "superseded_rekeys"]
+    assert len(markers) == 1 and markers[0].attrs["count"] == 1
+
+
+def test_fault_windows_and_open_spans():
+    events = [
+        _event("process.crash", 1.0, name="d3"),
+        _event("net.partition", 1.5, groups=[["d0"], ["d1"]]),
+        _event("net.heal", 2.5),
+        _event("process.recover", 3.0, name="d3"),
+        _event("process.stall", 3.5, name="d1"),  # never resumed
+    ]
+    spans = {(s.name, s.actor): s for s in derive_spans(events)}
+    assert spans[("crash", "d3")].duration == pytest.approx(2.0)
+    assert spans[("partition", "net")].duration == pytest.approx(1.0)
+    stall = spans[("stall", "d1")]
+    assert stall.attrs.get("open") is True
+    assert stall.end == 3.5  # closed at trace end
+
+
+def test_latency_table_requires_every_member():
+    events = [
+        _event("secure.rekey_started", 1.0, me="m0", group="g", view="v1",
+               operation="join", members=["m0", "m1"]),
+        _event("secure.rekey_started", 1.0, me="m1", group="g", view="v1",
+               operation="join", members=["m0", "m1"]),
+        _event("secure.confirmed", 1.8, me="m0", group="g", view="v1",
+               attempt=0, members=["m0", "m1"], fingerprint="ab"),
+    ]
+    (row,) = rekey_latency_table(events)
+    assert row["confirmed"] == 1 and row["members"] == 2
+    assert row["latency"] is None  # one confirm missing: not complete
+    events.append(
+        _event("secure.confirmed", 2.0, me="m1", group="g", view="v1",
+               attempt=0, members=["m0", "m1"], fingerprint="ab")
+    )
+    (row,) = rekey_latency_table(events)
+    assert row["latency"] == pytest.approx(1.0)
+
+
+def test_chrome_trace_shape():
+    spans = [
+        Span(name="rekey", category="secure", actor="m0", start=1.0, end=1.5),
+        Span(name="crash", category="sim", actor="d3", start=0.5, end=2.0),
+    ]
+    document = chrome_trace(spans)
+    events = document["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    names = [e for e in events if e["ph"] == "M"]
+    assert len(slices) == 2 and len(names) == 2
+    assert slices[0]["ts"] == pytest.approx(1_000_000)
+    assert slices[0]["dur"] == pytest.approx(500_000)
+    assert {e["args"]["name"] for e in names} == {"m0", "d3"}
+    json.dumps(document)
+
+
+# -- the dump + inspector pipeline over a real run ---------------------------
+
+
+@pytest.fixture(scope="module")
+def chaos_dump(tmp_path_factory):
+    root = tmp_path_factory.mktemp("obsdump")
+    result = run_chaos(5, "cliques", quick=True, dump_dir=str(root))
+    return root, result
+
+
+def test_dump_roundtrip(chaos_dump):
+    root, result = chaos_dump
+    directory = root / f"seed{result.seed}-{result.module}"
+    assert is_run_dump(str(directory))
+    run = load_run(str(directory))
+    assert run.meta["seed"] == 5
+    assert run.meta["module"] == "cliques"
+    assert run.meta["ok"] == result.ok
+    assert run.meta["fingerprint"] == result.fingerprint
+    assert run.meta["trace_retained"] == len(run.events) > 0
+    # Events survive the JSONL round-trip with kind, fields and time.
+    installs = [e for e in run.events if e.kind == "daemon.install"]
+    assert installs and all(e.t >= 0 for e in installs)
+    # The metrics snapshot rode along.
+    gauges = {row["name"] for row in run.metrics["gauges"]}
+    assert "net.bytes_sent" in gauges
+    assert "spread.views_installed" in gauges
+    # Spans were derived and written.
+    assert run.spans
+    assert any(span.name == "rekey" for span in run.spans)
+    assert (directory / "chrome_trace.json").exists()
+    chrome = json.loads((directory / "chrome_trace.json").read_text())
+    assert chrome["traceEvents"]
+
+
+def test_latency_table_on_real_run_has_completed_rows(chaos_dump):
+    root, result = chaos_dump
+    run = load_run(str(root / f"seed{result.seed}-{result.module}"))
+    table = rekey_latency_table(run.events)
+    assert table
+    completed = [row for row in table if row["latency"] is not None]
+    assert completed, "no epoch reached all-members-confirmed"
+    assert all(row["latency"] >= 0 for row in completed)
+
+
+def test_inspector_prints_and_check_passes(chaos_dump, capsys):
+    root, __ = chaos_dump
+    assert obs_inspect.main([str(root), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline" in out
+    assert "per-epoch traffic" in out
+    assert "view-change -> key-installed latency" in out
+    assert "spans (" in out
+    assert "metrics (" in out
+
+
+def test_inspector_check_fails_on_empty_dump(tmp_path, capsys):
+    from repro.obs.dump import dump_run
+
+    dump_run(str(tmp_path / "empty"), events=[])
+    assert obs_inspect.main([str(tmp_path), "--check"]) == 1
+    assert obs_inspect.main([str(tmp_path)]) == 0  # plain render still ok
+    capsys.readouterr()
+
+
+def test_inspector_errors_on_missing_dumps(tmp_path, capsys):
+    assert obs_inspect.main([str(tmp_path)]) == 1
+    assert "no run dumps found" in capsys.readouterr().err
+
+
+def test_iter_runs_finds_nested_dumps(chaos_dump):
+    root, result = chaos_dump
+    runs = list(iter_runs(str(root)))
+    assert [run.name for run in runs] == [f"seed{result.seed}-{result.module}"]

@@ -1,0 +1,53 @@
+"""Lint: every literal trace-event kind in the library is namespaced.
+
+Grep-based, so a new ``tracer.record("foo", ...)`` call site with an
+unregistered or dot-less kind fails CI with a pointer to the offending
+file instead of silently landing in the "unknown" layer bucket.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.bus import is_namespaced
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Matches ``<anything>tracer.record("kind"`` across a line break after
+#: the paren — the idiom of every trace call site in the library.
+#: ``counter.record(...)`` (ExpCounter) deliberately does not match.
+_RECORD_CALL = re.compile(r"tracer\.record\(\s*\"([^\"]+)\"", re.MULTILINE)
+
+
+def _literal_kinds():
+    found = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _RECORD_CALL.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            found.append((path.relative_to(SRC_ROOT), line, match.group(1)))
+    return found
+
+
+def test_trace_call_sites_exist():
+    kinds = _literal_kinds()
+    assert len(kinds) >= 20, "lint regex stopped matching the record idiom"
+    assert {kind for __, __, kind in kinds} >= {
+        "daemon.install",
+        "secure.confirmed",
+        "net.drop_loss",
+        "fault.fire",
+    }
+
+
+def test_every_literal_kind_is_namespaced():
+    offenders = [
+        f"{path}:{line}: {kind!r}"
+        for path, line, kind in _literal_kinds()
+        if not is_namespaced(kind)
+    ]
+    assert not offenders, (
+        "unnamespaced trace kinds (register the root in"
+        " repro.obs.bus.KIND_NAMESPACES or rename):\n" + "\n".join(offenders)
+    )
