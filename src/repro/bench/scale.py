@@ -1,0 +1,477 @@
+"""The scale-out bench behind ``BENCH_scale.json``.
+
+Four stages, each attacking one layer of the scale-out engine:
+
+1. **Scheduler A/B** — the dense-timer workload (every event reschedules
+   itself ``U(0.5, 1.5)`` seconds out) at pending populations up to
+   2^21, run under both the heap and the calendar-queue scheduler.  The
+   pending population is built and *warmed for one full generation*
+   before timing so the calendar ring reaches its tuned steady state and
+   no resize transient lands inside the window; rates use counter deltas
+   and the best of ``reps`` repetitions (single-box timing is noisy
+   downward, never upward).  This is the workload behind the ISSUE's
+   "calendar >= 2x heap" acceptance bar.
+2. **Members-per-group curve** — slab :class:`~repro.spread.groups.GroupTable`
+   operation rates (bisect joins, O(1) ``is_member``, per-daemon
+   ``members_on`` fan-out slices) as the group grows to n >= 1024.
+3. **Shard scaling** — the deterministic multi-process driver
+   (:mod:`repro.bench.shards`) at increasing shard counts, reporting
+   aggregate kernel events/s and the combined determinism digest.
+4. **Scheduler equivalence** — the chaos crucible's replay seeds run
+   under both schedulers; the trace fingerprints must be byte-identical
+   (the calendar queue is an *ordering-exact* drop-in).  With
+   ``--dump-dir`` each calendar run also writes an observability dump
+   (trace + metrics + spans) that ``repro.obs.inspect --check`` can
+   audit — that pairing is the CI ``scale-smoke`` job.
+
+Attribution: every stage records its wall-clock share plus kernel
+counters (via :func:`repro.obs.metrics.collect_kernel`) so the document
+says not just *how fast* but *where the events went*.
+
+Run ``PYTHONPATH=src python -m repro.bench.scale`` for the full curves
+(a few minutes; peak RSS ~1.5 GB at the 2^21 point) or ``--quick`` for
+the CI smoke shape (n=64, 2 shards, seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, collect_kernel
+from repro.sim.kernel import SCHEDULERS, Kernel
+from repro.sim.rng import stable_seed
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_scale.json"
+
+#: Pending-population curve for the dense-timer A/B stage.  The top
+#: point (2^21) is where the heap pays ~21 Python ``__lt__`` round-trips
+#: per operation and the calendar's advantage is fully expressed.
+FULL_PENDING = (1 << 15, 1 << 18, 1 << 21)
+QUICK_PENDING = (1 << 10,)
+
+#: Members-per-group curve (the ISSUE's n >= 1024 floor, plus one
+#: doubling beyond it to show the trend holds).
+FULL_GROUP_SIZES = (64, 256, 1024, 2048)
+QUICK_GROUP_SIZES = (64,)
+
+FULL_SHARDS = (1, 2, 4)
+QUICK_SHARDS = (2,)
+
+#: Crucible replay seeds for the equivalence stage (the same seed space
+#: the CI deterministic-replay check draws from).
+FULL_EQUIV_SEEDS = (0, 1, 2)
+QUICK_EQUIV_SEEDS = (0,)
+
+
+# -- stage 1: dense-timer scheduler A/B -------------------------------------
+
+
+def _dense_timer_rate(
+    scheduler: str, pending: int, events: int, reps: int, seed: int = 0
+) -> Dict[str, Any]:
+    """Best-of-``reps`` dispatch rate for one scheduler at one pending
+    population.  One kernel per rep; each rep warms a full generation
+    (every pending timer fires and reschedules once) before the timed
+    window so both schedulers are measured in steady state."""
+    best: Optional[Dict[str, Any]] = None
+    for rep in range(reps):
+        kernel = Kernel(seed=stable_seed(seed, f"dense{rep}"), scheduler=scheduler)
+        rng = kernel.rng.child("delays")
+        # Precomputed delay table: the workload must cost the same
+        # under both schedulers, so no RNG calls inside callbacks.
+        delays = [rng.uniform(0.5, 1.5) for __ in range(4096)]
+        ndelays = len(delays)
+        call_at = kernel.call_at
+        state = {"i": 0}
+
+        def tick() -> None:
+            index = state["i"] = state["i"] + 1
+            call_at(kernel.now + delays[index % ndelays], tick)
+
+        for index in range(pending):
+            call_at(kernel.now + delays[index % ndelays], tick)
+        # Warm one full generation: the calendar ring performs its
+        # growth resizes here, outside the timed window.
+        kernel.run(max_events=pending)
+        gc.collect()
+        gc.freeze()
+        try:
+            before = kernel.events_processed
+            start = time.perf_counter()
+            kernel.run(max_events=events)
+            elapsed = time.perf_counter() - start
+            fired = kernel.events_processed - before
+        finally:
+            gc.unfreeze()
+        sample = {
+            "scheduler": scheduler,
+            "pending": pending,
+            "events": fired,
+            "elapsed_s": elapsed,
+            "events_per_s": fired / elapsed if elapsed > 0 else 0.0,
+        }
+        queue = kernel._sched
+        if hasattr(queue, "resizes"):
+            sample["calendar_resizes"] = queue.resizes
+            sample["calendar_buckets"] = queue.bucket_count
+        if best is None or sample["events_per_s"] > best["events_per_s"]:
+            best = sample
+        del kernel
+        gc.collect()
+    assert best is not None
+    return best
+
+
+def bench_schedulers(
+    pending_sizes: Sequence[int], events: int, reps: int
+) -> List[Dict[str, Any]]:
+    """The heap-vs-calendar events/s curve over pending population."""
+    rows = []
+    for pending in pending_sizes:
+        budget = min(events, max(pending, 1 << 14))
+        heap = _dense_timer_rate("heap", pending, budget, reps)
+        calendar = _dense_timer_rate("calendar", pending, budget, reps)
+        speedup = (
+            calendar["events_per_s"] / heap["events_per_s"]
+            if heap["events_per_s"] > 0
+            else 0.0
+        )
+        rows.append(
+            {
+                "pending": pending,
+                "heap": heap,
+                "calendar": calendar,
+                "calendar_speedup": round(speedup, 3),
+            }
+        )
+    return rows
+
+
+# -- stage 2: members-per-group curve ---------------------------------------
+
+
+def _op_rate(op: Callable[[], int], budget_s: float) -> Dict[str, float]:
+    """Run ``op`` (returns units processed) until the budget elapses."""
+    units = 0
+    start = time.perf_counter()
+    while True:
+        units += op()
+        elapsed = time.perf_counter() - start
+        if elapsed >= budget_s:
+            break
+    return {"units": units, "elapsed_s": elapsed, "units_per_s": units / elapsed}
+
+
+def bench_group_curve(
+    sizes: Sequence[int], daemons: int = 8, budget_s: float = 0.2
+) -> List[Dict[str, Any]]:
+    """Slab GroupTable operation rates as members-per-group grows.
+
+    ``join``/``leave`` exercise the bisect insertion path, ``is_member``
+    the O(1) membership set, and ``members_on`` the contiguous
+    per-daemon slice the local-delivery fan-out reads.
+    """
+    from repro.spread.groups import GroupTable
+
+    rows = []
+    for size in sizes:
+        pids = [f"#m{index}#d{index % daemons}" for index in range(size)]
+
+        def join_op() -> int:
+            table = GroupTable()
+            join = table.join
+            for pid in pids:
+                join("g", pid)
+            return size
+
+        table = GroupTable()
+        for pid in pids:
+            table.join("g", pid)
+        probe = pids[size // 2]
+
+        def member_op() -> int:
+            is_member = table.is_member
+            for pid in pids:
+                is_member("g", pid)
+            return size
+
+        def fanout_op() -> int:
+            total = 0
+            members_on = table.members_on
+            for daemon in range(daemons):
+                total += len(members_on("g", f"d{daemon}"))
+            return total
+
+        rows.append(
+            {
+                "members": size,
+                "daemons": daemons,
+                "join_members_per_s": _op_rate(join_op, budget_s)["units_per_s"],
+                "is_member_per_s": _op_rate(member_op, budget_s)["units_per_s"],
+                "fanout_members_per_s": _op_rate(fanout_op, budget_s)[
+                    "units_per_s"
+                ],
+                "is_member_probe": table.is_member("g", probe),
+            }
+        )
+    return rows
+
+
+# -- stage 3: shard scaling -------------------------------------------------
+
+
+def bench_shards(
+    shard_counts: Sequence[int],
+    epochs: int,
+    groups: int,
+    members: int,
+    processes: bool,
+    scheduler: Optional[str],
+) -> List[Dict[str, Any]]:
+    """Aggregate events/s of the multi-process shard driver."""
+    from repro.bench.shards import run_shards
+
+    rows = []
+    for shard_count in shard_counts:
+        result = run_shards(
+            shard_count,
+            epochs,
+            workload="chatter",
+            params={"groups": groups, "members": members},
+            processes=processes,
+            scheduler=scheduler,
+        )
+        rows.append(
+            {
+                "shards": shard_count,
+                "epochs": epochs,
+                "groups_per_shard": groups,
+                "members_per_group": members,
+                "events_processed": result.events_total,
+                "cross_shard_messages": result.cross_shard_messages,
+                "elapsed_s": result.wall_s,
+                "events_per_s": result.events_per_s,
+                "digest": result.digest,
+                "processes": processes,
+            }
+        )
+    return rows
+
+
+# -- stage 4: scheduler equivalence on chaos replay seeds -------------------
+
+
+def bench_equivalence(
+    seeds: Sequence[int],
+    module: str,
+    quick: bool,
+    dump_dir: Optional[str],
+) -> List[Dict[str, Any]]:
+    """Run the crucible's replay seeds under both schedulers and demand
+    byte-identical trace fingerprints.  The calendar dump (when
+    ``dump_dir`` is given) carries the spans/metrics evidence for
+    ``repro.obs.inspect --check``."""
+    from repro.chaos.harness import run_chaos
+
+    rows = []
+    for seed in seeds:
+        heap = run_chaos(seed, module, quick=quick, scheduler="heap")
+        calendar = run_chaos(
+            seed, module, quick=quick, scheduler="calendar", dump_dir=dump_dir
+        )
+        rows.append(
+            {
+                "seed": seed,
+                "module": module,
+                "heap_fingerprint": heap.fingerprint,
+                "calendar_fingerprint": calendar.fingerprint,
+                "identical": heap.fingerprint == calendar.fingerprint,
+                "heap_ok": heap.ok,
+                "calendar_ok": calendar.ok,
+            }
+        )
+    return rows
+
+
+# -- document ---------------------------------------------------------------
+
+
+def _kernel_attribution(scheduler: str, pending: int, events: int) -> Dict[str, Any]:
+    """One instrumented dense-timer run whose kernel counters show where
+    the events went (scheduled vs fired vs cancelled vs still pending)."""
+    kernel = Kernel(seed=stable_seed(0, "attribution"), scheduler=scheduler)
+    rng = kernel.rng.child("delays")
+    delays = [rng.uniform(0.5, 1.5) for __ in range(1024)]
+    call_at = kernel.call_at
+
+    def tick() -> None:
+        call_at(kernel.now + delays[kernel.events_processed % 1024], tick)
+
+    for index in range(pending):
+        call_at(kernel.now + delays[index % 1024], tick)
+    kernel.run(max_events=events)
+    registry = MetricsRegistry()
+    collect_kernel(registry, kernel)
+    return {
+        "scheduler": scheduler,
+        "metrics": {
+            row["name"]: row.get("value")
+            for row in registry.snapshot().get("gauges", [])
+        },
+    }
+
+
+def run_scale(
+    quick: bool = False,
+    events: int = 1 << 18,
+    reps: int = 3,
+    dump_dir: Optional[str] = None,
+    processes: bool = True,
+) -> Dict[str, Any]:
+    """Run every stage and assemble the BENCH_scale document."""
+    pending_sizes = QUICK_PENDING if quick else FULL_PENDING
+    group_sizes = QUICK_GROUP_SIZES if quick else FULL_GROUP_SIZES
+    shard_counts = QUICK_SHARDS if quick else FULL_SHARDS
+    equiv_seeds = QUICK_EQUIV_SEEDS if quick else FULL_EQUIV_SEEDS
+    if quick:
+        events = min(events, 1 << 14)
+        reps = 1
+    stages: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    scheduler_rows = bench_schedulers(pending_sizes, events, reps)
+    stages["schedulers_s"] = round(time.perf_counter() - start, 3)
+
+    start = time.perf_counter()
+    group_rows = bench_group_curve(group_sizes)
+    stages["groups_s"] = round(time.perf_counter() - start, 3)
+
+    start = time.perf_counter()
+    shard_rows = bench_shards(
+        shard_counts,
+        epochs=2 if quick else 4,
+        groups=4 if quick else 16,
+        members=8 if quick else 16,
+        processes=processes,
+        scheduler="calendar",
+    )
+    stages["shards_s"] = round(time.perf_counter() - start, 3)
+
+    start = time.perf_counter()
+    equiv_rows = bench_equivalence(
+        equiv_seeds, module="tgdh", quick=True, dump_dir=dump_dir
+    )
+    stages["equivalence_s"] = round(time.perf_counter() - start, 3)
+
+    top_speedup = max(row["calendar_speedup"] for row in scheduler_rows)
+    document = {
+        "bench": "scale",
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "schedulers": list(SCHEDULERS),
+        "dense_timer_ab": scheduler_rows,
+        "members_per_group": group_rows,
+        "shard_scaling": shard_rows,
+        "scheduler_equivalence": equiv_rows,
+        "attribution": [
+            _kernel_attribution(name, min(pending_sizes), 1 << 14)
+            for name in SCHEDULERS
+        ],
+        "stage_wall_s": stages,
+        "summary": {
+            "max_calendar_speedup": top_speedup,
+            "max_members_per_group": max(row["members"] for row in group_rows),
+            "max_shards": max(row["shards"] for row in shard_rows),
+            "fingerprints_identical": all(
+                row["identical"] for row in equiv_rows
+            ),
+        },
+    }
+    return document
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.scale", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: n=64 groups curve point, 2 shards, one seed",
+    )
+    parser.add_argument(
+        "--events", type=int, default=1 << 18,
+        help="timed dispatch budget per A/B measurement (default 2^18)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3,
+        help="repetitions per A/B point; best-of is reported (default 3)",
+    )
+    parser.add_argument(
+        "--dump-dir", default=None,
+        help="write calendar-run obs dumps here (for repro.obs.inspect)",
+    )
+    parser.add_argument(
+        "--inline", action="store_true",
+        help="run the shard stage inline instead of worker processes",
+    )
+    parser.add_argument(
+        "--output", default=str(_DEFAULT_OUTPUT),
+        help="path of the JSON document (default: repo-root BENCH_scale.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless fingerprints match (and, in full mode, "
+        "the calendar scheduler clears the 2x dense-timer bar)",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_scale(
+        quick=args.quick,
+        events=args.events,
+        reps=args.reps,
+        dump_dir=args.dump_dir,
+        processes=not args.inline,
+    )
+    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+
+    summary = document["summary"]
+    for row in document["dense_timer_ab"]:
+        print(
+            f"pending={row['pending']:>8}  "
+            f"heap={row['heap']['events_per_s']:>12,.0f} ev/s  "
+            f"calendar={row['calendar']['events_per_s']:>12,.0f} ev/s  "
+            f"speedup={row['calendar_speedup']:.2f}x"
+        )
+    for row in document["shard_scaling"]:
+        print(
+            f"shards={row['shards']}  events={row['events_processed']:,}  "
+            f"{row['events_per_s']:,.0f} ev/s  digest={row['digest'][:16]}"
+        )
+    print(
+        f"fingerprints_identical={summary['fingerprints_identical']}  "
+        f"max_speedup={summary['max_calendar_speedup']:.2f}x  "
+        f"wrote {args.output}"
+    )
+    if args.check:
+        if not summary["fingerprints_identical"]:
+            print("FAIL: scheduler fingerprints diverged", file=sys.stderr)
+            return 1
+        if document["mode"] == "full" and summary["max_calendar_speedup"] < 2.0:
+            print(
+                "FAIL: calendar speedup below the 2x acceptance bar",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,408 @@
+"""Deterministic multi-process shard driver for scale experiments.
+
+One simulation kernel is single-threaded by construction, so the scale
+bench shards the simulated population: ``k`` independent kernels (in
+worker *processes*, or inline for tests) each own a slice of the
+groups, and exchange cross-shard messages only at **virtual-time
+barriers** — the classic conservative parallel-DES scheme.  The driver
+follows the leader/worker fan-out of the experiment systems this repo
+reproduces (SNIPPETS.md Snippet 1): a leader process owns the epoch
+loop, workers own their kernels, and a pair of pipes per worker carries
+epoch commands down and outboxes back.
+
+Determinism contract: a message sent in epoch ``e`` is delivered at the
+start of epoch ``e+1`` (virtual time ``(e+1)*delta`` plus the message's
+latency), and every shard schedules its inbox sorted by ``(send_time,
+src_shard, seq)``.  Worker process scheduling therefore cannot change
+any kernel's event order, so a run's :attr:`ShardRunResult.digest` is
+reproducible bit-for-bit — ``--selftest`` runs the same config twice
+(processes and inline) and asserts all digests agree.
+
+The built-in ``chatter`` workload exercises the scale-out hot paths:
+each shard carries ``groups`` slab-backed :class:`GroupTable` groups of
+``members`` processes with dense per-member timers, and a slice of the
+traffic gossips across shards every tick.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Kernel
+from repro.sim.rng import stable_seed
+from repro.spread.groups import GroupTable
+
+#: (send_time, src_shard, seq, payload) — the cross-shard wire format.
+ShardMessage = Tuple[float, int, int, Any]
+
+#: Default epoch length in virtual seconds.
+DEFAULT_DELTA = 1.0
+
+
+# ---------------------------------------------------------------------------
+# per-shard simulation
+# ---------------------------------------------------------------------------
+
+
+class ChatterWorkload:
+    """Dense-timer group chatter on one shard.
+
+    ``groups`` groups of ``members`` members each; every member owns a
+    periodic timer that multicasts within its group (walking the slab's
+    member list, as a daemon's delivery fan-out would) and every
+    ``gossip_every``-th tick emits a cross-shard message to the next
+    shard in the ring.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        shard_index: int,
+        shard_count: int,
+        send,
+        params: Dict[str, Any],
+    ) -> None:
+        self.kernel = kernel
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.send = send
+        self.groups = int(params.get("groups", 8))
+        self.members = int(params.get("members", 8))
+        self.gossip_every = int(params.get("gossip_every", 16))
+        self.table = GroupTable()
+        self.deliveries = 0
+        self.gossip_received = 0
+        self._digest = hashlib.sha256()
+        rng = kernel.rng.child(f"shard{shard_index}")
+        for g in range(self.groups):
+            group = f"g{shard_index}.{g}"
+            for m in range(self.members):
+                # Daemon names spread members across a virtual daemon
+                # rack so the slab's (daemon, name) ordering is real.
+                self.table.join(group, f"#m{m}#d{m % 4}")
+        self._tick_count = 0
+        for g in range(self.groups):
+            for m in range(self.members):
+                kernel.call_at(
+                    rng.uniform(0.0, 1.0),
+                    self._make_tick(g, m, rng.uniform(0.5, 1.5)),
+                )
+
+    def _make_tick(self, group_index: int, member_index: int, period: float):
+        group = f"g{self.shard_index}.{group_index}"
+
+        def tick() -> None:
+            members = self.table.members_of(group)
+            self.deliveries += len(members)
+            self._tick_count += 1
+            if self._tick_count % self.gossip_every == 0:
+                self.send(
+                    {"from": self.shard_index, "group": group, "n": len(members)}
+                )
+            self.kernel.call_at(self.kernel.now + period, tick)
+
+        return tick
+
+    def on_message(self, message: ShardMessage) -> None:
+        send_time, src_shard, seq, payload = message
+        self.gossip_received += 1
+        self._digest.update(
+            struct.pack("<dii", send_time, src_shard, seq)
+            + repr(payload).encode()
+        )
+
+    def digest(self) -> str:
+        return self._digest.hexdigest()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "deliveries": self.deliveries,
+            "gossip_received": self.gossip_received,
+            "groups": self.table.group_count(),
+        }
+
+
+#: Workload registry: name -> class (must be importable in workers).
+WORKLOADS = {"chatter": ChatterWorkload}
+
+
+class ShardSim:
+    """One shard: a kernel, its workload, and the epoch bookkeeping."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        shard_count: int,
+        workload: str,
+        params: Dict[str, Any],
+        seed: int,
+        delta: float,
+        scheduler: Optional[str],
+    ) -> None:
+        self.shard_index = shard_index
+        self.delta = delta
+        self.kernel = Kernel(
+            seed=stable_seed(seed, f"shard{shard_index}"), scheduler=scheduler
+        )
+        self._outbox: List[ShardMessage] = []
+        self._out_seq = 0
+        try:
+            workload_cls = WORKLOADS[workload]
+        except KeyError:
+            raise ValueError(
+                f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}"
+            ) from None
+        self.workload = workload_cls(
+            self.kernel, shard_index, shard_count, self._send, dict(params)
+        )
+
+    def _send(self, payload: Any) -> None:
+        self._outbox.append(
+            (self.kernel.now, self.shard_index, self._out_seq, payload)
+        )
+        self._out_seq += 1
+
+    def run_epoch(self, epoch: int, inbox: List[ShardMessage]) -> List[ShardMessage]:
+        """Deliver the barrier's inbox, run one epoch, return the outbox."""
+        horizon = (epoch + 1) * self.delta
+        # Inbox messages materialize at the epoch boundary, in the
+        # deterministic (send_time, src_shard, seq) order.
+        for message in sorted(inbox, key=lambda m: (m[0], m[1], m[2])):
+            self.kernel.call_at(
+                self.kernel.now, lambda m=message: self.workload.on_message(m)
+            )
+        self.kernel.run(until=horizon)
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    def final_stats(self) -> Dict[str, Any]:
+        stats = dict(self.workload.stats())
+        stats.update(
+            events_processed=self.kernel.events_processed,
+            events_scheduled=self.kernel.events_scheduled,
+            pending_events=self.kernel.pending_events,
+            digest=self.workload.digest(),
+        )
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# leader / worker fan-out
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, shard_index, shard_count, workload, params, seed, delta,
+                 scheduler) -> None:
+    """Worker-process entry point: own one shard, obey the leader."""
+    sim = ShardSim(shard_index, shard_count, workload, params, seed, delta,
+                   scheduler)
+    while True:
+        command = conn.recv()
+        if command[0] == "epoch":
+            __, epoch, inbox = command
+            conn.send(("outbox", sim.run_epoch(epoch, inbox)))
+        elif command[0] == "finish":
+            conn.send(("stats", sim.final_stats()))
+            conn.close()
+            return
+
+
+@dataclass
+class ShardRunResult:
+    """Outcome of one sharded run."""
+
+    shards: int
+    epochs: int
+    delta: float
+    processes: bool
+    events_total: int
+    cross_shard_messages: int
+    wall_s: float
+    events_per_s: float
+    digest: str
+    per_shard: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "epochs": self.epochs,
+            "delta": self.delta,
+            "processes": self.processes,
+            "events_total": self.events_total,
+            "cross_shard_messages": self.cross_shard_messages,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_s": round(self.events_per_s, 1),
+            "digest": self.digest,
+            "per_shard": self.per_shard,
+        }
+
+
+def _route(outboxes: List[List[ShardMessage]], shard_count: int) -> List[List[ShardMessage]]:
+    """Ring routing: shard i's messages go to shard (i+1) % k."""
+    inboxes: List[List[ShardMessage]] = [[] for __ in range(shard_count)]
+    for shard_index, outbox in enumerate(outboxes):
+        inboxes[(shard_index + 1) % shard_count].extend(outbox)
+    return inboxes
+
+
+def run_shards(
+    shard_count: int,
+    epochs: int,
+    delta: float = DEFAULT_DELTA,
+    workload: str = "chatter",
+    params: Optional[Dict[str, Any]] = None,
+    processes: bool = True,
+    scheduler: Optional[str] = None,
+    seed: int = 0,
+) -> ShardRunResult:
+    """Run ``shard_count`` kernels for ``epochs`` virtual-time barriers.
+
+    ``processes=False`` runs every shard inline in this process — same
+    epoch protocol, same digests — for tests and debugging.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be positive")
+    if epochs < 1:
+        raise ValueError("epochs must be positive")
+    params = dict(params or {})
+    started = time.perf_counter()
+    if processes:
+        import multiprocessing as mp
+
+        context = mp.get_context("spawn")
+        conns = []
+        workers = []
+        for shard_index in range(shard_count):
+            parent_conn, child_conn = context.Pipe()
+            worker = context.Process(
+                target=_worker_main,
+                args=(child_conn, shard_index, shard_count, workload, params,
+                      seed, delta, scheduler),
+                daemon=True,
+            )
+            worker.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            workers.append(worker)
+        try:
+            inboxes: List[List[ShardMessage]] = [[] for __ in range(shard_count)]
+            for epoch in range(epochs):
+                for conn, inbox in zip(conns, inboxes):
+                    conn.send(("epoch", epoch, inbox))
+                outboxes = []
+                for conn in conns:
+                    tag, outbox = conn.recv()
+                    assert tag == "outbox"
+                    outboxes.append(outbox)
+                inboxes = _route(outboxes, shard_count)
+            per_shard = []
+            for conn in conns:
+                conn.send(("finish",))
+                tag, stats = conn.recv()
+                assert tag == "stats"
+                per_shard.append(stats)
+        finally:
+            for worker in workers:
+                worker.join(timeout=30)
+                if worker.is_alive():  # pragma: no cover - hang safety
+                    worker.terminate()
+    else:
+        sims = [
+            ShardSim(shard_index, shard_count, workload, params, seed, delta,
+                     scheduler)
+            for shard_index in range(shard_count)
+        ]
+        inboxes = [[] for __ in range(shard_count)]
+        for epoch in range(epochs):
+            outboxes = [
+                sim.run_epoch(epoch, inbox) for sim, inbox in zip(sims, inboxes)
+            ]
+            inboxes = _route(outboxes, shard_count)
+        per_shard = [sim.final_stats() for sim in sims]
+    wall = time.perf_counter() - started
+    events_total = sum(stats["events_processed"] for stats in per_shard)
+    cross = sum(stats["gossip_received"] for stats in per_shard)
+    combined = hashlib.sha256()
+    for stats in per_shard:
+        combined.update(stats["digest"].encode())
+    return ShardRunResult(
+        shards=shard_count,
+        epochs=epochs,
+        delta=delta,
+        processes=processes,
+        events_total=events_total,
+        cross_shard_messages=cross,
+        wall_s=wall,
+        events_per_s=events_total / wall if wall > 0 else 0.0,
+        digest=combined.hexdigest(),
+        per_shard=per_shard,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Deterministic sharded scale driver"
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--delta", type=float, default=DEFAULT_DELTA)
+    parser.add_argument("--groups", type=int, default=8)
+    parser.add_argument("--members", type=int, default=8)
+    parser.add_argument("--scheduler", choices=("heap", "calendar"), default=None)
+    parser.add_argument("--inline", action="store_true",
+                        help="run shards inline instead of worker processes")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run twice (processes and inline) and require "
+                             "identical digests")
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    args = parser.parse_args(argv)
+    params = {"groups": args.groups, "members": args.members}
+
+    def one(processes: bool) -> ShardRunResult:
+        return run_shards(
+            args.shards,
+            args.epochs,
+            delta=args.delta,
+            params=params,
+            processes=processes,
+            scheduler=args.scheduler,
+        )
+
+    result = one(not args.inline)
+    if args.selftest:
+        again = one(not args.inline)
+        inline = one(False)
+        if not (result.digest == again.digest == inline.digest):
+            print("FAIL: digests diverged across runs")
+            print(f"  run1   {result.digest}")
+            print(f"  run2   {again.digest}")
+            print(f"  inline {inline.digest}")
+            return 1
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(
+            f"{result.shards} shards x {result.epochs} epochs: "
+            f"{result.events_total} events in {result.wall_s:.2f}s wall "
+            f"({result.events_per_s:,.0f} ev/s), "
+            f"{result.cross_shard_messages} cross-shard messages"
+        )
+        print(f"digest {result.digest}")
+        if args.selftest:
+            print("selftest OK: digests identical (processes and inline)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -107,6 +107,7 @@ class ChaosHarness(SecureTestbed):
         member_count: int = 3,
         daemon_count: int = 4,
         trace_cap: Optional[int] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         if module not in MODULES:
             raise ValueError(f"unknown key agreement module {module!r}")
@@ -125,7 +126,12 @@ class ChaosHarness(SecureTestbed):
             max_events=trace_cap,
         )
         kernel_seed = stable_seed("chaos", seed, module)
-        self.kernel = Kernel(seed=kernel_seed, tracer=self.tracer)
+        # ``scheduler`` selects the kernel's event-queue structure; the
+        # trace fingerprint must be byte-identical under either (the
+        # scale bench's A/B equivalence stage asserts exactly that).
+        self.kernel = Kernel(
+            seed=kernel_seed, tracer=self.tracer, scheduler=scheduler
+        )
         self.network = Network(
             self.kernel, default_link=LinkModel.ethernet_100base_t()
         )
@@ -399,6 +405,7 @@ def run_chaos(
     churn: Optional[List[ChurnOp]] = None,
     trace_cap: Optional[int] = None,
     dump_dir: Optional[str] = None,
+    scheduler: Optional[str] = None,
 ) -> ChaosResult:
     """Execute one seeded chaos run and return its verdict.
 
@@ -410,8 +417,10 @@ def run_chaos(
     ``trace_cap`` bounds trace retention (soak mode); ``dump_dir``
     writes an observability run dump (trace, metrics, spans) under
     ``dump_dir/seed{seed}-{module}/`` for ``repro.obs.inspect``.
+    ``scheduler`` picks the kernel event queue ("heap"/"calendar");
+    results and fingerprints are identical under either.
     """
-    harness = ChaosHarness(seed, module, trace_cap=trace_cap)
+    harness = ChaosHarness(seed, module, trace_cap=trace_cap, scheduler=scheduler)
     harness.establish_group()
     chaos_span = 4.0 if quick else 8.0
     start = harness.kernel.now + CHAOS_LEAD_IN

@@ -20,26 +20,56 @@ benches):
 
 * :class:`Event` is a ``__slots__`` class with a hand-written ``__lt__``
   — no dataclass descriptor machinery, no per-comparison tuple field
-  walk beyond the one the heap needs.
+  walk beyond the one the scheduler needs.
 * Cancellation is lazy: cancelled events are skipped when they surface
-  at a queue head; the heap is never rebuilt.
+  at a queue head; the scheduler structure is never rebuilt.  A live
+  event counter makes :attr:`Kernel.pending_events` O(1) — ``cancel()``
+  and dispatch each decrement it exactly once.
 * ``call_at(now, ...)`` / ``call_later(0, ...)`` at default priority
-  append to a FIFO *ready* deque instead of the heap.  Because virtual
-  time never moves backwards and sequence numbers grow monotonically,
-  the deque is always sorted by ``(time, priority, seq)``; the dispatch
-  loop two-way-merges the deque head with the heap head, so ordering is
-  exactly what one global heap would produce.
+  append to a FIFO *ready* deque instead of the scheduler.  Because
+  virtual time never moves backwards and sequence numbers grow
+  monotonically, the deque is always sorted by ``(time, priority,
+  seq)``; the dispatch loop two-way-merges the deque head with the
+  scheduler head, so ordering is exactly what one global queue would
+  produce.
+* The run loop pops exactly once per dispatched event — no separate
+  peek pass re-draining cancelled heads — and hands the popped event to
+  the ``step(event=...)`` fast path.  An event popped but not run (the
+  ``until`` horizon passed) is stashed and re-served first.
+
+Two interchangeable scheduler structures sit behind the ``scheduler=``
+flag:
+
+* ``"heap"`` (default) — a binary heap (``heapq``) of events, the
+  reference implementation.
+* ``"calendar"`` — the :class:`~repro.sim.calqueue.CalendarQueue`
+  bucketed scheduler: O(1) amortized enqueue/dequeue with automatic
+  bucket-width resize, measurably faster once many events are pending.
+
+Both dispatch in identical ``(time, priority, seq)`` order — asserted
+by the A/B equivalence harness (``repro.bench.scale --equivalence`` and
+``tests/sim/test_scheduler_equivalence.py``) — so every simulation,
+trace fingerprint included, is byte-identical under either.  The
+``REPRO_SIM_SCHEDULER`` environment variable overrides the default for
+a whole process (how CI runs entire suites under the calendar queue).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
 from repro.errors import ClockError, DeadlockError
 from repro.sim.rng import DeterministicRng
 from repro.sim.trace import Tracer
+
+#: The selectable scheduler structures.
+SCHEDULERS = ("heap", "calendar")
+
+#: Environment override for the default scheduler choice.
+SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
 
 
 class Event:
@@ -49,7 +79,8 @@ class Event:
     participate in comparisons.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "label",
+                 "_owner")
 
     def __init__(
         self,
@@ -65,6 +96,10 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self.label = label
+        # The kernel counting this event as pending; cleared when the
+        # event fires or is cancelled, so the live-event counter moves
+        # exactly once per event.
+        self._owner = None
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -78,7 +113,13 @@ class Event:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self._owner
+        if owner is not None:
+            self._owner = None
+            owner._pending -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""
@@ -86,6 +127,38 @@ class Event:
             f"Event(t={self.time!r}, prio={self.priority}, seq={self.seq},"
             f" label={self.label!r}{state})"
         )
+
+
+class _HeapScheduler:
+    """The reference scheduler: a binary heap of events."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> Optional[Event]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+
+def _make_scheduler(name: str):
+    if name == "heap":
+        return _HeapScheduler()
+    if name == "calendar":
+        from repro.sim.calqueue import CalendarQueue
+
+        return CalendarQueue()
+    raise ValueError(
+        f"unknown scheduler {name!r}; choose from {', '.join(SCHEDULERS)}"
+    )
 
 
 class Kernel:
@@ -99,29 +172,47 @@ class Kernel:
         from :attr:`rng` (or a child of it) so runs are reproducible.
     tracer:
         Optional :class:`~repro.sim.trace.Tracer` recording kernel activity.
+    scheduler:
+        ``"heap"`` (default) or ``"calendar"`` — the event-queue
+        structure.  ``None`` reads the ``REPRO_SIM_SCHEDULER``
+        environment variable, falling back to ``"heap"``.  Dispatch
+        order is identical under either.
     """
 
-    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
-        self._queue: List[Event] = []
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        scheduler: Optional[str] = None,
+    ) -> None:
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV) or "heap"
+        self.scheduler = scheduler
+        self._sched = _make_scheduler(scheduler)
+        self._sched_push = self._sched.push
         self._ready: Deque[Event] = deque()
+        # The scheduler's popped-but-unconsumed head (the two-way merge
+        # needs to look at it without losing it), and the globally
+        # popped event the run loop pushed back at an ``until`` horizon.
+        self._sched_head: Optional[Event] = None
+        self._stashed: Optional[Event] = None
         self._next_seq = 0
-        self._now = 0.0
+        #: Current virtual time in seconds.  A plain attribute (not a
+        #: property): it is read on every call_at and in most callbacks,
+        #: so the descriptor call would be measurable on the hot path.
+        self.now = 0.0
         self._running = False
         self._events_processed = 0
         self._events_cancelled = 0
+        self._pending = 0
         self.rng = DeterministicRng(seed)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         if getattr(self.tracer, "clock", None) is None:
             # Stamp every trace event with this kernel's virtual time
             # (the raw material for span timing in repro.obs).
-            self.tracer.clock = lambda: self._now
+            self.tracer.clock = lambda: self.now
 
     # -- clock ------------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
 
     @property
     def events_processed(self) -> int:
@@ -139,6 +230,13 @@ class Kernel:
         this counts discard at the queue heads, not ``cancel()`` calls)."""
         return self._events_cancelled
 
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events — O(1): a live counter
+        incremented at scheduling and decremented exactly once per event
+        at ``cancel()`` or dispatch."""
+        return self._pending
+
     # -- scheduling -------------------------------------------------------
 
     def call_at(
@@ -149,20 +247,22 @@ class Kernel:
         label: str = "",
     ) -> Event:
         """Schedule ``callback`` at absolute virtual time ``when``."""
-        if when < self._now:
+        if when < self.now:
             raise ClockError(
-                f"cannot schedule event at {when!r}; clock is at {self._now!r}"
+                f"cannot schedule event at {when!r}; clock is at {self.now!r}"
             )
         seq = self._next_seq
         self._next_seq = seq + 1
         event = Event(when, priority, seq, callback, label)
-        if when == self._now and priority == 0:
+        event._owner = self
+        self._pending += 1
+        if when == self.now and priority == 0:
             # Immediate default-priority work (the dominant schedule in
             # dispatch chains): the ready deque stays sorted because now
-            # and seq are both monotone, so no heap sift is needed.
+            # and seq are both monotone, so no scheduler insert is needed.
             self._ready.append(event)
         else:
-            heapq.heappush(self._queue, event)
+            self._sched_push(event)
         return event
 
     def call_later(
@@ -175,56 +275,78 @@ class Kernel:
         """Schedule ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ClockError(f"negative delay: {delay!r}")
-        return self.call_at(self._now + delay, callback, priority, label)
+        return self.call_at(self.now + delay, callback, priority, label)
 
     # -- execution --------------------------------------------------------
 
     def _pop_runnable(self) -> Optional[Event]:
         """Pop the globally next non-cancelled event, or None when drained.
 
-        Two-way merge of the ready deque and the heap, discarding
-        cancelled events lazily as they surface at either head.
+        Two-way merge of the ready deque and the scheduler, discarding
+        cancelled events lazily as they surface at either head.  An
+        event stashed back by :meth:`run` is served first.  The
+        scheduler's popped-but-unconsumed head is held in
+        ``_sched_head`` so peeking at it never loses it.
         """
+        stashed = self._stashed
+        if stashed is not None:
+            self._stashed = None
+            if not stashed.cancelled:
+                return stashed
+            self._events_cancelled += 1
         ready = self._ready
-        queue = self._queue
         while ready and ready[0].cancelled:
             ready.popleft()
             self._events_cancelled += 1
-        while queue and queue[0].cancelled:
-            heapq.heappop(queue)
+        head = self._sched_head
+        if head is not None and head.cancelled:
             self._events_cancelled += 1
+            head = None
+        if head is None:
+            pop = self._sched.pop
+            while True:
+                head = pop()
+                if head is None:
+                    break
+                if head.cancelled:
+                    self._events_cancelled += 1
+                    continue
+                break
         if not ready:
-            return heapq.heappop(queue) if queue else None
-        if not queue or ready[0] < queue[0]:
+            self._sched_head = None
+            return head
+        if head is None or ready[0] < head:
+            self._sched_head = head
             return ready.popleft()
-        return heapq.heappop(queue)
+        self._sched_head = None
+        return head
 
     def _peek_runnable(self) -> Optional[Event]:
-        """The event :meth:`_pop_runnable` would return, without popping."""
-        ready = self._ready
-        queue = self._queue
-        while ready and ready[0].cancelled:
-            ready.popleft()
-            self._events_cancelled += 1
-        while queue and queue[0].cancelled:
-            heapq.heappop(queue)
-            self._events_cancelled += 1
-        if not ready:
-            return queue[0] if queue else None
-        if not queue or ready[0] < queue[0]:
-            return ready[0]
-        return queue[0]
-
-    def step(self) -> bool:
-        """Run a single event.  Returns False when the queue is empty."""
+        """The event :meth:`_pop_runnable` would return, without consuming
+        it (pops once and stashes — no double drain)."""
         event = self._pop_runnable()
+        if event is not None:
+            self._stashed = event
+        return event
+
+    def step(self, event: Optional[Event] = None) -> bool:
+        """Run a single event.  Returns False when the queue is empty.
+
+        ``event`` is the fast path for callers that already popped the
+        next runnable event (the fused run loop): it must come from
+        :meth:`_pop_runnable`, which guarantees it is not cancelled.
+        """
         if event is None:
-            return False
-        self._now = event.time
+            event = self._pop_runnable()
+            if event is None:
+                return False
+        self.now = event.time
+        event._owner = None
+        self._pending -= 1
         self._events_processed += 1
         tracer = self.tracer
         if tracer.enabled:
-            tracer.record("kernel.event", time=self._now, label=event.label)
+            tracer.record("kernel.event", time=self.now, label=event.label)
         event.callback()
         return True
 
@@ -238,21 +360,63 @@ class Kernel:
         """
         self._running = True
         executed = 0
+        # The hottest loop in the repo: the two-way merge and the
+        # dispatch body are inlined (no per-event Python calls beyond
+        # the callback itself).  Must mirror _pop_runnable + step.
+        ready = self._ready
+        sched_pop = self._sched.pop
         try:
             while True:
                 if max_events is not None and executed >= max_events:
                     return
-                next_event = self._peek_runnable()
-                if next_event is None:
+                event = self._stashed
+                if event is not None:
+                    self._stashed = None
+                    if event.cancelled:
+                        self._events_cancelled += 1
+                        continue
+                else:
+                    while ready and ready[0].cancelled:
+                        ready.popleft()
+                        self._events_cancelled += 1
+                    head = self._sched_head
+                    if head is not None and head.cancelled:
+                        self._events_cancelled += 1
+                        head = None
+                    if head is None:
+                        while True:
+                            head = sched_pop()
+                            if head is None or not head.cancelled:
+                                break
+                            self._events_cancelled += 1
+                    if not ready:
+                        self._sched_head = None
+                        event = head
+                        if event is None:
+                            break
+                    elif head is None or ready[0] < head:
+                        self._sched_head = head
+                        event = ready.popleft()
+                    else:
+                        self._sched_head = None
+                        event = head
+                if until is not None and event.time > until:
+                    # Beyond the horizon: push back for the next run call.
+                    self._stashed = event
                     break
-                if until is not None and next_event.time > until:
-                    break
-                self.step()
+                self.now = event.time
+                event._owner = None
+                self._pending -= 1
+                self._events_processed += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.record("kernel.event", time=self.now, label=event.label)
+                event.callback()
                 executed += 1
         finally:
             self._running = False
-        if until is not None and until > self._now:
-            self._now = until
+        if until is not None and until > self.now:
+            self.now = until
 
     def run_until(
         self,
@@ -266,12 +430,12 @@ class Kernel:
         drains, the virtual-time ``timeout`` elapses, or ``max_events``
         fire before the predicate becomes true.
         """
-        deadline = self._now + timeout
+        deadline = self.now + timeout
         executed = 0
         while not predicate():
-            if self._now > deadline:
+            if self.now > deadline:
                 raise DeadlockError(
-                    f"predicate not satisfied by t={deadline} (now {self._now})"
+                    f"predicate not satisfied by t={deadline} (now {self.now})"
                 )
             if executed >= max_events:
                 raise DeadlockError(
@@ -282,10 +446,3 @@ class Kernel:
                     "event queue drained before run_until predicate held"
                 )
             executed += 1
-
-    @property
-    def pending_events(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(
-            1 for event in self._queue if not event.cancelled
-        ) + sum(1 for event in self._ready if not event.cancelled)

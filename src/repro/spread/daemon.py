@@ -120,6 +120,9 @@ class SpreadDaemon(SimProcess):
 
     def _init_volatile_state(self) -> None:
         self.clients: Dict[str, "object"] = {}  # private name -> client
+        # private name -> interned pid string (built once at connect;
+        # the delivery fan-out would otherwise re-render it per event).
+        self._client_pids: Dict[str, str] = {}
         self.groups = GroupTable()
         self.view = ViewId(epoch=0, counter=self.incarnation, coordinator=self.name)
         self.view_members: Tuple[str, ...] = (self.name,)
@@ -173,6 +176,7 @@ class SpreadDaemon(SimProcess):
         for client in list(self.clients.values()):
             client.daemon_down()
         self.clients = {}
+        self._client_pids = {}
 
     def on_recover(self) -> None:
         self.incarnation += 1
@@ -386,6 +390,9 @@ class SpreadDaemon(SimProcess):
                 f"private name {private_name!r} already connected to {self.name}"
             )
         self.clients[private_name] = client
+        self._client_pids[private_name] = str(
+            ProcessId(private_name=private_name, daemon=self.daemon_id)
+        )
         return ProcessId(private_name=private_name, daemon=self.daemon_id)
 
     def client_gone(self, private_name: str) -> None:
@@ -393,6 +400,7 @@ class SpreadDaemon(SimProcess):
         if private_name not in self.clients:
             return
         del self.clients[private_name]
+        self._client_pids.pop(private_name, None)
         pid = str(ProcessId(private_name, self.daemon_id))
         groups = self.groups.groups_of(pid)
         if groups:
@@ -491,11 +499,17 @@ class SpreadDaemon(SimProcess):
             self._apply_disconnect(message)
 
     def _local_members(self, group: str) -> List[Tuple[str, "object"]]:
-        """(pid string, client) for local clients that are in the group."""
+        """(pid string, client) for local clients that are in the group.
+
+        Iterates the (small, local) client table in connect order — the
+        delivery order clients observe — against the slab's O(1)
+        membership set; the group's total size never enters the cost.
+        """
         result = []
+        is_member = self.groups.is_member
         for private_name, client in self.clients.items():
-            pid = str(ProcessId(private_name, self.daemon_id))
-            if self.groups.is_member(group, pid):
+            pid = self._client_pids[private_name]
+            if is_member(group, pid):
                 result.append((pid, client))
         return result
 

@@ -30,7 +30,6 @@ same-set guarantee for daemons that move to the new view together.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.spread.messages import DataMessage
@@ -53,20 +52,36 @@ def _is_safe(service: ServiceType) -> bool:
     return bool(service & ServiceType.SAFE)
 
 
-@dataclass
 class _PeerState:
-    """Receive-side state for one view member."""
+    """Receive-side state for one view member.
 
-    received: Dict[int, DataMessage] = field(default_factory=dict)
-    contiguous: int = 0  # highest seq with no gaps below it
-    max_seen: int = 0
-    fifo_delivered: int = 0
-    # Highest timestamp T such that every message with ts <= T from this
-    # peer has been ingested (drives AGREED release).
-    ordered_horizon: int = 0
-    # This peer's advertised "I ingested everything <= T" (drives SAFE).
-    all_received: int = 0
-    gap_since: Optional[float] = None
+    A ``__slots__`` record, not a dataclass: a pipeline exists per
+    daemon per view and holds one of these per member, so at the
+    thousands-of-daemons scale target the dict-per-instance overhead
+    (and dataclass descriptor machinery) is measurable memory.
+    """
+
+    __slots__ = (
+        "received",
+        "contiguous",
+        "max_seen",
+        "fifo_delivered",
+        "ordered_horizon",
+        "all_received",
+        "gap_since",
+    )
+
+    def __init__(self) -> None:
+        self.received: Dict[int, DataMessage] = {}
+        self.contiguous = 0  # highest seq with no gaps below it
+        self.max_seen = 0
+        self.fifo_delivered = 0
+        # Highest timestamp T such that every message with ts <= T from
+        # this peer has been ingested (drives AGREED release).
+        self.ordered_horizon = 0
+        # This peer's advertised "I ingested everything <= T" (SAFE).
+        self.all_received = 0
+        self.gap_since: Optional[float] = None
 
 
 class ViewPipeline:
@@ -93,6 +108,9 @@ class ViewPipeline:
         self.send_seq = 0
         self.sent_buffer: Dict[int, DataMessage] = {}
         self.peers: Dict[str, _PeerState] = {m: _PeerState() for m in self.members}
+        # View membership is immutable, so the sorted iteration order
+        # every deterministic scan needs is computed exactly once.
+        self._sorted_names: Tuple[str, ...] = tuple(sorted(self.peers))
         # Totally-ordered holdback: heap of (lamport, sender, seq).
         self._order_heap: List[Tuple[int, str, int]] = []
         self._held: Dict[Tuple[str, int], DataMessage] = {}
@@ -120,10 +138,11 @@ class ViewPipeline:
         causal_vector = None
         if _is_causal(service):
             # Our causal past: everything we have delivered per sender.
+            peers = self.peers
             causal_vector = tuple(
-                (name, peer.fifo_delivered)
-                for name, peer in sorted(self.peers.items())
-                if peer.fifo_delivered > 0
+                (name, peers[name].fifo_delivered)
+                for name in self._sorted_names
+                if peers[name].fifo_delivered > 0
             )
         message = DataMessage(
             sender_daemon=self.me,

@@ -1,0 +1,69 @@
+"""Smoke tests for the scale bench (``repro.bench.scale``).
+
+The full curves take minutes and gigabytes; these tests run each stage
+at toy sizes and check shape, accounting, and the invariants the bench
+is allowed to assert on CI (fingerprint identity above all).
+"""
+
+import json
+
+from repro.bench.scale import (
+    bench_equivalence,
+    bench_group_curve,
+    bench_schedulers,
+    bench_shards,
+)
+
+
+def test_scheduler_ab_rows_have_both_sides():
+    rows = bench_schedulers(pending_sizes=(256,), events=2000, reps=1)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["pending"] == 256
+    assert row["heap"]["events_per_s"] > 0
+    assert row["calendar"]["events_per_s"] > 0
+    assert row["calendar_speedup"] > 0
+    # Calendar introspection only appears on the calendar side.
+    assert "calendar_buckets" in row["calendar"]
+    assert "calendar_buckets" not in row["heap"]
+    # Each side dispatched exactly the timed budget (the population is
+    # self-sustaining, so nothing runs dry).
+    assert row["heap"]["events"] == 2000
+    assert row["calendar"]["events"] == 2000
+
+
+def test_group_curve_reports_rates():
+    rows = bench_group_curve(sizes=(32, 64), daemons=4, budget_s=0.02)
+    assert [row["members"] for row in rows] == [32, 64]
+    for row in rows:
+        assert row["join_members_per_s"] > 0
+        assert row["is_member_per_s"] > 0
+        assert row["fanout_members_per_s"] > 0
+        assert row["is_member_probe"] is True
+
+
+def test_shard_stage_inline():
+    rows = bench_shards(
+        shard_counts=(1, 2), epochs=2, groups=2, members=4,
+        processes=False, scheduler="calendar",
+    )
+    assert [row["shards"] for row in rows] == [1, 2]
+    for row in rows:
+        assert row["events_processed"] > 0
+        assert row["events_per_s"] > 0
+        assert len(row["digest"]) == 64
+
+
+def test_equivalence_stage_fingerprints_match(tmp_path):
+    rows = bench_equivalence(
+        seeds=(0,), module="tgdh", quick=True, dump_dir=str(tmp_path)
+    )
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["identical"]
+    assert row["heap_fingerprint"] == row["calendar_fingerprint"]
+    # The calendar run dumped obs evidence for inspect --check.
+    dump = tmp_path / "seed0-tgdh"
+    assert (dump / "meta.json").exists()
+    meta = json.loads((dump / "meta.json").read_text())
+    assert meta["seed"] == 0

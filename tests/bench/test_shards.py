@@ -1,0 +1,102 @@
+"""Deterministic shard-driver tests.
+
+The driver's whole value is that process scheduling cannot perturb the
+result: inboxes are injected sorted at epoch barriers, so the combined
+digest is a pure function of (shards, epochs, workload params, seed,
+delta).  Most tests run inline (single process, same protocol); one
+spawns real worker processes to prove the digest is identical there.
+"""
+
+import pytest
+
+from repro.bench.shards import DEFAULT_DELTA, _route, run_shards
+
+_PARAMS = {"groups": 2, "members": 4}
+
+
+def _inline(shards=2, epochs=2, seed=0, scheduler=None, params=_PARAMS):
+    return run_shards(
+        shards, epochs, workload="chatter", params=dict(params),
+        processes=False, scheduler=scheduler, seed=seed,
+    )
+
+
+def test_inline_run_is_deterministic():
+    first = _inline()
+    second = _inline()
+    assert first.digest == second.digest
+    assert first.events_total == second.events_total
+    assert first.cross_shard_messages == second.cross_shard_messages
+
+
+def test_seed_changes_digest():
+    # Enough epochs and a low gossip period that cross-shard messages
+    # are actually received (the digest hashes received traffic, whose
+    # send times come from the seeded kernel RNG).
+    params = {"groups": 2, "members": 4, "gossip_every": 2}
+    first = _inline(epochs=4, seed=0, params=params)
+    second = _inline(epochs=4, seed=1, params=params)
+    assert first.cross_shard_messages > 0
+    assert first.digest != second.digest
+
+
+def test_param_changes_digest():
+    bigger = _inline(params={"groups": 3, "members": 4})
+    assert bigger.digest != _inline().digest
+
+
+def test_cross_shard_traffic_flows():
+    result = _inline(shards=3, epochs=3)
+    assert result.cross_shard_messages > 0
+    assert result.events_total > 0
+    assert len(result.per_shard) == 3
+    for stats in result.per_shard:
+        assert stats["events_processed"] > 0
+
+
+def test_scheduler_choice_does_not_change_digest():
+    heap = _inline(scheduler="heap")
+    calendar = _inline(scheduler="calendar")
+    assert heap.digest == calendar.digest
+    assert heap.events_total == calendar.events_total
+
+
+def test_route_is_a_ring():
+    outboxes = [[(0.5, 0, 0, "a")], [(0.5, 1, 0, "b")], [(0.5, 2, 0, "c")]]
+    inboxes = _route(outboxes, 3)
+    assert inboxes[1] == [(0.5, 0, 0, "a")]
+    assert inboxes[2] == [(0.5, 1, 0, "b")]
+    assert inboxes[0] == [(0.5, 2, 0, "c")]
+
+
+def test_single_shard_routes_to_itself():
+    result = _inline(shards=1, epochs=2)
+    assert result.shards == 1
+    assert result.digest == _inline(shards=1, epochs=2).digest
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_shards(0, 1, processes=False)
+    with pytest.raises(ValueError):
+        run_shards(1, 0, processes=False)
+    with pytest.raises(ValueError):
+        run_shards(1, 1, workload="nope", processes=False)
+
+
+def test_result_metadata():
+    result = _inline(epochs=3)
+    assert result.epochs == 3
+    assert result.delta == DEFAULT_DELTA
+    assert result.processes is False
+    assert result.events_per_s >= 0.0
+
+
+def test_process_mode_matches_inline_digest():
+    inline = _inline(shards=2, epochs=2)
+    procs = run_shards(
+        2, 2, workload="chatter", params=dict(_PARAMS),
+        processes=True, seed=0,
+    )
+    assert procs.digest == inline.digest
+    assert procs.events_total == inline.events_total

@@ -1,0 +1,118 @@
+"""Heap vs calendar-queue scheduler equivalence (hypothesis).
+
+The calendar queue is only admissible as a drop-in because its dispatch
+order is *byte-identical* to the heap's: events pop in exactly
+``(time, priority, seq)`` order under both.  This suite drives random
+programs — absolute and relative schedules, priorities, ties,
+cancellations, and callbacks that schedule more work mid-run — through
+one kernel of each flavour and demands the same dispatch log and the
+same ``events_processed``/``events_cancelled``/``pending_events``
+accounting on both sides.
+
+The same property at chaos-run granularity (full protocol stack, trace
+fingerprints) is asserted by ``repro.bench.scale``'s equivalence stage;
+this is the fast, shrinkable version.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import SCHEDULERS, Kernel
+
+#: One random scheduling instruction:
+#:   (delay, priority, cancel_target, respawn)
+#: ``delay`` is relative to the kernel clock at execution time,
+#: ``cancel_target`` picks an earlier handle to cancel (or None), and
+#: ``respawn`` > 0 makes the callback reschedule itself that many times.
+_OPS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=3),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=200)),
+        st.integers(min_value=0, max_value=2),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _execute(scheduler: str, ops, seed: int):
+    """Run one op program on a fresh kernel; return its dispatch log
+    and counter triple."""
+    kernel = Kernel(seed=seed, scheduler=scheduler)
+    log = []
+    handles = []
+
+    def make_callback(index, delay, priority, respawn):
+        def callback():
+            log.append((round(kernel.now, 9), index))
+            if respawn > 0:
+                handles.append(
+                    kernel.call_at(
+                        kernel.now + delay + 0.25,
+                        make_callback(index, delay, priority, respawn - 1),
+                        priority=priority,
+                    )
+                )
+
+        return callback
+
+    for index, (delay, priority, cancel_target, respawn) in enumerate(ops):
+        handles.append(
+            kernel.call_at(
+                kernel.now + delay,
+                make_callback(index, delay, priority, respawn),
+                priority=priority,
+            )
+        )
+        if cancel_target is not None and handles:
+            handles[cancel_target % len(handles)].cancel()
+    kernel.run()
+    return log, (
+        kernel.events_processed,
+        kernel.events_cancelled,
+        kernel.pending_events,
+    )
+
+
+@given(ops=_OPS, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_dispatch_order_and_accounting_identical(ops, seed):
+    heap_log, heap_counts = _execute("heap", ops, seed)
+    calendar_log, calendar_counts = _execute("calendar", ops, seed)
+    assert heap_log == calendar_log
+    assert heap_counts == calendar_counts
+    assert heap_counts[2] == 0  # run() drains everything
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=5.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_tied_times_dispatch_in_seq_order(times):
+    """Duplicate timestamps must resolve by scheduling order on both."""
+    logs = {}
+    for scheduler in SCHEDULERS:
+        kernel = Kernel(seed=1, scheduler=scheduler)
+        log = []
+        for index, when in enumerate(sorted(times)):
+            kernel.call_at(when, lambda i=index: log.append(i))
+        kernel.run()
+        logs[scheduler] = log
+    assert logs["heap"] == logs["calendar"] == sorted(logs["heap"])
+
+
+def test_env_var_selects_scheduler(monkeypatch):
+    from repro.sim import kernel as kernel_mod
+
+    monkeypatch.setenv(kernel_mod.SCHEDULER_ENV, "calendar")
+    kernel = Kernel(seed=0)
+    assert type(kernel._sched).__name__ == "CalendarQueue"
+    monkeypatch.setenv(kernel_mod.SCHEDULER_ENV, "heap")
+    assert type(Kernel(seed=0)._sched).__name__ == "_HeapScheduler"

@@ -1,0 +1,162 @@
+"""Slab-backed GroupTable mechanics.
+
+Protocol-level group behaviour (joins through the agreed-order pipeline,
+merges at view changes) is covered by ``test_groups_and_data.py``; these
+tests target the slab layout itself — bisect insertion order, the
+contiguous per-daemon ``members_on`` range, the pid reverse index, and
+group-id recycling through the free list.
+"""
+
+from repro.spread.groups import GroupTable
+
+
+def _pid(name: str, daemon: str) -> str:
+    return f"#{name}#{daemon}"
+
+
+def test_members_sorted_by_daemon_then_name():
+    table = GroupTable()
+    for pid in (_pid("z", "d2"), _pid("a", "d1"), _pid("m", "d1"),
+                _pid("b", "d0")):
+        assert table.join("g", pid)
+    assert table.members_of("g") == (
+        _pid("b", "d0"), _pid("a", "d1"), _pid("m", "d1"), _pid("z", "d2"),
+    )
+
+
+def test_duplicate_join_and_missing_leave_are_noops():
+    table = GroupTable()
+    assert table.join("g", _pid("a", "d0"))
+    assert not table.join("g", _pid("a", "d0"))
+    assert table.members_of("g") == (_pid("a", "d0"),)
+    assert not table.leave("g", _pid("ghost", "d0"))
+    assert not table.leave("nogroup", _pid("a", "d0"))
+
+
+def test_members_on_is_exact_daemon_slice():
+    table = GroupTable()
+    expectations = {}
+    for daemon in ("d0", "d1", "d2"):
+        for name in ("a", "b", "c"):
+            table.join("g", _pid(name, daemon))
+            expectations.setdefault(daemon, []).append(_pid(name, daemon))
+    for daemon, members in expectations.items():
+        assert table.members_on("g", daemon) == tuple(members)
+    assert table.members_on("g", "d9") == ()
+    assert table.members_on("nogroup", "d0") == ()
+
+
+def test_members_on_does_not_bleed_into_prefixed_daemon_names():
+    # "d1" and "d10" share a prefix; the bisect range for d1 must stop
+    # before d10's members.
+    table = GroupTable()
+    table.join("g", _pid("a", "d1"))
+    table.join("g", _pid("b", "d10"))
+    assert table.members_on("g", "d1") == (_pid("a", "d1"),)
+    assert table.members_on("g", "d10") == (_pid("b", "d10"),)
+
+
+def test_reverse_index_tracks_groups_of_process():
+    table = GroupTable()
+    pid = _pid("p", "d0")
+    for group in ("beta", "alpha", "gamma"):
+        table.join(group, pid)
+    table.join("alpha", _pid("q", "d1"))
+    assert table.groups_of(pid) == ("alpha", "beta", "gamma")
+    affected = table.remove_process(pid)
+    assert affected == ("alpha", "beta", "gamma")
+    assert table.groups_of(pid) == ()
+    # beta/gamma became empty and were collected; alpha survives.
+    assert table.groups() == ("alpha",)
+    assert table.remove_process(pid) == ()
+
+
+def test_empty_groups_are_collected_and_gids_recycled():
+    table = GroupTable()
+    pid = _pid("p", "d0")
+    table.join("old", pid)
+    gid = table._gids["old"]
+    table.leave("old", pid)
+    assert table.groups() == ()
+    assert "old" not in table.change_counter
+    # The freed slab id is reused by the next interned group.
+    table.join("new", pid)
+    assert table._gids["new"] == gid
+
+
+def test_snapshot_sorted_and_independent_of_recycling():
+    table = GroupTable()
+    table.join("zeta", _pid("a", "d0"))
+    table.join("alpha", _pid("b", "d1"))
+    table.leave("zeta", _pid("a", "d0"))
+    table.join("beta", _pid("c", "d0"))  # reuses zeta's slab id
+    snapshot = table.snapshot()
+    assert list(snapshot) == ["alpha", "beta"]
+    assert snapshot["beta"] == (_pid("c", "d0"),)
+
+
+def test_is_member_and_counts():
+    table = GroupTable()
+    table.join("g", _pid("a", "d0"))
+    table.join("h", _pid("a", "d0"))
+    assert table.is_member("g", _pid("a", "d0"))
+    assert not table.is_member("g", _pid("b", "d0"))
+    assert not table.is_member("nogroup", _pid("a", "d0"))
+    assert table.group_count() == 2
+
+
+def test_change_counter_lifecycle():
+    table = GroupTable()
+    pid = _pid("a", "d0")
+    table.join("g", pid)
+    assert table.bump_change("g") == 1
+    assert table.bump_change("g") == 2
+    table.leave("g", pid)  # empty-group collection resets the counter
+    table.join("g", pid)
+    assert table.bump_change("g") == 1
+    table.replace({"g": (pid,)})  # view installation restarts counters
+    assert table.bump_change("g") == 1
+
+
+def test_replace_rebuilds_slabs_and_reverse_index():
+    table = GroupTable()
+    table.join("stale", _pid("x", "d9"))
+    merged = {
+        "g": (_pid("b", "d1"), _pid("a", "d0")),
+        "empty": (),
+        "h": (_pid("a", "d0"),),
+    }
+    table.replace(merged)
+    assert table.groups() == ("g", "h")
+    assert table.members_of("g") == (_pid("a", "d0"), _pid("b", "d1"))
+    assert table.groups_of(_pid("a", "d0")) == ("g", "h")
+    assert table.groups_of(_pid("x", "d9")) == ()
+
+
+def test_merged_prunes_dead_daemons_and_unions():
+    snap_a = {"g": (_pid("a", "d0"), _pid("b", "d1"))}
+    snap_b = {"g": (_pid("c", "d2"),), "h": (_pid("b", "d1"),)}
+    merged = GroupTable.merged([snap_a, snap_b], surviving_daemons=["d0", "d1"])
+    assert merged == {
+        "g": (_pid("a", "d0"), _pid("b", "d1")),
+        "h": (_pid("b", "d1"),),
+    }
+
+
+def test_large_group_stays_sorted_under_churn():
+    table = GroupTable()
+    pids = [_pid(f"m{index:04d}", f"d{index % 7}") for index in range(1500)]
+    # Join in a scrambled order, leave a third, join some back.
+    for pid in reversed(pids):
+        table.join("big", pid)
+    for pid in pids[::3]:
+        table.leave("big", pid)
+    for pid in pids[::6]:
+        table.join("big", pid)
+    members = table.members_of("big")
+    slab = table._slabs[table._gids["big"]]
+    assert list(members) == sorted(members, key=GroupTable._sort_key)
+    assert slab.keys == [GroupTable._sort_key(m) for m in members]
+    assert slab.member_set == set(members)
+    total = sum(len(table.members_on("big", f"d{d}")) for d in range(7))
+    assert total == len(members)
