@@ -30,7 +30,7 @@ the order is total and byte-identical between the two schedulers — the
 property the A/B equivalence harness in ``repro.bench.scale`` and the
 hypothesis suite in ``tests/sim/test_scheduler_equivalence.py`` assert.
 
-Two correctness subtleties, both of which bit during development and
+Three correctness subtleties, all of which bit during development and
 are pinned by ``tests/sim/test_calqueue.py``:
 
 * Every entry stores its *home day* ``int(t / width)``, computed once
@@ -38,10 +38,19 @@ are pinned by ``tests/sim/test_calqueue.py``:
   an integer compare against it.  Recomputing a float boundary (e.g.
   ``t < (day + 1) * width``) rounds differently near day edges and can
   strand an event in a day the walk already passed.
-* Resizes re-anchor the walk on the *last popped time* — the low-water
-  mark for every future push — never on the earliest remaining entry,
-  which may sit days ahead of the clock and would likewise strand
-  later pushes behind the walk.
+* A push may legally land *below* the walk: the kernel pops the head,
+  then holds it without running it (the dispatch-merge head, or an
+  event past a ``run(until=...)`` horizon), so the clock — the true
+  lower bound on future pushes — can sit behind the last pop.
+  :meth:`push` rewinds ``_cur_day`` to such an entry's home day; the
+  walk invariant is only ever ``_cur_day <= min(home days)``, and
+  rewinding costs a few extra empty-bucket checks, whereas ignoring it
+  strands the entry behind the walk and breaks ``(time, priority,
+  seq)`` order.
+* Resizes re-anchor the walk on the earliest *remaining* entry's day
+  (capped by the last popped time) — never past it, which would
+  likewise strand that entry behind the walk.  Pushes below the new
+  anchor are covered by the rewind above.
 """
 
 from __future__ import annotations
@@ -111,9 +120,10 @@ class CalendarQueue:
         #: The integer day the dequeue walk is at; bucket = day % nbuckets,
         #: and an event at time t belongs to day int(t / width).
         self._cur_day = 0
-        #: Time of the most recent pop — the low-water mark for every
-        #: future push (the kernel never schedules into the past), and
-        #: therefore the only safe ``_cur_day`` anchor across resizes.
+        #: Time of the most recent pop — an upper bound for the
+        #: ``_cur_day`` re-anchor across resizes.  NOT a floor for
+        #: pushes: the kernel holds popped-but-unrun events, so pushes
+        #: may land below it (handled by the rewind in :meth:`push`).
         self._last_pop = 0.0
         #: Automatic ring resizes performed so far (observability).
         self.resizes = 0
@@ -138,6 +148,13 @@ class CalendarQueue:
         """Enqueue one event (ordered by ``(time, priority, seq)``)."""
         time = event.time
         day = int(time / self._width)
+        if day < self._cur_day:
+            # Below the walk: legal when the kernel holds a popped-but-
+            # unrun event (dispatch-merge head, run-horizon stash) while
+            # the clock — the real floor for pushes — trails the last
+            # pop.  Rewind so the walk finds this entry first; skipping
+            # this strands it and breaks dispatch order.
+            self._cur_day = day
         insort(
             self._buckets[day & self._mask],
             (time, event.priority, event.seq, event, day),
@@ -235,17 +252,20 @@ class CalendarQueue:
         width = self._width
         mask = self._mask
         buckets: List[List[_Entry]] = [[] for __ in range(new_count)]
+        # Re-anchor the walk at or below every remaining entry's home
+        # day (entries can sit below the last pop when the kernel held
+        # a popped event and pushed it back); an anchor past any entry
+        # strands it behind the walk — a dispatch-ordering bug.
+        # Anchoring low only costs the walk a few empty bucket checks,
+        # and pushes below the anchor rewind it (see push()).
+        anchor = int(self._last_pop / width)
         for time, priority, seq, event, __ in entries:
             day = int(time / width)
+            if day < anchor:
+                anchor = day
             buckets[day & mask].append((time, priority, seq, event, day))
         for bucket in buckets:
             bucket.sort()
         self._buckets = buckets
         self.resizes += 1
-        # Re-anchor the walk on the *clock* (last popped time), NOT on
-        # the earliest remaining entry: future pushes may legally land
-        # anywhere at or after the clock, and an anchor past the
-        # clock's day would strand them behind the walk — a dispatch-
-        # ordering bug.  Anchoring low only costs the walk a few empty
-        # bucket checks.
-        self._cur_day = int(self._last_pop / width)
+        self._cur_day = anchor

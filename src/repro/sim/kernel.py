@@ -35,7 +35,13 @@ benches):
 * The run loop pops exactly once per dispatched event — no separate
   peek pass re-draining cancelled heads — and hands the popped event to
   the ``step(event=...)`` fast path.  An event popped but not run (the
-  ``until`` horizon passed) is stashed and re-served first.
+  ``until`` horizon passed) is stashed and re-served first.  Held
+  popped-but-unrun events (the stash and the merge's scheduler head)
+  are only served without re-checking the queues because ``call_at``
+  flushes them back into the scheduler the moment a new event sorts
+  before them — otherwise an event scheduled between runs (or from a
+  callback while the head is held) would dispatch after a later-timed
+  held event and the clock would move backwards.
 
 Two interchangeable scheduler structures sit behind the ``scheduler=``
 flag:
@@ -256,6 +262,25 @@ class Kernel:
         event = Event(when, priority, seq, callback, label)
         event._owner = self
         self._pending += 1
+        # The dispatch loop serves held popped-but-unrun events (the
+        # run-horizon stash, the merge's scheduler head) without
+        # re-checking the scheduler, which is only sound while they
+        # sort before everything queued.  A new event that undercuts a
+        # held one flushes it back into the scheduler so both re-enter
+        # the merge.  Seq is monotone, so ties never undercut and the
+        # comparison needs no seq term.
+        stash = self._stashed
+        if stash is not None and (
+            when < stash.time or (when == stash.time and priority < stash.priority)
+        ):
+            self._stashed = None
+            self._sched_push(stash)
+        head = self._sched_head
+        if head is not None and (
+            when < head.time or (when == head.time and priority < head.priority)
+        ):
+            self._sched_head = None
+            self._sched_push(head)
         if when == self.now and priority == 0:
             # Immediate default-priority work (the dominant schedule in
             # dispatch chains): the ready deque stays sorted because now

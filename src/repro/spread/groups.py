@@ -236,7 +236,14 @@ class GroupTable:
         }
 
     def replace(self, table: Mapping[str, Tuple[str, ...]]) -> None:
-        """Adopt a merged table at view installation; counters restart."""
+        """Adopt a merged table at view installation; counters restart.
+
+        Empty member tuples are dropped: a group whose members all died
+        does not survive a view change.  :meth:`merged` already never
+        emits such entries (it filters groups with no surviving
+        members), so both layers agree — pinned by
+        ``tests/spread/test_group_slabs.py``.
+        """
         self._gids = {}
         self._slabs = []
         self._free = []

@@ -174,6 +174,57 @@ def test_sparse_year_fallback_finds_distant_event():
     assert queue.pop() is near
 
 
+def test_push_below_walk_rewinds_and_keeps_order():
+    # The kernel may pop an event, hold it without running it, and push
+    # it back after scheduling earlier work (run-horizon stash, merge
+    # head) — so a push below the last pop is legal.  The walk must
+    # rewind to it; a stale anchor would pop the later event first.
+    queue = CalendarQueue(bucket_width=0.01, bucket_count=8)
+    late = _Stub(5.0, 0, 1)
+    queue.push(late)
+    assert queue.pop() is late  # walk is now anchored at t=5.0's day
+    early = _Stub(4.0, 0, 2)
+    queue.push(early)
+    queue.push(late)
+    assert queue.pop() is early
+    assert queue.pop() is late
+    assert queue.pop() is None
+
+
+def test_many_pushes_below_walk_pop_in_time_order():
+    # Several below-walk entries spread across distinct buckets: ring
+    # position must not leak into pop order (the walk starts at the
+    # lowest home day, so time order wins).
+    queue = CalendarQueue(bucket_width=0.01, bucket_count=8)
+    far = _Stub(9.0, 0, 1)
+    queue.push(far)
+    assert queue.pop() is far
+    stubs = [_Stub(t, 0, seq) for seq, t in enumerate([4.5, 4.0, 8.0, 0.5])]
+    for stub in stubs:
+        queue.push(stub)
+    queue.push(far)
+    drained = _drain(queue)
+    times = [e.time for e in drained]
+    assert times == sorted(times) == [0.5, 4.0, 4.5, 8.0, 9.0]
+
+
+def test_resize_anchor_covers_entries_below_last_pop():
+    # A resize while a below-last-pop entry is queued must not anchor
+    # the walk past it.  Push enough to force growth resizes after the
+    # rewind and check exact order.
+    queue = CalendarQueue(bucket_width=0.01, bucket_count=8)
+    far = _Stub(50.0, 0, 0)
+    queue.push(far)
+    assert queue.pop() is far  # last pop (and walk) now at t=50.0
+    stubs = [_Stub(1.0 + seq * 0.001, 0, seq + 1) for seq in range(200)]
+    for stub in stubs:
+        queue.push(stub)  # triggers growth resizes with low entries
+    queue.push(far)
+    assert queue.resizes > 0
+    drained = _drain(queue)
+    assert drained == stubs + [far]
+
+
 def test_simultaneous_events_keep_seq_order():
     queue = CalendarQueue()
     events = [_Stub(1.0, 0, seq) for seq in range(500)]

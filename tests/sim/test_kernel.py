@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ClockError, DeadlockError
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import SCHEDULERS, Kernel
 
 
 def test_clock_starts_at_zero():
@@ -161,3 +161,88 @@ def test_nested_scheduling_during_event():
     kernel.run()
     # inner is scheduled at t=1.0 but after sibling (later sequence number)
     assert fired == ["outer", "sibling", "inner"]
+
+
+# -- held popped-but-unrun events must re-enter the dispatch merge --------
+#
+# The run loop holds events it popped but did not run: an event past the
+# run(until=...) horizon (the stash) and the scheduler head that lost
+# the merge to a ready event.  An event scheduled afterwards that sorts
+# before a held one must still dispatch first — regression tests for a
+# bug where the held event was served unconditionally, dispatching after
+# it and rolling the clock backwards.
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_event_scheduled_between_runs_beats_horizon_stash(scheduler):
+    kernel = Kernel(scheduler=scheduler)
+    fired = []
+    kernel.call_at(5.0, lambda: fired.append(("late", kernel.now)))
+    kernel.run(until=3.0)
+    assert kernel.now == 3.0
+    kernel.call_at(4.0, lambda: fired.append(("early", kernel.now)))
+    kernel.run()
+    assert fired == [("early", 4.0), ("late", 5.0)]
+    assert kernel.now == 5.0
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_ready_event_scheduled_between_runs_beats_horizon_stash(scheduler):
+    # The between-runs event lands on the ready deque (time == now,
+    # default priority), not the scheduler — same ordering requirement.
+    kernel = Kernel(scheduler=scheduler)
+    fired = []
+    kernel.call_at(5.0, lambda: fired.append(("late", kernel.now)))
+    kernel.run(until=3.0)
+    kernel.call_at(3.0, lambda: fired.append(("now", kernel.now)))
+    kernel.run()
+    assert fired == [("now", 3.0), ("late", 5.0)]
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_callback_schedule_beats_held_scheduler_head(scheduler):
+    # While the t=5 head is held by the merge (a ready event won), the
+    # ready callback schedules t=1 work; it must run before the head.
+    kernel = Kernel(scheduler=scheduler)
+    fired = []
+
+    def ready_callback():
+        fired.append(("ready", kernel.now))
+        kernel.call_later(1.0, lambda: fired.append(("timer", kernel.now)))
+
+    kernel.call_at(5.0, lambda: fired.append(("head", kernel.now)))
+    kernel.call_at(0.0, ready_callback)
+    kernel.run()
+    assert fired == [("ready", 0.0), ("timer", 1.0), ("head", 5.0)]
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_clock_never_moves_backwards_across_horizon_runs(scheduler):
+    kernel = Kernel(scheduler=scheduler)
+    observed = []
+    for when in (2.0, 4.0, 6.0, 8.0):
+        kernel.call_at(when, lambda: observed.append(kernel.now))
+    kernel.run(until=3.0)
+    kernel.call_at(3.5, lambda: observed.append(kernel.now))
+    kernel.run(until=5.0)
+    kernel.call_at(5.5, lambda: observed.append(kernel.now))
+    kernel.run()
+    assert observed == sorted(observed)
+    assert observed == [2.0, 3.5, 4.0, 5.5, 6.0, 8.0]
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_cancelled_stash_and_undercutting_event_accounting(scheduler):
+    # Cancel the stashed horizon event, then undercut it: it must not
+    # fire, and counters stay consistent.
+    kernel = Kernel(scheduler=scheduler)
+    fired = []
+    handle = kernel.call_at(5.0, lambda: fired.append("late"))
+    kernel.run(until=3.0)
+    handle.cancel()
+    kernel.call_at(4.0, lambda: fired.append("early"))
+    kernel.run()
+    assert fired == ["early"]
+    assert kernel.pending_events == 0
+    assert kernel.events_processed == 1
+    assert kernel.events_cancelled == 1

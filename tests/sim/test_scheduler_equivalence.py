@@ -108,6 +108,60 @@ def test_tied_times_dispatch_in_seq_order(times):
     assert logs["heap"] == logs["calendar"] == sorted(logs["heap"])
 
 
+#: A horizon-split program: per-segment event offsets (relative to the
+#: segment's start clock) plus the horizon gap to the next ``run(until)``
+#: call.  Events scheduled between runs can legally sort before an event
+#: popped-then-stashed at an earlier horizon — the regression surface.
+_SEGMENTS = st.lists(
+    st.tuples(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+        st.floats(min_value=0.1, max_value=4.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(segments=_SEGMENTS)
+@settings(max_examples=60, deadline=None)
+def test_horizon_split_runs_dispatch_in_global_order(segments):
+    """Interleaving ``run(until=...)`` with fresh scheduling must still
+    dispatch every event in global ``(time, priority, seq)`` order.
+
+    Checked against a sorted ground-truth oracle, not just heap-vs-
+    calendar equality: a held stash/head served out of order is a bug
+    both schedulers would share, so equality alone cannot catch it.
+    """
+    logs = {}
+    for scheduler in SCHEDULERS:
+        kernel = Kernel(seed=3, scheduler=scheduler)
+        log = []
+        expected = []
+        for offsets, gap in segments:
+            for offset, priority in offsets:
+                when = kernel.now + offset
+                handle = kernel.call_at(
+                    when, lambda: log.append(kernel.now), priority=priority
+                )
+                expected.append((when, priority, handle.seq))
+            kernel.run(until=kernel.now + gap)
+        kernel.run()
+        assert log == sorted(log), f"{scheduler}: clock moved backwards"
+        assert log == [time for time, __, __ in sorted(expected)]
+        assert kernel.pending_events == 0
+        logs[scheduler] = log
+    assert logs["heap"] == logs["calendar"]
+
+
 def test_env_var_selects_scheduler(monkeypatch):
     from repro.sim import kernel as kernel_mod
 

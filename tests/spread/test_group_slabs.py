@@ -143,6 +143,27 @@ def test_merged_prunes_dead_daemons_and_unions():
     }
 
 
+def test_empty_groups_do_not_survive_a_view_change():
+    # The two view-change layers must agree on empty groups: merged()
+    # never emits a group whose members were all on dead daemons, and
+    # replace() drops empty member tuples — so a fully-dead group is
+    # gone from groups()/snapshot()/group_count() after installation.
+    snap_a = {"doomed": (_pid("a", "d9"), _pid("b", "d8")),
+              "mixed": (_pid("c", "d9"), _pid("d", "d0"))}
+    snap_b = {"doomed": (_pid("e", "d8"),)}
+    merged = GroupTable.merged([snap_a, snap_b], surviving_daemons=["d0"])
+    assert merged == {"mixed": (_pid("d", "d0"),)}
+    table = GroupTable()
+    table.join("doomed", _pid("a", "d9"))
+    table.replace(merged)
+    assert table.groups() == ("mixed",)
+    assert table.group_count() == 1
+    assert table.snapshot() == {"mixed": (_pid("d", "d0"),)}
+    # And replace() agrees even when handed an explicit empty entry.
+    table.replace({"mixed": (_pid("d", "d0"),), "doomed": ()})
+    assert table.groups() == ("mixed",)
+
+
 def test_large_group_stays_sorted_under_churn():
     table = GroupTable()
     pids = [_pid(f"m{index:04d}", f"d{index % 7}") for index in range(1500)]
