@@ -1,0 +1,465 @@
+"""The data-plane throughput bench behind ``BENCH_dataplane.json``.
+
+Three stages, each attacking one layer of the multicast data plane:
+
+1. **Small-message flood (packing A/B)** — three daemons, one client
+   each, every client bursting small AGREED multicasts every few
+   virtual milliseconds.  The identical workload runs with sender-side
+   coalescing off and on; the headline is delivered messages per
+   wall-clock second, plus the pack ratio (messages per wire datagram)
+   and the ordered-delivery run-length attribution.  This is the
+   workload behind the ISSUE's ">= 2x messages/s" acceptance bar.
+2. **Fragmented large payloads** — megabyte payloads split by the
+   client library, multicast, and reassembled at every receiver.
+   Reports delivered MB per wall-clock second and the zero-copy
+   attribution: reassembly bytes copied per payload byte delivered
+   (the preallocated-buffer path writes each byte exactly once).
+3. **Packing equivalence under faults** — the chaos crucible rebuilt on
+   a jitter-free deterministic link, with a fixed structural fault
+   schedule (partition, stall, spare-daemon crash) and bursty secure
+   traffic through every key-agreement module.  Each module runs
+   packing-off and packing-on; the per-daemon delivery-order
+   fingerprints (:func:`repro.chaos.invariants.delivery_fingerprint`)
+   must be byte-identical — coalescing is a wire optimization, never a
+   semantics change.
+
+Run ``PYTHONPATH=src python -m repro.bench.dataplane`` for the full
+document (a few minutes) or ``--quick --check`` for the CI
+``dataplane-smoke`` shape: fingerprint equality plus a minimum
+pack-ratio assertion (both deterministic, neither timing-based).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.net.fault import FaultSchedule
+from repro.net.link import LinkModel
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.trace import Tracer
+from repro.spread.client import SpreadClient
+from repro.spread.config import SpreadConfig
+from repro.spread.daemon import SpreadDaemon
+from repro.spread.membership import STATE_OP
+from repro.types import ServiceType
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_dataplane.json"
+
+#: The jitter-free substrate for every stage: fixed latency, infinite
+#: bandwidth, zero adversarial rates.  Virtual timing is then identical
+#: whether N messages travel as N datagrams or one envelope, which is
+#: what makes the packing A/B exact (stage 3) and fair (stage 1).
+DETERMINISTIC_LINK = LinkModel(base_latency=0.0002)
+
+#: Modules the equivalence stage covers (mirrors the crucible).
+AB_MODULES = ("cliques", "ckd", "tgdh")
+QUICK_AB_MODULES = ("tgdh",)
+
+#: Minimum pack ratio (messages per packed datagram) the flood must
+#: reach with coalescing on — deterministic, so CI can gate on it.
+MIN_PACK_RATIO = 4.0
+
+
+# -- raw-spread cluster (stages 1 and 2) -------------------------------------
+
+
+class _Cluster:
+    """Kernel + network + daemons + one client per daemon, no tracing."""
+
+    def __init__(self, packing: bool, seed: int = 7, daemon_count: int = 3):
+        self.kernel = Kernel(seed=seed, tracer=Tracer(enabled=False))
+        self.network = Network(self.kernel, default_link=DETERMINISTIC_LINK)
+        names = tuple(f"d{i}" for i in range(daemon_count))
+        self.config = SpreadConfig(daemons=names, packing=packing)
+        self.daemons = {}
+        for name in names:
+            daemon = SpreadDaemon(self.kernel, name, self.network, self.config)
+            daemon.start()
+            self.daemons[name] = daemon
+        self.kernel.run_until(self._converged, timeout=10.0)
+        self.clients: List[SpreadClient] = []
+        self.received: List[int] = []
+        self.received_bytes: List[int] = []
+        for index, name in enumerate(names):
+            client = SpreadClient(self.kernel, f"c{index}", self.daemons[name])
+            client.connect()
+            slot = len(self.clients)
+            self.clients.append(client)
+            self.received.append(0)
+            self.received_bytes.append(0)
+            client.on_event(self._counter(slot))
+            client.join("g")
+        self.kernel.run(until=self.kernel.now + 0.2)
+
+    def _converged(self) -> bool:
+        daemons = list(self.daemons.values())
+        views = {d.view for d in daemons}
+        return len(views) == 1 and all(
+            d.engine.state == STATE_OP for d in daemons
+        )
+
+    def _counter(self, slot: int):
+        from repro.spread.events import DataEvent
+
+        def count(event) -> None:
+            if isinstance(event, DataEvent):
+                self.received[slot] += 1
+                payload = event.payload
+                if isinstance(payload, (bytes, bytearray)):
+                    self.received_bytes[slot] += len(payload)
+
+        return count
+
+    def stats(self) -> Dict[str, Any]:
+        daemons = self.daemons.values()
+        packed_datagrams = sum(d.packed_datagrams for d in daemons)
+        packed_messages = sum(d.packed_messages for d in daemons)
+        runs = sum(d.delivery_runs for d in daemons)
+        in_runs = sum(d.delivered_in_runs for d in daemons)
+        return {
+            "packed_datagrams": packed_datagrams,
+            "packed_messages": packed_messages,
+            "pack_ratio": (
+                round(packed_messages / packed_datagrams, 3)
+                if packed_datagrams
+                else 0.0
+            ),
+            "delivery_runs": runs,
+            "delivered_in_runs": in_runs,
+            "mean_run_length": round(in_runs / runs, 3) if runs else 0.0,
+            "longest_run": max(d.longest_run for d in daemons),
+            "net_datagrams_sent": self.network.datagrams_sent,
+            "net_bytes_sent": self.network.bytes_sent,
+            "kernel_events": self.kernel.events_processed,
+        }
+
+
+def bench_flood(
+    packing: bool, rounds: int, burst: int, period: float = 0.005
+) -> Dict[str, Any]:
+    """Messages per wall-clock second for the small-message flood."""
+    cluster = _Cluster(packing=packing)
+    kernel = cluster.kernel
+    senders = cluster.clients
+    expected_each = rounds * burst * len(senders)
+
+    def send_round(r: int):
+        def run() -> None:
+            for index, client in enumerate(senders):
+                for i in range(burst):
+                    client.multicast(
+                        ServiceType.AGREED, "g", f"m:{r}:{index}:{i}".encode()
+                    )
+
+        return run
+
+    t0 = kernel.now + 0.01
+    for r in range(rounds):
+        kernel.call_at(t0 + r * period, send_round(r))
+
+    start = time.perf_counter()
+    kernel.run_until(
+        lambda: all(count >= expected_each for count in cluster.received),
+        timeout=120.0,
+    )
+    elapsed = time.perf_counter() - start
+    delivered = sum(cluster.received)
+    return {
+        "packing": packing,
+        "rounds": rounds,
+        "burst": burst,
+        "messages_sent": expected_each,
+        "messages_delivered": delivered,
+        "elapsed_s": round(elapsed, 4),
+        "messages_per_s": round(delivered / elapsed, 1) if elapsed else 0.0,
+        "virtual_time": round(kernel.now, 4),
+        **cluster.stats(),
+    }
+
+
+def bench_fragmented(
+    packing: bool, payloads: int, payload_bytes: int
+) -> Dict[str, Any]:
+    """Delivered MB per wall-clock second for fragmented payloads, plus
+    the zero-copy attribution (reassembly copies per delivered byte)."""
+    cluster = _Cluster(packing=packing)
+    kernel = cluster.kernel
+    sender = cluster.clients[0]
+    body = bytes(i & 0xFF for i in range(payload_bytes))
+
+    def send_all() -> None:
+        for index in range(payloads):
+            sender.multicast(
+                ServiceType.AGREED, "g", index.to_bytes(4, "big") + body[4:]
+            )
+
+    kernel.call_at(kernel.now + 0.01, send_all)
+    expected_bytes = payloads * payload_bytes
+    start = time.perf_counter()
+    kernel.run_until(
+        lambda: all(
+            count >= expected_bytes for count in cluster.received_bytes
+        ),
+        timeout=120.0,
+    )
+    elapsed = time.perf_counter() - start
+    delivered_bytes = sum(cluster.received_bytes)
+    copied = sum(c._reassembler.bytes_copied for c in cluster.clients)
+    fragments = payloads * (
+        (payload_bytes + cluster.config.max_message_size - 1)
+        // cluster.config.max_message_size
+    )
+    return {
+        "packing": packing,
+        "payloads": payloads,
+        "payload_bytes": payload_bytes,
+        "fragments_per_payload": fragments // payloads,
+        "delivered_bytes": delivered_bytes,
+        "elapsed_s": round(elapsed, 4),
+        "mb_per_s": round(delivered_bytes / elapsed / 1e6, 2) if elapsed else 0.0,
+        "reassembly_bytes_copied": copied,
+        "copies_per_delivered_byte": round(copied / delivered_bytes, 4)
+        if delivered_bytes
+        else 0.0,
+        **cluster.stats(),
+    }
+
+
+# -- stage 3: packing equivalence under faults -------------------------------
+
+
+def _bench_schedule(start: float, spare: str = "d3") -> FaultSchedule:
+    """A fixed, fully structural fault schedule: no adversarial link, no
+    randomness — identical in the packed and unpacked runs by
+    construction.  Partition, stall and spare-daemon crash, each healed
+    inside the window."""
+    schedule = FaultSchedule()
+    schedule.partition(start + 0.2, [["d0"], ["d1", "d2", spare]])
+    schedule.heal(start + 0.7)
+    schedule.stall(start + 1.0, "d1")
+    schedule.resume(start + 1.3, "d1")
+    schedule.crash(start + 1.5, spare)
+    schedule.recover(start + 1.9, spare)
+    return schedule
+
+
+def _run_ab_side(
+    seed: int, module: str, packing: bool, span: float
+) -> Tuple[str, Optional[str], Dict[str, Any]]:
+    """One crucible run on the deterministic link; returns the
+    delivery-order fingerprint, a failure description (None if the run
+    converged) and the packing attribution."""
+    from repro.chaos.harness import GROUP, ChaosHarness
+    from repro.chaos.invariants import delivery_fingerprint
+
+    harness = ChaosHarness(
+        seed,
+        module,
+        link=DETERMINISTIC_LINK,
+        config_overrides={"packing": packing},
+    )
+    harness.establish_group()
+    start = harness.kernel.now + 0.2
+    end = start + span
+    harness.injector.arm(_bench_schedule(start))
+
+    counter = {"n": 0, "on": True}
+
+    def tick() -> None:
+        if not counter["on"] or harness.kernel.now > end:
+            return
+        members = sorted(harness.members)
+        sender = members[counter["n"] % len(members)]
+        counter["n"] += 1
+        burst = [
+            f"app:{sender}:{counter['n']}:{i}".encode() for i in range(4)
+        ]
+        try:
+            harness.members[sender].send_many(GROUP, burst)
+        except ReproError:
+            pass  # no key mid-rekey: the burst is simply skipped
+        harness.kernel.call_later(0.05, tick, label="dataplane.traffic")
+
+    harness.kernel.call_later(0.05, tick, label="dataplane.traffic")
+    harness.run(end - harness.kernel.now + 0.05)
+    counter["on"] = False
+    failure = harness.wait_quiescence(timeout=60.0)
+    # Let every straggler delivery (retransmits, trailing flushes) land:
+    # the fingerprint must cover each run's complete delivery record.
+    harness.run(1.0)
+    daemons = harness.daemons.values()
+    packed_datagrams = sum(d.packed_datagrams for d in daemons)
+    packed_messages = sum(d.packed_messages for d in daemons)
+    attribution = {
+        "packed_datagrams": packed_datagrams,
+        "packed_messages": packed_messages,
+        "pack_ratio": (
+            round(packed_messages / packed_datagrams, 3)
+            if packed_datagrams
+            else 0.0
+        ),
+        "bursts_sent": counter["n"],
+        "virtual_time": round(harness.kernel.now, 4),
+    }
+    return delivery_fingerprint(harness.tracer.events), failure, attribution
+
+
+def bench_ab_fingerprints(
+    modules: Tuple[str, ...], span: float, seed: int = 0
+) -> List[Dict[str, Any]]:
+    """Packing off vs on, per key-agreement module: the per-daemon
+    delivery-order fingerprints must be byte-identical."""
+    rows = []
+    for module in modules:
+        off_fp, off_fail, __ = _run_ab_side(seed, module, False, span)
+        on_fp, on_fail, attribution = _run_ab_side(seed, module, True, span)
+        rows.append(
+            {
+                "module": module,
+                "seed": seed,
+                "unpacked_fingerprint": off_fp,
+                "packed_fingerprint": on_fp,
+                "identical": off_fp == on_fp,
+                "unpacked_converged": off_fail is None,
+                "packed_converged": on_fail is None,
+                "failure": off_fail or on_fail,
+                "packed_attribution": attribution,
+            }
+        )
+    return rows
+
+
+# -- document ---------------------------------------------------------------
+
+
+def run_dataplane(quick: bool = False) -> Dict[str, Any]:
+    """Run every stage and assemble the BENCH_dataplane document."""
+    rounds = 10 if quick else 40
+    burst = 16
+    payloads = 2 if quick else 8
+    payload_bytes = (1 << 18) if quick else (1 << 20)
+    modules = QUICK_AB_MODULES if quick else AB_MODULES
+    span = 1.5 if quick else 2.2
+    stages: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    flood_off = bench_flood(False, rounds, burst)
+    flood_on = bench_flood(True, rounds, burst)
+    stages["flood_s"] = round(time.perf_counter() - start, 3)
+
+    start = time.perf_counter()
+    frag = bench_fragmented(True, payloads, payload_bytes)
+    stages["fragmented_s"] = round(time.perf_counter() - start, 3)
+
+    start = time.perf_counter()
+    ab_rows = bench_ab_fingerprints(modules, span)
+    stages["ab_fingerprints_s"] = round(time.perf_counter() - start, 3)
+
+    speedup = (
+        flood_on["messages_per_s"] / flood_off["messages_per_s"]
+        if flood_off["messages_per_s"]
+        else 0.0
+    )
+    document = {
+        "bench": "dataplane",
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "flood": {"unpacked": flood_off, "packed": flood_on},
+        "fragmented": frag,
+        "ab_fingerprints": ab_rows,
+        "stage_wall_s": stages,
+        "summary": {
+            "flood_speedup": round(speedup, 3),
+            "flood_pack_ratio": flood_on["pack_ratio"],
+            "flood_mean_run_length": flood_on["mean_run_length"],
+            "fragmented_mb_per_s": frag["mb_per_s"],
+            "copies_per_delivered_byte": frag["copies_per_delivered_byte"],
+            "fingerprints_identical": all(r["identical"] for r in ab_rows),
+            "ab_converged": all(
+                r["unpacked_converged"] and r["packed_converged"]
+                for r in ab_rows
+            ),
+        },
+    }
+    return document
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.dataplane", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: short flood, one A/B module, small payloads",
+    )
+    parser.add_argument(
+        "--output", default=str(_DEFAULT_OUTPUT),
+        help="path of the JSON document (default: repo-root"
+        " BENCH_dataplane.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the A/B delivery fingerprints match,"
+        f" the flood pack ratio reaches {MIN_PACK_RATIO}, and (full mode"
+        " only) packing delivers >= 2x messages/s",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_dataplane(quick=args.quick)
+    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+
+    summary = document["summary"]
+    flood = document["flood"]
+    print(
+        f"flood: unpacked={flood['unpacked']['messages_per_s']:,.0f} msg/s  "
+        f"packed={flood['packed']['messages_per_s']:,.0f} msg/s  "
+        f"speedup={summary['flood_speedup']:.2f}x  "
+        f"pack_ratio={summary['flood_pack_ratio']:.2f}"
+    )
+    print(
+        f"fragmented: {summary['fragmented_mb_per_s']:.1f} MB/s  "
+        f"copies/byte={summary['copies_per_delivered_byte']:.3f}"
+    )
+    for row in document["ab_fingerprints"]:
+        print(
+            f"ab[{row['module']}]: identical={row['identical']}  "
+            f"pack_ratio={row['packed_attribution']['pack_ratio']:.2f}"
+        )
+    print(
+        f"fingerprints_identical={summary['fingerprints_identical']}  "
+        f"wrote {args.output}"
+    )
+    if args.check:
+        if not summary["fingerprints_identical"]:
+            print("FAIL: packing changed delivery order", file=sys.stderr)
+            return 1
+        if not summary["ab_converged"]:
+            print("FAIL: an A/B crucible run never converged", file=sys.stderr)
+            return 1
+        if summary["flood_pack_ratio"] < MIN_PACK_RATIO:
+            print(
+                f"FAIL: flood pack ratio {summary['flood_pack_ratio']}"
+                f" below the {MIN_PACK_RATIO} bar",
+                file=sys.stderr,
+            )
+            return 1
+        if document["mode"] == "full" and summary["flood_speedup"] < 2.0:
+            print(
+                "FAIL: packed flood below the 2x messages/s acceptance bar",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

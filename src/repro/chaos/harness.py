@@ -108,6 +108,8 @@ class ChaosHarness(SecureTestbed):
         daemon_count: int = 4,
         trace_cap: Optional[int] = None,
         scheduler: Optional[str] = None,
+        link: Optional[LinkModel] = None,
+        config_overrides: Optional[Dict[str, Any]] = None,
     ) -> None:
         if module not in MODULES:
             raise ValueError(f"unknown key agreement module {module!r}")
@@ -132,11 +134,18 @@ class ChaosHarness(SecureTestbed):
         self.kernel = Kernel(
             seed=kernel_seed, tracer=self.tracer, scheduler=scheduler
         )
+        # ``link`` swaps the substrate (the data-plane bench runs its
+        # packing A/B on a jitter-free deterministic link);
+        # ``config_overrides`` forwards SpreadConfig fields, e.g.
+        # ``{"packing": True}``.
         self.network = Network(
-            self.kernel, default_link=LinkModel.ethernet_100base_t()
+            self.kernel,
+            default_link=(
+                link if link is not None else LinkModel.ethernet_100base_t()
+            ),
         )
         names = tuple(f"d{i}" for i in range(daemon_count))
-        self.config = SpreadConfig(daemons=names)
+        self.config = SpreadConfig(daemons=names, **(config_overrides or {}))
         self.daemons: Dict[str, SpreadDaemon] = {}
         for name in names:
             daemon = SpreadDaemon(self.kernel, name, self.network, self.config)

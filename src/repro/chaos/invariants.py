@@ -65,6 +65,38 @@ def trace_fingerprint(events: Iterable[TraceEvent]) -> str:
     return digest.hexdigest()
 
 
+def delivery_fingerprint(events: Iterable[TraceEvent]) -> str:
+    """SHA-256 over each daemon's ordered reliable-delivery sequence.
+
+    Two runs are *delivery-equivalent* when every daemon delivered the
+    same reliable messages in the same per-daemon order — the guarantee
+    the ordered multicast service actually makes.  Unlike
+    :func:`trace_fingerprint` this is insensitive to how deliveries from
+    different daemons interleave in the global trace (a pure artifact of
+    kernel scheduling), so it is the right equality for A/B comparisons
+    that change network event timing without changing semantics — the
+    packing on/off gate in ``repro.bench.dataplane``.
+    """
+    per_daemon: Dict[str, "hashlib._Hash"] = {}
+    for event in events:
+        if event.kind != "daemon.deliver":
+            continue
+        digest = per_daemon.get(event["me"])
+        if digest is None:
+            digest = per_daemon[event["me"]] = hashlib.sha256()
+        digest.update(
+            f"{event['view']}|{event['sender']}|{event['seq']}"
+            f"|{event['msg_kind']}\n".encode()
+        )
+    outer = hashlib.sha256()
+    for daemon in sorted(per_daemon):
+        outer.update(daemon.encode())
+        outer.update(b"=")
+        outer.update(per_daemon[daemon].hexdigest().encode())
+        outer.update(b"\n")
+    return outer.hexdigest()
+
+
 @dataclass(frozen=True)
 class InvariantViolation:
     """One broken promise, with enough detail to start debugging."""

@@ -58,7 +58,7 @@ def _byte_paths(obj: Any, depth: int = 0) -> List[Tuple[Any, ...]]:
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         for field in dataclasses.fields(obj):
             value = getattr(obj, field.name)
-            if isinstance(value, (bytes, bytearray)) and len(value) > 0:
+            if isinstance(value, (bytes, bytearray, memoryview)) and len(value) > 0:
                 paths.append((field.name,))
             else:
                 for sub in _byte_paths(value, depth + 1):

@@ -262,6 +262,16 @@ def collect_daemon(registry: MetricsRegistry, daemon) -> None:
     registry.gauge("spread.client_bytes_delivered", **labels).set(
         daemon.client_bytes_delivered
     )
+    # Data-plane attribution: sender-side coalescing (envelopes vs the
+    # messages packed into them — the pack ratio is messages/datagrams)
+    # and batched ordered delivery (run count and lengths).
+    registry.gauge("spread.packed_datagrams", **labels).set(daemon.packed_datagrams)
+    registry.gauge("spread.packed_messages", **labels).set(daemon.packed_messages)
+    registry.gauge("spread.delivery_runs", **labels).set(daemon.delivery_runs)
+    registry.gauge("spread.delivered_in_runs", **labels).set(
+        daemon.delivered_in_runs
+    )
+    registry.gauge("spread.longest_delivery_run", **labels).set(daemon.longest_run)
 
 
 def collect_session(

@@ -44,7 +44,7 @@ from repro.crypto.random_source import RandomSource, SystemSource
 from repro.errors import ReproError
 from repro.secure.dataprotect import DataProtector, SealedMessage
 from repro.sim.rng import stable_seed
-from repro.spread.messages import DataMessage
+from repro.spread.messages import DataMessage, Packed
 from repro.types import ViewId
 
 
@@ -330,7 +330,7 @@ class DaemonSecurity:
 
     def _on_sealed_data(
         self, source: str, payload: DaemonSealedData
-    ) -> Optional[DataMessage]:
+    ) -> Optional[object]:
         if payload.view_id != self.view or self._protector is None:
             return None  # other daemon view; our pipeline ignores it anyway
         try:
@@ -341,12 +341,15 @@ class DaemonSecurity:
             )
             return None
         message = pickle.loads(raw)
-        return message if isinstance(message, DataMessage) else None
+        # Coalesced envelopes travel the sealed channel whole: one seal,
+        # one unseal for the entire batch.
+        return message if isinstance(message, (DataMessage, Packed)) else None
 
     # -- outbound sealing ----------------------------------------------------------------
 
-    def outbound(self, destination: str, message: DataMessage) -> Optional[object]:
-        """Seal an outgoing data message, or queue it while unkeyed."""
+    def outbound(self, destination: str, message) -> Optional[object]:
+        """Seal an outgoing data message (or a :class:`Packed` envelope
+        of them), or queue it while unkeyed."""
         if self._protector is None or message.view_id != self.view:
             if message.view_id == self.view:
                 self._queue.append((destination, message))

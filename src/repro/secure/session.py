@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.cliques.directory import KeyDirectory
 from repro.crypto.counters import ExpCounter
@@ -193,6 +193,41 @@ class SecureGroupSession:
                 digest=hashlib.sha256(payload).hexdigest()[:16],
             )
         self.flush.multicast(self.group, sealed)
+
+    def send_many(self, payloads: Sequence[bytes]) -> None:
+        """Seal and multicast a batch of payloads in one pass.
+
+        Wire- and delivery-identical to calling :meth:`send` per
+        payload, but the seal loop reuses the epoch cipher schedule,
+        MAC midstates and header through
+        :meth:`~repro.secure.dataprotect.DataProtector.seal_many`, and
+        the multicasts land back-to-back so the daemon's sender-side
+        coalescing can pack them into few wire datagrams.
+        """
+        if self.state != STATE_CONFIRMED or self._protector is None:
+            raise NoGroupKeyError(
+                f"group {self.group!r} has no confirmed key"
+                f" (state={self.state})"
+            )
+        if not payloads:
+            return
+        sealed_batch = self._protector.seal_many(
+            self.group, self.me, payloads, self._random
+        )
+        self.sealed_messages += len(sealed_batch)
+        self.sealed_bytes += sum(s.wire_size() for s in sealed_batch)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "secure.send_batch",
+                me=self.me,
+                group=self.group,
+                epoch=sealed_batch[0].epoch_label,
+                count=len(sealed_batch),
+            )
+        multicast = self.flush.multicast
+        group = self.group
+        for sealed in sealed_batch:
+            multicast(group, sealed)
 
     def refresh(self) -> None:
         """Voluntary re-key (controller only), per Section 4.4."""
@@ -819,6 +854,11 @@ class SecureClient:
         """Encrypt-and-multicast application data."""
         session = self._session(group)
         session.send(payload)
+
+    def send_many(self, group: str, payloads: Sequence[bytes]) -> None:
+        """Encrypt-and-multicast a batch of payloads in one seal pass."""
+        session = self._session(group)
+        session.send_many(payloads)
 
     def refresh(self, group: str) -> None:
         """Force a key refresh (must be the group controller)."""

@@ -140,7 +140,7 @@ class SpreadClient(SimProcess):
                     "fragmented payloads need FIFO or stronger ordering"
                 )
             self._fragment_counter += 1
-            fragments = split_payload(bytes(payload), limit, self._fragment_counter)
+            fragments = split_payload(payload, limit, self._fragment_counter)
             seq = 0
             for fragment in fragments:
                 self._send_seq += 1

@@ -8,10 +8,22 @@ timeouts here drive failure detection and the membership state machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Tuple
 
 from repro.errors import SpreadError
+
+#: Environment switch for sender-side message coalescing (the data-plane
+#: fast path): set REPRO_PACKING=1 to turn packing on for every daemon
+#: that does not receive an explicit ``packing`` override.
+PACKING_ENV = "REPRO_PACKING"
+
+
+def _packing_default() -> bool:
+    return os.environ.get(PACKING_ENV, "").strip().lower() in (
+        "1", "on", "true", "yes"
+    )
 
 
 @dataclass(frozen=True)
@@ -54,6 +66,19 @@ class SpreadConfig:
     # Byte payloads above this are fragmented by the client library and
     # reassembled at receivers (Spread's SP_scat behaviour).
     max_message_size: int = 65536
+    # Sender-side coalescing (data-plane fast path): reliable data
+    # messages bound for the same destination are packed into one wire
+    # datagram, flushed when any budget is hit.  Defaults to the
+    # REPRO_PACKING environment switch; only the Lamport engine packs.
+    packing: bool = field(default_factory=_packing_default)
+    # Flush budgets: messages per envelope, payload bytes per envelope,
+    # and how long the first buffered message may wait.  The default
+    # pack_delay of 0.0 coalesces within one virtual instant only —
+    # which keeps per-daemon delivery order byte-identical to the
+    # unpacked path on deterministic links (the A/B gate relies on it).
+    pack_max_messages: int = 16
+    pack_max_bytes: int = 8192
+    pack_delay: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.daemons:
@@ -81,6 +106,12 @@ class SpreadConfig:
             )
         if self.max_message_size <= 0:
             raise SpreadError("max_message_size must be positive")
+        if self.pack_max_messages < 1:
+            raise SpreadError("pack_max_messages must be at least 1")
+        if self.pack_max_bytes <= 0:
+            raise SpreadError("pack_max_bytes must be positive")
+        if self.pack_delay < 0:
+            raise SpreadError("pack_delay must not be negative")
 
     @classmethod
     def for_daemons(cls, *names: str, **overrides) -> "SpreadConfig":

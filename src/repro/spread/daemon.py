@@ -40,6 +40,7 @@ from repro.spread.messages import (
     KIND_GROUP_JOIN,
     KIND_GROUP_LEAVE,
     Nack,
+    Packed,
     Propose,
     SyncInfo,
 )
@@ -109,6 +110,7 @@ class SpreadDaemon(SimProcess):
             self._deliver_ordered,
             start_lamport=start_lamport,
             send=send,
+            deliver_many=self._deliver_ordered_run,
         )
 
     def enable_security(self, security) -> None:
@@ -154,6 +156,28 @@ class SpreadDaemon(SimProcess):
         self.remote_bytes_delivered = 0
         self.client_messages_delivered = 0
         self.client_bytes_delivered = 0
+        # Sender-side coalescing (data-plane fast path): per-destination
+        # buffers of reliable DataMessages awaiting one wire datagram.
+        # Only the Lamport engine packs — the ring engine's token pacing
+        # already batches its own transmissions.
+        self._packing = bool(self.config.packing) and (
+            self.config.ordering == "lamport"
+        )
+        self._pack_buffers: Dict[str, List[DataMessage]] = {}
+        self._pack_bytes: Dict[str, int] = {}
+        self._pack_flush_pending = False
+        # Packing / batch-delivery attribution counters
+        # (repro.obs.metrics.collect_daemon): envelopes vs the messages
+        # coalesced into them, and ordered-delivery run lengths.
+        self.packed_datagrams = 0
+        self.packed_messages = 0
+        self.delivery_runs = 0
+        self.delivered_in_runs = 0
+        self.longest_run = 0
+        # Active client-push sink: while a delivery run is dispatching,
+        # pushes collect here (grouped by consecutive client) and flush
+        # as one kernel event per group instead of one per message.
+        self._push_batch: Optional[List[Tuple[object, List[Any]]]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -207,17 +231,93 @@ class SpreadDaemon(SimProcess):
                 self._send_to_daemon(daemon, payload)
 
     def _send_to_daemon(self, destination: str, payload: Any) -> None:
-        """Daemon-to-daemon send; sealed by the security layer when
-        enabled — data under the per-view daemon-group key (queued while
-        that key is agreed), control under static pairwise channels."""
+        """Daemon-to-daemon send, via the coalescing buffer when packing
+        is on: reliable current-view data messages wait (at most
+        ``pack_delay``) for companions bound to the same destination;
+        everything else transmits immediately."""
+        if (
+            self._packing
+            and type(payload) is DataMessage
+            and payload.seq != UNRELIABLE_SEQ
+            and payload.view_id == self.view
+        ):
+            self._pack_enqueue(destination, payload)
+            return
+        self._transmit(destination, payload)
+
+    def _transmit(self, destination: str, payload: Any) -> None:
+        """The wire send; sealed by the security layer when enabled —
+        data (including packed envelopes) under the per-view daemon-group
+        key (queued while that key is agreed), control under static
+        pairwise channels."""
         if self.security is not None:
-            if isinstance(payload, DataMessage):
+            if isinstance(payload, (DataMessage, Packed)):
                 payload = self.security.outbound(destination, payload)
                 if payload is None:
                     return  # queued until the daemon-group key is ready
             else:
                 payload = self.security.outbound_control(destination, payload)
         self.network.send(self.name, destination, payload)
+
+    # -- sender-side coalescing (data-plane fast path) -------------------
+
+    def _pack_enqueue(self, destination: str, message: DataMessage) -> None:
+        buffers = self._pack_buffers
+        buffer = buffers.get(destination)
+        if buffer is None:
+            buffer = buffers[destination] = []
+            self._pack_bytes[destination] = 0
+        buffer.append(message)
+        total = self._pack_bytes[destination] + message.wire_size()
+        self._pack_bytes[destination] = total
+        config = self.config
+        if len(buffer) >= config.pack_max_messages or total >= config.pack_max_bytes:
+            self._flush_destination(destination)
+            return
+        if not self._pack_flush_pending:
+            self._pack_flush_pending = True
+            self.after(
+                config.pack_delay, self._flush_packed, label=f"{self.name}.pack"
+            )
+
+    def _flush_destination(self, destination: str) -> None:
+        messages = self._pack_buffers.pop(destination, None)
+        if not messages:
+            return
+        self._pack_bytes.pop(destination, None)
+        if len(messages) == 1:
+            # A lone message travels exactly as on the unpacked path.
+            self._transmit(destination, messages[0])
+            return
+        envelope = Packed(
+            sender=self.name,
+            view_id=messages[0].view_id,
+            messages=tuple(messages),
+        )
+        self.packed_datagrams += 1
+        self.packed_messages += len(messages)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.record(
+                "daemon.pack_flush",
+                me=self.name,
+                destination=destination,
+                count=len(messages),
+                bytes=envelope.wire_size(),
+            )
+        self._transmit(destination, envelope)
+
+    def _flush_packed(self) -> None:
+        """Time-budget flush: drain every destination buffer, in the
+        deterministic order the destinations first buffered."""
+        self._pack_flush_pending = False
+        if not self._pack_buffers:
+            return
+        for destination in list(self._pack_buffers):
+            self._flush_destination(destination)
+        # Any prompt hello deferred while the data was coalescing goes
+        # out now, after the datagrams it advertises.
+        self._maybe_prompt_hello()
 
     def _engine_schedule(self, delay: float, callback: Callable[[], None]) -> None:
         self.after(delay, callback, label=f"{self.name}.memb")
@@ -262,6 +362,12 @@ class SpreadDaemon(SimProcess):
 
     def _maybe_prompt_hello(self) -> None:
         if self.pipeline.wants_prompt_hello:
+            if self._pack_buffers:
+                # Coalescing in progress: a hello advertises sent_seq, so
+                # it must never overtake the datagrams carrying those
+                # sequences (the unpacked path always sends data first).
+                # The pack flush re-runs this once the buffers drain.
+                return
             self.pipeline.wants_prompt_hello = False
             hello = Hello(
                 sender=self.name,
@@ -328,6 +434,20 @@ class SpreadDaemon(SimProcess):
             self._on_hello(payload)
         elif isinstance(payload, DataMessage):
             self._on_data(payload)
+        elif isinstance(payload, Packed):
+            # Coalesced envelope: ingest the members in send order — the
+            # pipeline sees exactly the sequence the unpacked path would
+            # have delivered one datagram at a time.  Ordered releases
+            # are deferred so the whole envelope drains the heap in one
+            # pass instead of one pass per member.
+            pipeline = self.pipeline
+            on_data = self._on_data
+            pipeline.begin_ingest_batch()
+            try:
+                for member in payload.messages:
+                    on_data(member)
+            finally:
+                pipeline.end_ingest_batch()
         elif isinstance(payload, RingToken):
             if payload.view_id == self.view:
                 self.pipeline.on_token(payload)
@@ -498,6 +618,41 @@ class SpreadDaemon(SimProcess):
         elif message.kind == KIND_DISCONNECT:
             self._apply_disconnect(message)
 
+    def _deliver_ordered_run(self, messages: List[DataMessage]) -> None:
+        """Batch-delivery callback: one maximal in-order run released by
+        the pipeline in a single pass.  Per-message semantics (counters,
+        trace events, client pushes) are identical to the one-at-a-time
+        path; the run is also attributed for the data-plane bench."""
+        count = len(messages)
+        self.delivery_runs += 1
+        self.delivered_in_runs += count
+        if count > self.longest_run:
+            self.longest_run = count
+        deliver = self._deliver_ordered
+        if count == 1:
+            deliver(messages[0])
+            return
+        # Collect the run's client pushes and schedule one IPC event per
+        # consecutive-same-client group.  Groups fire in collection order
+        # at the same virtual instant, and events within a group fire in
+        # push order, so the deliver_event call sequence every client
+        # observes is exactly the per-message path's.
+        batch: List[Tuple[object, List[Any]]] = []
+        self._push_batch = batch
+        try:
+            for message in messages:
+                deliver(message)
+        finally:
+            self._push_batch = None
+        ipc_delay = self.config.ipc_delay
+        label = f"{self.name}.ipc"
+        for client, events in batch:
+            def fire(c: Any = client, evs: List[Any] = events) -> None:
+                for event in evs:
+                    c.deliver_event(event)
+
+            self.after(ipc_delay, fire, label=label)
+
     def _local_members(self, group: str) -> List[Tuple[str, "object"]]:
         """(pid string, client) for local clients that are in the group.
 
@@ -514,6 +669,13 @@ class SpreadDaemon(SimProcess):
         return result
 
     def _push(self, client: "object", event: Any) -> None:
+        batch = self._push_batch
+        if batch is not None:
+            if batch and batch[-1][0] is client:
+                batch[-1][1].append(event)
+            else:
+                batch.append((client, [event]))
+            return
         self.after(
             self.config.ipc_delay,
             lambda: client.deliver_event(event),
@@ -643,6 +805,11 @@ class SpreadDaemon(SimProcess):
                 self._push(client, event)
 
     def _commit_install(self, install: Install) -> None:
+        # Flush coalesced old-view traffic before the view switches: the
+        # buffered messages belong to the closing view (peers still in it
+        # ingest them; everyone else drops them as stale, exactly like
+        # in-flight datagrams — the complement repairs real losses).
+        self._flush_packed()
         # 0. Transitional configuration (EVS): before the final old-view
         #    messages are flushed, tell affected local group members which
         #    co-moving subset those messages are guaranteed shared with.

@@ -11,6 +11,13 @@ per-sender ordering guarantees (FIFO and above) make reassembly a
 simple append — a gap or reordering within one sender's fragments is
 impossible at the service levels that deliver them.
 
+The data plane is zero-copy on both sides: :func:`split_payload` hands
+out read-only ``memoryview`` slices of the original payload (no bytes
+are duplicated at send time), and the :class:`Reassembler` writes each
+arriving chunk straight into a preallocated ``bytearray`` at its final
+offset — one copy per byte end to end, instead of slice-copies plus a
+``b"".join`` of the whole message.
+
 The reassembler is nevertheless hardened against an adversarial
 substrate (the chaos crucible's duplication faults): a re-delivered
 fragment is idempotent, and a fragment belonging to a message id the
@@ -22,7 +29,7 @@ partial entry that can never complete.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import IllegalMessageError
 from repro.sim.trace import Tracer
@@ -30,40 +37,139 @@ from repro.sim.trace import Tracer
 
 @dataclass(frozen=True)
 class MessageFragment:
-    """One slice of an oversized payload."""
+    """One slice of an oversized payload.
+
+    ``chunk`` is ``bytes`` or a read-only ``memoryview`` (the zero-copy
+    split path); content equality and hashing treat the two identically.
+    """
 
     fragment_id: int  # per-sender-connection counter
     index: int
     total: int
-    chunk: bytes
+    chunk: Any  # bytes | memoryview
 
     def wire_size(self) -> int:
         return 32 + len(self.chunk)
 
+    def __reduce__(self):
+        # memoryview chunks are not picklable (and need not be: pickling
+        # is serialization, so materializing the slice is the copy the
+        # wire format would make anyway).
+        return (
+            MessageFragment,
+            (self.fragment_id, self.index, self.total, bytes(self.chunk)),
+        )
+
 
 def split_payload(
-    payload: bytes, max_size: int, fragment_id: int
+    payload, max_size: int, fragment_id: int
 ) -> List[MessageFragment]:
-    """Split ``payload`` into fragments of at most ``max_size`` bytes."""
+    """Split ``payload`` into fragments of at most ``max_size`` bytes.
+
+    The chunks are read-only ``memoryview`` slices over the payload —
+    no byte is copied at split time.
+    """
     if max_size <= 0:
         raise IllegalMessageError("fragment size must be positive")
-    total = max(1, (len(payload) + max_size - 1) // max_size)
+    if isinstance(payload, memoryview):
+        view = payload
+    else:
+        # bytes(payload) is a no-op for bytes and materializes bytearray
+        # (a mutable buffer would make the fragments unhashable and the
+        # slices aliases of live data).
+        view = memoryview(bytes(payload))
+    total = max(1, (len(view) + max_size - 1) // max_size)
     return [
         MessageFragment(
             fragment_id=fragment_id,
             index=index,
             total=total,
-            chunk=payload[index * max_size : (index + 1) * max_size],
+            chunk=view[index * max_size : (index + 1) * max_size],
         )
         for index in range(total)
     ]
+
+
+class _Partial:
+    """Reassembly state for one (sender, fragment id).
+
+    ``buffer`` is preallocated at ``chunk_size * total`` once the common
+    chunk size is known (any non-final fragment reveals it); chunks are
+    written at ``index * chunk_size``.  A final fragment arriving before
+    the size is known (impossible under FIFO, tolerated for hardening)
+    waits in ``stash``.
+    """
+
+    __slots__ = ("total", "chunk_size", "buffer", "have", "tail_len", "stash")
+
+    def __init__(self, total: int) -> None:
+        self.total = total
+        self.chunk_size: Optional[int] = None
+        self.buffer: Optional[bytearray] = None
+        self.have: Set[int] = set()
+        self.tail_len: Optional[int] = None
+        self.stash: Dict[int, bytes] = {}
+
+    def stored(self, index: int):
+        """The already-stored content at ``index`` (duplicate checks)."""
+        if index in self.stash:
+            return self.stash[index]
+        chunk_size = self.chunk_size
+        length = (
+            self.tail_len
+            if index == self.total - 1 and self.tail_len is not None
+            else chunk_size
+        )
+        offset = index * chunk_size
+        return memoryview(self.buffer)[offset : offset + length]
+
+    def write(self, index: int, chunk) -> int:
+        """Place one chunk; returns the bytes copied."""
+        is_final = index == self.total - 1
+        if self.chunk_size is None and not is_final:
+            self.chunk_size = len(chunk)
+            self.buffer = bytearray(self.chunk_size * self.total)
+            stash, self.stash = self.stash, {}
+            copied = 0
+            for stashed_index, stashed in stash.items():
+                copied += self.write(stashed_index, stashed)
+            offset = index * self.chunk_size
+            self.buffer[offset : offset + len(chunk)] = chunk
+            self.have.add(index)
+            return copied + len(chunk)
+        if self.buffer is None:
+            # Final fragment first (size still unknown): hold it aside.
+            self.stash[index] = bytes(chunk)
+            self.have.add(index)
+            self.tail_len = len(chunk)
+            return len(chunk)
+        if not is_final and len(chunk) != self.chunk_size:
+            raise IllegalMessageError(
+                "fragment size inconsistent within one message"
+            )
+        if is_final:
+            self.tail_len = len(chunk)
+        offset = index * self.chunk_size
+        self.buffer[offset : offset + len(chunk)] = chunk
+        self.have.add(index)
+        return len(chunk)
+
+    def result(self) -> bytes:
+        length = (self.total - 1) * (self.chunk_size or 0) + (
+            self.tail_len if self.tail_len is not None else self.chunk_size
+        )
+        return bytes(memoryview(self.buffer)[:length])
 
 
 class Reassembler:
     """Collects fragments per (sender, fragment id) into whole payloads."""
 
     def __init__(self, tracer: Optional[Tracer] = None) -> None:
-        self._partial: Dict[Tuple[str, int], List[Optional[bytes]]] = {}
+        self._partial: Dict[Tuple[str, int], _Partial] = {}
+        # Per-sender index of open fragment ids, so a view change with
+        # many in-flight messages drops a departed sender in O(its own
+        # partials) instead of scanning every open buffer.
+        self._open_ids: Dict[str, Set[int]] = {}
         # Highest fragment id already fully reassembled, per sender:
         # anything at or below it is superseded and must not reopen a
         # buffer (fragment ids grow monotonically per connection).
@@ -71,6 +177,7 @@ class Reassembler:
         self._tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.stale_dropped = 0
         self.duplicates_ignored = 0
+        self.bytes_copied = 0  # payload bytes written into buffers
 
     def accept(self, sender: str, fragment: MessageFragment) -> Optional[bytes]:
         """Feed one fragment; returns the whole payload when complete.
@@ -79,9 +186,11 @@ class Reassembler:
         message id are dropped (with a ``fragments.stale_drop`` trace
         event) rather than corrupting the buffer.
         """
-        if fragment.total < 1 or not 0 <= fragment.index < fragment.total:
+        total = fragment.total
+        index = fragment.index
+        if total < 1 or not 0 <= index < total:
             raise IllegalMessageError(
-                f"malformed fragment {fragment.index}/{fragment.total}"
+                f"malformed fragment {index}/{total}"
             )
         if fragment.fragment_id <= self._completed.get(sender, 0):
             self.stale_dropped += 1
@@ -90,25 +199,32 @@ class Reassembler:
                     "fragments.stale_drop",
                     sender=sender,
                     fragment_id=fragment.fragment_id,
-                    index=fragment.index,
+                    index=index,
                     completed_upto=self._completed.get(sender, 0),
                 )
             return None
         key = (sender, fragment.fragment_id)
-        slots = self._partial.get(key)
-        if slots is None:
-            slots = [None] * fragment.total
-            self._partial[key] = slots
-        if len(slots) != fragment.total:
+        partial = self._partial.get(key)
+        if partial is None:
+            if total == 1:
+                # Single-fragment message: nothing to assemble.
+                self._completed[sender] = max(
+                    self._completed.get(sender, 0), fragment.fragment_id
+                )
+                self.bytes_copied += len(fragment.chunk)
+                return bytes(fragment.chunk)
+            partial = _Partial(total)
+            self._partial[key] = partial
+            self._open_ids.setdefault(sender, set()).add(fragment.fragment_id)
+        if partial.total != total:
             raise IllegalMessageError(
                 "fragment total changed mid-message"
             )
-        existing = slots[fragment.index]
-        if existing is not None:
-            if existing != fragment.chunk:
+        if index in partial.have:
+            if partial.stored(index) != fragment.chunk:
                 raise IllegalMessageError(
                     f"conflicting re-delivery of fragment"
-                    f" {fragment.index}/{fragment.total} from {sender}"
+                    f" {index}/{total} from {sender}"
                 )
             self.duplicates_ignored += 1
             if self._tracer.enabled:
@@ -116,16 +232,21 @@ class Reassembler:
                     "fragments.duplicate",
                     sender=sender,
                     fragment_id=fragment.fragment_id,
-                    index=fragment.index,
+                    index=index,
                 )
             return None
-        slots[fragment.index] = fragment.chunk
-        if any(chunk is None for chunk in slots):
+        self.bytes_copied += partial.write(index, fragment.chunk)
+        if len(partial.have) < total:
             return None
         del self._partial[key]
+        open_ids = self._open_ids.get(sender)
+        if open_ids is not None:
+            open_ids.discard(fragment.fragment_id)
+            if not open_ids:
+                del self._open_ids[sender]
         previous = self._completed.get(sender, 0)
         self._completed[sender] = max(previous, fragment.fragment_id)
-        return b"".join(slots)
+        return partial.result()
 
     def pending_count(self) -> int:
         """Messages currently awaiting fragments (for monitoring)."""
@@ -133,6 +254,6 @@ class Reassembler:
 
     def drop_sender(self, sender: str) -> None:
         """Discard partial state from a departed sender (view change)."""
-        for key in [k for k in self._partial if k[0] == sender]:
-            del self._partial[key]
+        for fragment_id in self._open_ids.pop(sender, ()):
+            self._partial.pop((sender, fragment_id), None)
         self._completed.pop(sender, None)

@@ -7,7 +7,7 @@ link serialization model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Optional, Tuple
 
 from repro.types import ProcessId, ServiceType, ViewId
@@ -44,11 +44,20 @@ class DataMessage:
     # vector at send time — (daemon, highest delivered seq) pairs.  The
     # message may only be delivered after its causal past.
     causal_vector: Optional[Tuple[Tuple[str, int], ...]] = None
+    # Memoized wire size: the payload-protocol probe below runs on every
+    # retransmit, complement scan and delivery-accounting hit, and the
+    # message (and its payload) is immutable — compute it once.
+    _wire_size: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def key(self) -> Tuple[str, int]:
         return (self.sender_daemon, self.seq)
 
     def wire_size(self) -> int:
+        cached = self._wire_size
+        if cached is not None:
+            return cached
         payload_size = getattr(self.payload, "wire_size", None)
         if callable(payload_size):
             base = int(payload_size())
@@ -56,7 +65,34 @@ class DataMessage:
             base = len(self.payload)
         else:
             base = 64
-        return 96 + base
+        size = 96 + base
+        object.__setattr__(self, "_wire_size", size)
+        return size
+
+
+@dataclass(frozen=True, slots=True)
+class Packed:
+    """Several reliable :class:`DataMessage`\\ s for one destination in a
+    single wire datagram.
+
+    Sender-side coalescing: a daemon with multiple pending data messages
+    bound for the same peer packs them into one envelope (flushed by
+    count, byte and time budgets — :class:`repro.spread.config
+    .SpreadConfig`), so N small multicasts cost one network event
+    instead of N.  Receivers unwrap and ingest the members in order,
+    which preserves per-sender FIFO exactly as if they had travelled
+    individually.
+    """
+
+    sender: str
+    view_id: ViewId
+    messages: Tuple[DataMessage, ...]
+
+    def wire_size(self) -> int:
+        # A small framing header plus the members verbatim; never less
+        # than the sum of the members, so the cross-layer byte
+        # conservation inequalities keep holding under packing.
+        return 16 + sum(m.wire_size() for m in self.messages)
 
 
 @dataclass(frozen=True, slots=True)

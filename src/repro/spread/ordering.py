@@ -36,6 +36,7 @@ from repro.spread.messages import DataMessage
 from repro.types import ServiceType, ViewId
 
 DeliverFn = Callable[[DataMessage], None]
+DeliverManyFn = Callable[[List[DataMessage]], None]
 
 
 def _is_totally_ordered(service: ServiceType) -> bool:
@@ -95,11 +96,16 @@ class ViewPipeline:
         deliver: DeliverFn,
         start_lamport: int = 0,
         send: Optional[Callable[[Optional[str], object], None]] = None,
+        deliver_many: Optional[DeliverManyFn] = None,
     ) -> None:
         self.view_id = view_id
         self.members: Tuple[str, ...] = tuple(members)
         self.me = me
         self._deliver = deliver
+        # Optional batch dispatch: a maximal in-order run released in one
+        # pass goes out through a single callback instead of one call per
+        # message.  Falls back to per-message delivery when absent.
+        self._deliver_many = deliver_many
         # Transmission callback: send(None, payload) broadcasts to the
         # view; send(daemon, payload) unicasts.  Optional for tests that
         # drive the pipeline directly.
@@ -119,6 +125,10 @@ class ViewPipeline:
         self.delivered_ts = 0
         # Set when an ingest makes prompt progress broadcasting worthwhile.
         self.wants_prompt_hello = False
+        # Ordered-release deferral depth (see begin_ingest_batch): while
+        # positive, _release is a no-op and the pending run drains once
+        # at end_ingest_batch.
+        self._release_deferred = 0
         self.closed = False
 
     # -- sending -----------------------------------------------------------
@@ -222,8 +232,20 @@ class ViewPipeline:
             # mixed-service streams keep their per-sender order; FIFO and
             # RELIABLE messages simply carry no causal vector and release
             # as soon as they are contiguous.
-            self._causal_held.append(message)
-            self._release_causal()
+            peer = self.peers[message.sender_daemon]
+            if (
+                not self._causal_held
+                and not message.causal_vector
+                and message.seq == peer.fifo_delivered + 1
+            ):
+                # Fast path: contiguous FIFO/RELIABLE with no causal
+                # backlog releases immediately — exactly what a holdback
+                # scan would conclude, without touching the list.
+                peer.fifo_delivered = message.seq
+                self._deliver(message)
+            else:
+                self._causal_held.append(message)
+                self._release_causal()
 
     def _causal_past_delivered(self, message: DataMessage) -> bool:
         if not message.causal_vector:
@@ -240,22 +262,44 @@ class ViewPipeline:
         """Deliver held CAUSAL messages whose causal past is complete.
 
         A delivery can satisfy another held message's vector, so loop
-        until a full pass releases nothing.
+        until a full pass releases nothing.  Each pass rebuilds the
+        holdback from the survivors instead of ``list.remove``-ing
+        per delivery (which made a release pass quadratic).
         """
+        held = self._causal_held
         progressed = True
-        while progressed and self._causal_held:
+        while progressed and held:
             progressed = False
-            for message in list(self._causal_held):
+            remaining: List[DataMessage] = []
+            for message in held:
                 # Per-sender FIFO among causal messages too.
                 peer = self.peers[message.sender_daemon]
-                if message.seq != peer.fifo_delivered + 1:
-                    continue
-                if not self._causal_past_delivered(message):
-                    continue
-                self._causal_held.remove(message)
-                peer.fifo_delivered = message.seq
-                self._deliver(message)
-                progressed = True
+                if message.seq == peer.fifo_delivered + 1 and (
+                    self._causal_past_delivered(message)
+                ):
+                    peer.fifo_delivered = message.seq
+                    self._deliver(message)
+                    progressed = True
+                else:
+                    remaining.append(message)
+            held[:] = remaining
+
+    def begin_ingest_batch(self) -> None:
+        """Defer ordered releases while a packed envelope is ingested.
+
+        Each member ingest still advances frontiers and runs the FIFO
+        fast path (per-sender order is protected by the seq chain), but
+        the heap drain happens once at ``end_ingest_batch`` instead of
+        once per member.  The delivery sequence is unchanged: the union
+        of the per-member release prefixes equals the final prefix, and
+        both drain in heap order.
+        """
+        self._release_deferred += 1
+
+    def end_ingest_batch(self) -> None:
+        self._release_deferred -= 1
+        if self._release_deferred == 0:
+            self._release()
 
     def note_hello(
         self, sender: str, lamport: int, all_received: int, sent_seq: int
@@ -295,16 +339,86 @@ class ViewPipeline:
         return self.peers[name].all_received
 
     def _release(self) -> None:
-        """Deliver every held message whose order is now determined."""
-        while self._order_heap:
-            ts, sender, seq = self._order_heap[0]
+        """Deliver every held message whose order is now determined.
+
+        The delivery horizon (the minimum over all members' ordered
+        horizons) cannot change while messages are being released — only
+        ingest and heartbeats move it — so it is computed once per pass
+        instead of once per message, and the maximal in-order run under
+        it is dispatched as a single batch.
+        """
+        if self._release_deferred:
+            return
+        heap = self._order_heap
+        if not heap:
+            return
+        names = self._sorted_names
+        horizon_of = self._horizon_of
+        horizon = min(horizon_of(name) for name in names)
+        if heap[0][0] > horizon:
+            return
+        if self._causal_held:
+            # Weaker-service messages are held back: each totally-ordered
+            # delivery must interleave with causal releases per-message.
+            self._release_interleaved(horizon)
+            return
+        # Fast path (no causal holdback): pop the maximal run under the
+        # horizon in one pass.  Released totally-ordered messages cannot
+        # add causal holdback, so the batch is exactly the sequence the
+        # per-message loop would have delivered.
+        held = self._held
+        peers = self.peers
+        ack_min: Optional[int] = None
+        run: List[DataMessage] = []
+        last_ts = 0
+        while heap:
+            ts, sender, seq = heap[0]
+            if ts > horizon:
+                break
+            message = held[(sender, seq)]
+            if _is_safe(message.service):
+                if ack_min is None:
+                    ack_min = min(self._ack_of(name) for name in names)
+                if ack_min < ts:
+                    break
+            heapq.heappop(heap)
+            del held[(sender, seq)]
+            peer = peers[sender]
+            if seq > peer.fifo_delivered:
+                peer.fifo_delivered = seq
+            last_ts = ts
+            run.append(message)
+        if not run:
+            return
+        if last_ts > self.delivered_ts:
+            self.delivered_ts = last_ts
+        deliver_many = self._deliver_many
+        if deliver_many is not None:
+            deliver_many(run)
+        else:
+            deliver = self._deliver
+            for message in run:
+                deliver(message)
+
+    def _release_interleaved(self, horizon: int) -> None:
+        """Per-message release for the mixed case: a causal holdback
+        exists, so every totally-ordered delivery may free weaker
+        messages that must go out in between."""
+        heap = self._order_heap
+        ack_min: Optional[int] = None
+        while heap:
+            ts, sender, seq = heap[0]
+            if ts > horizon:
+                break
             message = self._held[(sender, seq)]
             if _is_safe(message.service):
-                if not all(self._ack_of(name) >= ts for name in self.peers):
+                if ack_min is None:
+                    ack_min = min(
+                        self._ack_of(name) for name in self._sorted_names
+                    )
+                if ack_min < ts:
                     break
-            if not all(self._horizon_of(name) >= ts for name in self.peers):
-                break
-            heapq.heappop(self._order_heap)
+            heapq.heappop(heap)
             del self._held[(sender, seq)]
             peer = self.peers[sender]
             # Per-sender order across service levels: anything weaker the

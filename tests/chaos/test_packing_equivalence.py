@@ -1,0 +1,67 @@
+"""Chaos-fingerprint equivalence: packing must not change delivery order.
+
+The acceptance property for sender-side coalescing: on a deterministic
+link, a chaos-crucible run (partition, stall, crash/recover) with
+packing on produces byte-identical per-daemon delivery-order
+fingerprints to the same run with packing off — for every key-agreement
+module.  ``repro.bench.dataplane`` gates its A/B on the same helper;
+these tests pin the property in the tier-1 suite with a shorter window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.dataplane import DETERMINISTIC_LINK, _run_ab_side
+from repro.chaos.invariants import delivery_fingerprint
+from repro.sim.trace import TraceEvent
+
+
+@pytest.mark.parametrize("module", ["cliques", "ckd", "tgdh"])
+def test_packed_crucible_fingerprint_matches_unpacked(module):
+    off_fp, off_fail, _ = _run_ab_side(
+        seed=0, module=module, packing=False, span=1.2
+    )
+    on_fp, on_fail, attribution = _run_ab_side(
+        seed=0, module=module, packing=True, span=1.2
+    )
+    assert off_fail is None, off_fail
+    assert on_fail is None, on_fail
+    assert on_fp == off_fp
+    # The equal fingerprints came from a run that actually packed.
+    assert attribution["packed_datagrams"] > 0
+    assert attribution["packed_messages"] > attribution["packed_datagrams"]
+
+
+def test_deterministic_link_draws_no_randomness():
+    """The A/B comparison is only sound if the link model consumes no
+    RNG per datagram (loss/jitter/duplication draws would desynchronise
+    the two runs the moment datagram counts differ)."""
+    link = DETERMINISTIC_LINK
+    assert link.jitter == 0.0
+    assert link.bandwidth is None
+    for rate in (link.loss_rate, link.duplicate_rate, link.corrupt_rate,
+                 link.reorder_rate, link.spike_rate):
+        assert rate == 0.0
+
+
+def test_delivery_fingerprint_ignores_cross_daemon_interleaving():
+    """The fingerprint hashes each daemon's deliver stream separately,
+    so a global-trace shuffle that keeps per-daemon order is invisible —
+    exactly the insensitivity the packed pipeline needs."""
+
+    def event(me, seq):
+        return TraceEvent(
+            kind="daemon.deliver",
+            fields={"me": me, "view": "v", "sender": "d0",
+                    "seq": seq, "msg_kind": "app"},
+        )
+
+    interleaved = [event("d0", 1), event("d1", 1), event("d0", 2),
+                   event("d1", 2)]
+    grouped = [event("d0", 1), event("d0", 2), event("d1", 1),
+               event("d1", 2)]
+    reordered = [event("d0", 2), event("d0", 1), event("d1", 1),
+                 event("d1", 2)]
+    assert delivery_fingerprint(interleaved) == delivery_fingerprint(grouped)
+    assert delivery_fingerprint(interleaved) != delivery_fingerprint(reordered)

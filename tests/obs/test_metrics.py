@@ -174,6 +174,11 @@ def test_collect_daemon_and_session_label_by_owner():
             remote_bytes_delivered=4800,
             client_messages_delivered=20,
             client_bytes_delivered=2000,
+            packed_datagrams=6,
+            packed_messages=18,
+            delivery_runs=10,
+            delivered_in_runs=45,
+            longest_run=9,
         ),
     )
     collect_session(
@@ -192,6 +197,9 @@ def test_collect_daemon_and_session_label_by_owner():
     )
     assert registry.value("spread.flush_cuts", daemon="d0") == 3
     assert registry.value("spread.bytes_delivered_remote", daemon="d0") == 4800
+    assert registry.value("spread.packed_datagrams", daemon="d0") == 6
+    assert registry.value("spread.packed_messages", daemon="d0") == 18
+    assert registry.value("spread.longest_delivery_run", daemon="d0") == 9
     labels = {"member": "m0", "group": "g", "module": "tgdh"}
     assert registry.value("secure.sealed_bytes", **labels) == 640
     assert registry.value("secure.rekeys_completed", **labels) == 2

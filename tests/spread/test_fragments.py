@@ -154,6 +154,74 @@ def test_drop_sender_resets_completed_watermark():
     assert result == b"wxyz"
 
 
+# -- zero-copy behaviour -----------------------------------------------------------
+
+
+def test_split_payload_returns_memoryview_slices_without_copying():
+    payload = b"abcdefgh" * 16
+    fragments = split_payload(payload, 32, fragment_id=1)
+    backing = None
+    for fragment in fragments:
+        assert isinstance(fragment.chunk, memoryview)
+        if backing is None:
+            backing = fragment.chunk.obj
+        # Every chunk is a window onto the same buffer, not a copy.
+        assert fragment.chunk.obj is backing
+    assert b"".join(bytes(f.chunk) for f in fragments) == payload
+
+
+def test_reassembler_bytes_copied_counts_payload_once():
+    payload = bytes(range(256)) * 8  # 2048 bytes
+    reassembler = Reassembler()
+    result = None
+    for fragment in split_payload(payload, 256, fragment_id=1):
+        result = reassembler.accept("#a#d0", fragment)
+    assert result == payload
+    # Each payload byte lands in the preallocated buffer exactly once.
+    assert reassembler.bytes_copied == len(payload)
+
+
+def test_reassembler_accepts_out_of_order_final_first():
+    payload = b"0123456789abcdef!"
+    fragments = split_payload(payload, 4, fragment_id=2)
+    reassembler = Reassembler()
+    result = None
+    for fragment in [fragments[-1]] + fragments[:-1]:
+        result = reassembler.accept("#a#d0", fragment)
+    assert result == payload
+
+
+def test_fragment_pickle_roundtrip_materialises_bytes():
+    import pickle
+
+    fragment = split_payload(b"abcdef" * 10, 16, fragment_id=9)[1]
+    assert isinstance(fragment.chunk, memoryview)
+    clone = pickle.loads(pickle.dumps(fragment))
+    assert isinstance(clone.chunk, bytes)
+    assert clone.chunk == bytes(fragment.chunk)
+    assert (clone.fragment_id, clone.index, clone.total) == (
+        fragment.fragment_id, fragment.index, fragment.total)
+
+
+def test_drop_sender_leaves_other_senders_partials():
+    reassembler = Reassembler()
+    a_parts = split_payload(b"abcdef", 2, fragment_id=1)
+    b_parts = split_payload(b"uvwxyz", 2, fragment_id=1)
+    reassembler.accept("#a#d0", a_parts[0])
+    reassembler.accept("#b#d1", b_parts[0])
+    reassembler.drop_sender("#a#d0")
+    assert reassembler.pending_count() == 1
+    reassembler.accept("#b#d1", b_parts[1])
+    assert reassembler.accept("#b#d1", b_parts[2]) == b"uvwxyz"
+
+
+def test_inconsistent_fragment_size_raises():
+    reassembler = Reassembler()
+    reassembler.accept("#a#d0", MessageFragment(1, 0, 3, b"aaaa"))
+    with pytest.raises(IllegalMessageError, match="size inconsistent"):
+        reassembler.accept("#a#d0", MessageFragment(1, 1, 3, b"bb"))
+
+
 # -- config --------------------------------------------------------------------------
 
 

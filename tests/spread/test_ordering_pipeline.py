@@ -323,3 +323,61 @@ def test_agreed_total_order_invariant(order, data):
         p.note_hello("c", lamport=100, all_received=100, sent_seq=4)
     assert [m.payload for m in out1] == [m.payload for m in out2]
     assert len(out1) == 8
+
+
+# -- ingest batching (packed-envelope release deferral) ----------------------------
+
+
+def test_ingest_batch_defers_ordered_release_until_end():
+    pipeline, delivered = make_pipeline()
+    pipeline.note_hello("c", lamport=100, all_received=100, sent_seq=0)
+    pipeline.begin_ingest_batch()
+    pipeline.ingest(msg("b", 1, 1, ServiceType.AGREED), now=0.0)
+    pipeline.ingest(msg("b", 2, 2, ServiceType.AGREED), now=0.0)
+    pipeline.note_hello("b", lamport=100, all_received=100, sent_seq=2)
+    # Everything is releasable, but the batch holds the heap drain.
+    assert delivered == []
+    pipeline.end_ingest_batch()
+    assert [m.payload for m in delivered] == ["b1", "b2"]
+
+
+def test_ingest_batch_keeps_fifo_fast_path():
+    pipeline, delivered = make_pipeline()
+    pipeline.begin_ingest_batch()
+    pipeline.ingest(msg("b", 1, 1), now=0.0)
+    # FIFO needs no ordering horizon: the fast path is not deferred.
+    assert [m.payload for m in delivered] == ["b1"]
+    pipeline.end_ingest_batch()
+
+
+def test_ingest_batch_delivery_order_matches_per_ingest():
+    messages = [
+        msg("b", i + 1, 2 * i + 1, ServiceType.AGREED) for i in range(4)
+    ] + [msg("c", i + 1, 2 * i + 2, ServiceType.AGREED) for i in range(4)]
+    plain_out, batched_out = [], []
+    plain = ViewPipeline(VIEW, ("a", "b", "c"), "a", plain_out.append)
+    batched = ViewPipeline(VIEW, ("a", "b", "c"), "a", batched_out.append)
+    for message in messages:
+        plain.ingest(message, now=0.0)
+    batched.begin_ingest_batch()
+    for message in messages:
+        batched.ingest(message, now=0.0)
+    batched.end_ingest_batch()
+    for pipeline in (plain, batched):
+        pipeline.note_hello("b", lamport=100, all_received=100, sent_seq=4)
+        pipeline.note_hello("c", lamport=100, all_received=100, sent_seq=4)
+    assert [m.payload for m in batched_out] == [m.payload for m in plain_out]
+    assert len(batched_out) == 8
+
+
+def test_nested_ingest_batches_release_once_at_depth_zero():
+    pipeline, delivered = make_pipeline()
+    pipeline.note_hello("c", lamport=100, all_received=100, sent_seq=0)
+    pipeline.begin_ingest_batch()
+    pipeline.begin_ingest_batch()
+    pipeline.ingest(msg("b", 1, 1, ServiceType.AGREED), now=0.0)
+    pipeline.note_hello("b", lamport=100, all_received=100, sent_seq=1)
+    pipeline.end_ingest_batch()
+    assert delivered == []  # still one level deep
+    pipeline.end_ingest_batch()
+    assert [m.payload for m in delivered] == ["b1"]
