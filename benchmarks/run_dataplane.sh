@@ -1,0 +1,18 @@
+#!/bin/sh
+# Run the data-plane throughput bench (packing A/B, fragmentation,
+# fault-equivalence fingerprints) and record BENCH_dataplane.json at
+# the repo root.  Pass --quick for the CI smoke shape and --check to
+# gate on fingerprint equality plus the minimum pack ratio.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+case " $* " in
+*" --output "*) set -- "$@" ;;
+*) set -- "$@" --output "$repo_root/BENCH_dataplane.json" ;;
+esac
+
+PYTHONHASHSEED=0 \
+    PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.bench.dataplane "$@"

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Run the many-group scale bench and record BENCH_scale.json at the
+# repo root.  Pass --quick for the CI-sized smoke shape, --check to
+# gate on the bench's structural assertions, or --output PATH /
+# --dump-dir DIR to redirect the artefacts.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+case " $* " in
+*" --output "*) set -- "$@" ;;
+*) set -- "$@" --output "$repo_root/BENCH_scale.json" ;;
+esac
+
+PYTHONHASHSEED=0 \
+    PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.bench.scale "$@"

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Run the real-socket transport bench (asyncio TCP backend on loopback)
+# and record BENCH_transport.json at the repo root.  Pass --smoke for
+# the CI-sized run with structural gates only, --check to gate, and
+# --dump-dir DIR to keep the secure phase's obs dump.  Exits 0 with a
+# note on platforms without loopback sockets.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+case " $* " in
+*" --output "*) set -- "$@" ;;
+*) set -- "$@" --output "$repo_root/BENCH_transport.json" ;;
+esac
+
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.bench.transport "$@"

@@ -177,3 +177,17 @@ class ModuleNotFoundError_(SecureGroupError):
 
 class ModuleRegistrationError(SecureGroupError):
     """A key-agreement module registration conflicts with an existing one."""
+
+
+# ---------------------------------------------------------------------------
+# Real transport (repro.transport)
+# ---------------------------------------------------------------------------
+
+
+class TransportError(ReproError):
+    """Base class for real-transport (socket backend) errors."""
+
+
+class FrameError(TransportError):
+    """A wire frame was malformed: bad magic/version, an oversized or
+    truncated body, a checksum mismatch, or a kind/type disagreement."""

@@ -34,6 +34,7 @@ from repro.obs.metrics import (
     collect_network,
     collect_session,
     collect_testbed,
+    collect_transport,
     registry_from_json,
 )
 from repro.obs.spans import (
@@ -66,6 +67,7 @@ __all__ = [
     "collect_network",
     "collect_session",
     "collect_testbed",
+    "collect_transport",
     "registry_from_json",
     "Span",
     "chrome_trace",

@@ -15,7 +15,7 @@ The catalogue (documented in ``docs/OBSERVABILITY.md``):
 layer      kind namespaces
 ========== =============================================================
 sim        ``kernel.*`` ``process.*``
-net        ``net.*``
+net        ``net.*`` ``transport.*``
 spread     ``daemon.*`` ``memb.*`` ``fragments.*`` ``daemon_security.*``
 secure     ``secure.*``
 keyagree   ``keyagree.*``
@@ -39,6 +39,7 @@ KIND_NAMESPACES: Dict[str, str] = {
     "kernel": "sim",
     "process": "sim",
     "net": "net",
+    "transport": "net",
     "daemon": "spread",
     "memb": "spread",
     "fragments": "spread",

@@ -305,6 +305,32 @@ def collect_exp_counter(registry: MetricsRegistry, counter, **labels: Any) -> No
     )
 
 
+def collect_transport(registry: MetricsRegistry, transport) -> None:
+    """Real-transport totals, labelled by the owning daemon.
+
+    ``transport`` is a :class:`repro.transport.tcp.TcpTransport` (or a
+    :class:`~repro.transport.client.TcpSpreadClient`, which shares the
+    counter names minus the histograms): socket byte/frame counters,
+    connection churn, and the power-of-two frame-size histograms.
+    """
+    labels = {"node": transport.name}
+    for key, value in transport.counters.items():
+        registry.gauge(f"transport.{key}", **labels).set(value)
+    for direction, sizes in (
+        ("tx", getattr(transport, "tx_frame_sizes", None)),
+        ("rx", getattr(transport, "rx_frame_sizes", None)),
+    ):
+        if not sizes:
+            continue
+        for bucket, count in sorted(sizes.items()):
+            registry.gauge(
+                "transport.frame_bytes_bucket",
+                direction=direction,
+                le=bucket,
+                **labels,
+            ).set(count)
+
+
 def exp_counts_match(registry: MetricsRegistry, counter, **labels: Any) -> bool:
     """True when the registry's per-label exponentiation counts equal
     ``counter.snapshot()`` exactly (the Tables 2-4 conservation check)."""

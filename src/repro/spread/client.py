@@ -7,7 +7,15 @@ optional callback), ``SP_disconnect``.
 
 The client talks to the daemon over a same-machine IPC channel modelled
 with a small fixed latency, matching the paper's daemon-client
-architecture: client operations never touch the network directly.
+architecture: client operations never touch the network directly.  That
+channel is the ``DaemonEndpoint`` seam (contract in
+:mod:`repro.transport.base`, not imported here): the client calls verbs
+on an endpoint, and the endpoint decides what a verb costs.  The sim
+backend is :class:`SimDaemonEndpoint` below — in-process calls behind
+the modelled ``ipc_delay``; the TCP backend
+(:class:`repro.transport.client.TcpSpreadClient`) reimplements the
+whole client over a socket instead, since a real network also replaces
+the receive path.
 """
 
 from __future__ import annotations
@@ -31,13 +39,106 @@ from repro.types import ProcessId, ServiceType
 EventCallback = Callable[[Any], None]
 
 
+class SimDaemonEndpoint:
+    """The sim backend of the client ↔ daemon IPC seam.
+
+    Every verb is an in-process call on the local
+    :class:`~repro.spread.daemon.SpreadDaemon`, scheduled behind the
+    configured ``ipc_delay`` with the client's historical event labels
+    (``{client}.ipc``, ``{client}.disconnect``, ``{client}.crash_notify``)
+    — chaos-crucible fingerprints pin both, so this class must stay
+    byte-identical to the pre-seam inline code.
+    """
+
+    def __init__(self, daemon: SpreadDaemon) -> None:
+        self.daemon = daemon
+        self._client: Optional["SpreadClient"] = None
+
+    def bind(self, client: "SpreadClient") -> None:
+        """Attach the owning client (the endpoint schedules on it)."""
+        self._client = client
+
+    @property
+    def alive(self) -> bool:
+        return self.daemon.alive
+
+    @property
+    def daemon_name(self) -> str:
+        return self.daemon.name
+
+    @property
+    def ipc_delay(self) -> float:
+        return self.daemon.config.ipc_delay
+
+    @property
+    def max_message_size(self) -> int:
+        return self.daemon.config.max_message_size
+
+    def _ipc(self, action: Callable[[], None]) -> None:
+        client = self._client
+        client.after(self.ipc_delay, action, label=f"{client.name}.ipc")
+
+    def connect(self, client: "SpreadClient", private_name: str) -> ProcessId:
+        # Connect is synchronous in the sim (the C library blocks on the
+        # handshake); the daemon is handed the client object itself as
+        # the delivery channel.
+        return self.daemon.client_connect(client, private_name)
+
+    def join(self, pid: ProcessId, group: str) -> None:
+        self._ipc(lambda: self.daemon.client_join(pid, group))
+
+    def leave(self, pid: ProcessId, group: str) -> None:
+        self._ipc(lambda: self.daemon.client_leave(pid, group))
+
+    def multicast(
+        self,
+        pid: ProcessId,
+        service: ServiceType,
+        group: str,
+        payload: Any,
+        origin_seq: int,
+    ) -> None:
+        self._ipc(
+            lambda: self.daemon.client_multicast(
+                pid, service, group, payload, origin_seq
+            )
+        )
+
+    def disconnect(self, private_name: str) -> None:
+        client = self._client
+        client.after(
+            self.ipc_delay,
+            lambda: self.daemon.client_gone(private_name),
+            label=f"{client.name}.disconnect",
+        )
+
+    def crash_notify(self, private_name: str) -> None:
+        # A crashed client looks like a broken IPC channel to the daemon.
+        client = self._client
+        if self.daemon.alive:
+            client.kernel.call_later(
+                self.ipc_delay,
+                lambda: self.daemon.client_gone(private_name),
+                label=f"{client.name}.crash_notify",
+            )
+
+
 class SpreadClient(SimProcess):
     """One application connection to a Spread daemon."""
 
-    def __init__(self, kernel: Kernel, private_name: str, daemon: SpreadDaemon) -> None:
-        super().__init__(kernel, f"#{private_name}#{daemon.name}")
+    def __init__(self, kernel: Kernel, private_name: str, daemon) -> None:
+        endpoint = (
+            SimDaemonEndpoint(daemon)
+            if isinstance(daemon, SpreadDaemon)
+            else daemon
+        )
+        super().__init__(kernel, f"#{private_name}#{endpoint.daemon_name}")
         self.private_name = private_name
-        self.daemon = daemon
+        self._endpoint = endpoint
+        #: The local daemon when the endpoint is the sim one (tests and
+        #: benches reach through this); None over other endpoints.
+        self.daemon = getattr(endpoint, "daemon", None)
+        endpoint.bind(self)
         self.pid: Optional[ProcessId] = None
         self.connected = False
         self.queue: Deque[Any] = deque()
@@ -55,9 +156,9 @@ class SpreadClient(SimProcess):
         """Register with the daemon; returns the private group id."""
         if self.connected:
             return self.pid
-        if not self.daemon.alive:
-            raise DaemonDownError(f"daemon {self.daemon.name} is down")
-        self.pid = self.daemon.client_connect(self, self.private_name)
+        if not self._endpoint.alive:
+            raise DaemonDownError(f"daemon {self._endpoint.daemon_name} is down")
+        self.pid = self._endpoint.connect(self, self.private_name)
         self.connected = True
         self.start()
         return self.pid
@@ -69,11 +170,7 @@ class SpreadClient(SimProcess):
             return
         self.connected = False
         self._my_groups.clear()
-        self.after(
-            self.daemon.config.ipc_delay,
-            lambda: self.daemon.client_gone(self.private_name),
-            label=f"{self.name}.disconnect",
-        )
+        self._endpoint.disconnect(self.private_name)
 
     def daemon_down(self) -> None:
         """Called by the daemon when it crashes."""
@@ -82,15 +179,9 @@ class SpreadClient(SimProcess):
         self._emit(_DaemonDownEvent())
 
     def on_crash(self) -> None:
-        # A crashed client looks like a broken IPC channel to the daemon.
         if self.connected:
             self.connected = False
-            if self.daemon.alive:
-                self.kernel.call_later(
-                    self.daemon.config.ipc_delay,
-                    lambda: self.daemon.client_gone(self.private_name),
-                    label=f"{self.name}.crash_notify",
-                )
+            self._endpoint.crash_notify(self.private_name)
 
     # ------------------------------------------------------------------
     # group operations
@@ -99,17 +190,14 @@ class SpreadClient(SimProcess):
     def _require_connected(self) -> None:
         if not self.connected:
             raise ConnectionClosedError(f"{self.name} is not connected")
-        if not self.daemon.alive:
-            raise DaemonDownError(f"daemon {self.daemon.name} is down")
-
-    def _ipc(self, action: Callable[[], None]) -> None:
-        self.after(self.daemon.config.ipc_delay, action, label=f"{self.name}.ipc")
+        if not self._endpoint.alive:
+            raise DaemonDownError(f"daemon {self._endpoint.daemon_name} is down")
 
     def join(self, group: str) -> None:
         """Join a group (idempotent at the daemon)."""
         self._require_connected()
         self._my_groups.add(group)
-        self._ipc(lambda: self.daemon.client_join(self.pid, group))
+        self._endpoint.join(self.pid, group)
 
     def leave(self, group: str) -> None:
         """Leave a group."""
@@ -117,7 +205,7 @@ class SpreadClient(SimProcess):
         if group not in self._my_groups:
             raise NotMemberError(f"{self.name} never joined {group!r}")
         self._my_groups.discard(group)
-        self._ipc(lambda: self.daemon.client_leave(self.pid, group))
+        self._endpoint.leave(self.pid, group)
 
     def multicast(
         self,
@@ -133,7 +221,7 @@ class SpreadClient(SimProcess):
         Returns this connection's last message sequence number.
         """
         self._require_connected()
-        limit = self.daemon.config.max_message_size
+        limit = self._endpoint.max_message_size
         if isinstance(payload, (bytes, bytearray)) and len(payload) > limit:
             if service.ordering_rank < ServiceType.FIFO.ordering_rank:
                 raise IllegalServiceError(
@@ -145,17 +233,11 @@ class SpreadClient(SimProcess):
             for fragment in fragments:
                 self._send_seq += 1
                 seq = self._send_seq
-                self._ipc(
-                    lambda f=fragment, s=seq: self.daemon.client_multicast(
-                        self.pid, service, group, f, s
-                    )
-                )
+                self._endpoint.multicast(self.pid, service, group, fragment, seq)
             return seq
         self._send_seq += 1
         seq = self._send_seq
-        self._ipc(
-            lambda: self.daemon.client_multicast(self.pid, service, group, payload, seq)
-        )
+        self._endpoint.multicast(self.pid, service, group, payload, seq)
         return seq
 
     def unicast(self, service: ServiceType, target: ProcessId, payload: Any) -> int:

@@ -11,6 +11,17 @@ the simulated network.  The daemon composes:
 
 Failure model: daemons are fail-stop and may recover with a fresh
 incarnation (volatile state lost); the network may partition and merge.
+
+The daemon is written against two seams rather than concrete backends
+(contracts in :mod:`repro.transport.base`, deliberately *not* imported
+here — the sim path must not depend on the transport package):
+
+* a **transport** providing ``add_node`` / ``has_node`` / ``send``
+  datagram service — :class:`repro.net.network.Network` in simulation,
+  :class:`repro.transport.tcp.TcpTransport` over real sockets; and
+* a **clock** providing the :class:`~repro.sim.kernel.Kernel`
+  scheduling surface — the kernel itself in simulation,
+  :class:`repro.transport.rtclock.RealtimeClock` on an asyncio loop.
 """
 
 from __future__ import annotations
@@ -18,7 +29,6 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SpreadError
-from repro.net.network import Network
 from repro.sim.kernel import Kernel
 from repro.sim.process import SimProcess
 from repro.spread.config import SpreadConfig
@@ -64,13 +74,18 @@ class SpreadDaemon(SimProcess):
         self,
         kernel: Kernel,
         name: str,
-        network: Network,
+        transport,
         config: SpreadConfig,
     ) -> None:
         super().__init__(kernel, name)
         if name not in config.daemons:
             raise SpreadError(f"daemon {name!r} missing from configuration")
-        self.network = network
+        #: The Transport seam (repro.transport.base): the sim Network or
+        #: a TcpTransport.  ``network`` is the historical alias — the
+        #: daemon-model security layer and the monitor reach the
+        #: transport through it.
+        self.transport = transport
+        self.network = transport
         self.config = config
         self.daemon_id = DaemonId(name)
         self.incarnation = 0
@@ -78,7 +93,7 @@ class SpreadDaemon(SimProcess):
         # seals inter-daemon data traffic under a per-view daemon key.
         self.security = None
         self._init_volatile_state()
-        network.add_node(self)
+        transport.add_node(self)
 
     def _make_pipeline(self, view: ViewId, members, start_lamport: int):
         """Build the configured total-order engine for a view."""
@@ -221,13 +236,13 @@ class SpreadDaemon(SimProcess):
     def _broadcast_everyone(self, payload: Any) -> None:
         """Send to every configured daemon (membership control plane)."""
         for daemon in self.config.daemons:
-            if daemon != self.name and self.network.has_node(daemon):
+            if daemon != self.name and self.transport.has_node(daemon):
                 self._send_to_daemon(daemon, payload)
 
     def _broadcast_view(self, payload: Any) -> None:
         """Send to the other members of the current view (data plane)."""
         for daemon in self.view_members:
-            if daemon != self.name and self.network.has_node(daemon):
+            if daemon != self.name and self.transport.has_node(daemon):
                 self._send_to_daemon(daemon, payload)
 
     def _send_to_daemon(self, destination: str, payload: Any) -> None:
@@ -257,7 +272,7 @@ class SpreadDaemon(SimProcess):
                     return  # queued until the daemon-group key is ready
             else:
                 payload = self.security.outbound_control(destination, payload)
-        self.network.send(self.name, destination, payload)
+        self.transport.send(self.name, destination, payload)
 
     # -- sender-side coalescing (data-plane fast path) -------------------
 

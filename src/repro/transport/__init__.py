@@ -1,0 +1,57 @@
+"""repro.transport — the real-network backend behind the transport seam.
+
+The deterministic sim kernel stays the reference backend; this package
+makes the seams it sat behind explicit and adds an asyncio TCP backend
+so the *same* daemons, clients and secure sessions run over real
+sockets (docs/TRANSPORT.md):
+
+* :mod:`repro.transport.base` — the ``Transport`` / ``Clock`` /
+  ``DaemonEndpoint`` seam contracts (Protocols; backends duck-type).
+* :mod:`repro.transport.wire` — length-prefixed, versioned,
+  CRC-checked frame codec with an incremental decoder.
+* :mod:`repro.transport.protocol` — client ↔ daemon IPC verbs.
+* :mod:`repro.transport.rtclock` — ``RealtimeClock``: the kernel
+  scheduling surface bridged to ``asyncio.loop.call_at``.
+* :mod:`repro.transport.tcp` — ``TcpTransport``: daemon-to-daemon
+  datagrams over per-peer TCP connections, plus the ``TransportMap``
+  address directory.
+* :mod:`repro.transport.host` — ``DaemonHost``: real daemons on one
+  asyncio loop (client listeners included).
+* :mod:`repro.transport.daemon` — the CLI
+  (``python -m repro.transport.daemon``).
+* :mod:`repro.transport.client` — ``TcpSpreadClient``: the Spread
+  client API over a socket, with listener callbacks, auto-reconnect
+  and heartbeat liveness.
+
+Submodules that need the Spread stack (``host``, ``client``) are
+re-exported lazily so importing :mod:`repro.transport` from low-level
+code can never create an import cycle with :mod:`repro.spread`.
+"""
+
+from repro.transport.rtclock import RealtimeClock
+from repro.transport.tcp import TcpTransport, TransportMap
+from repro.transport.wire import FrameDecoder, decode_frame, encode_frame
+
+__all__ = [
+    "RealtimeClock",
+    "TcpTransport",
+    "TransportMap",
+    "FrameDecoder",
+    "decode_frame",
+    "encode_frame",
+    "DaemonHost",
+    "TcpSpreadClient",
+    "SpreadListener",
+]
+
+
+def __getattr__(name):
+    if name == "DaemonHost":
+        from repro.transport.host import DaemonHost
+
+        return DaemonHost
+    if name in ("TcpSpreadClient", "SpreadListener"):
+        import repro.transport.client as _client
+
+        return getattr(_client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,522 @@
+"""The TCP Spread client: ``SP_*`` over a socket, with reconnect.
+
+:class:`TcpSpreadClient` exposes the same surface as the sim
+:class:`~repro.spread.client.SpreadClient` — ``join`` / ``leave`` /
+``multicast`` / ``unicast`` / ``receive`` / ``drain`` / ``on_event``,
+``pid``, ``name``, ``kernel`` — so :class:`~repro.spread.flush
+.FlushClient` and the whole secure-session stack run over it without a
+line changed.  Three things are new because the network is real:
+
+* **Listener callbacks** (asyncspread's ``SpreadListener`` style):
+  beyond the polling queue, a listener object gets
+  ``handle_connected`` / ``handle_dropped`` / ``handle_reconnected``
+  plus per-event ``handle_data`` / ``handle_membership``.
+
+* **Auto-reconnect**: when the connection drops, the client backs off
+  exponentially (base doubling to a cap), re-connects under the same
+  private name, and re-joins every group it was in.  The application
+  sees exactly one :class:`ConnectionLostEvent` per outage, then the
+  normal membership events as its re-joins install — a membership
+  resync, not an event replay.  (A daemon that still holds the old
+  connection refuses the duplicate name; that refusal is retried like
+  any other failure until the daemon notices the broken old socket.)
+
+* **Heartbeat liveness**: optionally the client joins a heartbeat group
+  and multicasts UNRELIABLE beacons to itself on a timer.  The beacons
+  are consumed internally (never queued to the application); if echoes
+  stop for ``liveness_timeout`` seconds, the connection is declared
+  dead and aborted, which funnels into the same reconnect path.  This
+  catches the half-open TCP case where the socket looks writable but
+  the daemon is gone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Deque, List, Optional, Set, Tuple
+
+from collections import deque
+
+from repro.errors import (
+    ConnectionClosedError,
+    DaemonDownError,
+    FrameError,
+    IllegalServiceError,
+    NotMemberError,
+    TransportError,
+)
+from repro.spread.events import DataEvent, MembershipEvent
+from repro.spread.fragments import MessageFragment, Reassembler, split_payload
+from repro.transport.protocol import (
+    ClientBye,
+    ClientConnect,
+    ClientDeliver,
+    ClientDisconnect,
+    ClientJoin,
+    ClientLeave,
+    ClientMulticast,
+    ClientRefused,
+    ClientWelcome,
+)
+from repro.transport.rtclock import RealtimeClock
+from repro.transport.tcp import READ_CHUNK
+from repro.transport.wire import FrameDecoder, encode_frame, max_frame_limit
+from repro.types import ProcessId, ServiceType
+
+EventCallback = Callable[[Any], None]
+
+
+class ConnectionLostEvent:
+    """Queued once per outage: the daemon connection dropped."""
+
+    is_membership = False
+
+    def __init__(self, reason: str = "") -> None:
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConnectionLostEvent {self.reason!r}>"
+
+
+class ConnectionRestoredEvent:
+    """Queued after a successful reconnect, before the re-join
+    membership events arrive."""
+
+    is_membership = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<ConnectionRestoredEvent>"
+
+
+class SpreadListener:
+    """Callback interface for connection and delivery events.
+
+    Subclass and override what you need; every hook defaults to a
+    no-op.  ``handle_event`` fires for *every* queued event after any
+    specific hook.
+    """
+
+    def handle_connected(self, client: "TcpSpreadClient") -> None: ...
+
+    def handle_dropped(
+        self, client: "TcpSpreadClient", reason: str = ""
+    ) -> None: ...
+
+    def handle_reconnected(self, client: "TcpSpreadClient") -> None: ...
+
+    def handle_data(
+        self, client: "TcpSpreadClient", event: DataEvent
+    ) -> None: ...
+
+    def handle_membership(
+        self, client: "TcpSpreadClient", event: MembershipEvent
+    ) -> None: ...
+
+    def handle_event(self, client: "TcpSpreadClient", event: Any) -> None: ...
+
+
+class TcpSpreadClient:
+    """One application connection to a daemon over TCP."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        private_name: str,
+        clock: Optional[RealtimeClock] = None,
+        reconnect: bool = True,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        heartbeat_group: Optional[str] = None,
+        heartbeat_interval: float = 0.25,
+        liveness_timeout: float = 2.0,
+        max_frame: Optional[int] = None,
+    ) -> None:
+        self.address = address
+        self.private_name = private_name
+        self.kernel = clock  # created at connect() when not supplied
+        self.auto_reconnect = reconnect
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.heartbeat_group = heartbeat_group
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = liveness_timeout
+        self.max_frame = max_frame if max_frame is not None else max_frame_limit()
+
+        self.pid: Optional[ProcessId] = None
+        self.name = f"#{private_name}#?"
+        self.daemon_name: Optional[str] = None
+        self.max_message_size = 65536
+        self.connected = False
+        self.queue: Deque[Any] = deque()
+        self.counters = {
+            "bytes_sent": 0,
+            "bytes_recv": 0,
+            "frames_sent": 0,
+            "frames_recv": 0,
+            "drops": 0,
+            "reconnects": 0,
+            "reconnect_attempts": 0,
+            "heartbeats_sent": 0,
+            "heartbeats_echoed": 0,
+        }
+        self._callbacks: List[EventCallback] = []
+        self._listeners: List[SpreadListener] = []
+        self._send_seq = 0
+        self._my_groups: Set[str] = set()
+        self._fragment_counter = 0
+        self._reassembler: Optional[Reassembler] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._decoder: Optional[FrameDecoder] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._closing = False
+        self._hb_timer = None
+        self._hb_seq = 0
+        self._hb_last_echo: Optional[float] = None
+
+    # -- connection lifecycle ----------------------------------------------
+
+    async def connect(self, timeout: float = 10.0) -> ProcessId:
+        """Dial the daemon, register ``private_name``, start receiving."""
+        if self.connected:
+            return self.pid
+        if self.kernel is None:
+            self.kernel = RealtimeClock(asyncio.get_running_loop())
+        self._reassembler = Reassembler(tracer=self.kernel.tracer)
+        await asyncio.wait_for(self._connect_once(), timeout)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name=f"spread-client:{self.private_name}"
+        )
+        for listener in list(self._listeners):
+            listener.handle_connected(self)
+        if self.heartbeat_group is not None:
+            self.join(self.heartbeat_group)
+            self._arm_heartbeat()
+        return self.pid
+
+    async def _connect_once(self) -> None:
+        reader, writer = await asyncio.open_connection(*self.address)
+        decoder = FrameDecoder(self.max_frame, observe=self._observe_rx)
+        try:
+            writer.write(
+                encode_frame(ClientConnect(self.private_name), self.max_frame)
+            )
+            await writer.drain()
+            welcome: Optional[ClientWelcome] = None
+            while welcome is None:
+                data = await reader.read(READ_CHUNK)
+                if not data:
+                    raise ConnectionClosedError(
+                        f"daemon at {self.address} closed during handshake"
+                    )
+                for op in decoder.feed(data):
+                    if isinstance(op, ClientRefused):
+                        raise ConnectionClosedError(
+                            f"daemon refused {self.private_name!r}: {op.reason}"
+                        )
+                    if isinstance(op, ClientWelcome):
+                        welcome = op
+                        break
+                    raise FrameError(
+                        f"unexpected handshake frame {type(op).__name__}"
+                    )
+        except BaseException:
+            writer.close()
+            raise
+        self._reader, self._writer, self._decoder = reader, writer, decoder
+        self.pid = welcome.pid
+        self.daemon_name = str(welcome.pid.daemon)
+        self.name = str(welcome.pid)
+        self.max_message_size = welcome.max_message_size
+        self.connected = True
+        self._hb_last_echo = None
+
+    def disconnect(self) -> None:
+        """Voluntarily close: announce, stop reconnecting, drop."""
+        if self._closing:
+            return
+        self._closing = True
+        self._my_groups.clear()
+        if self._hb_timer is not None:
+            self._hb_timer.cancel()
+            self._hb_timer = None
+        if self.connected:
+            self.connected = False
+            try:
+                self._raw_send(ClientDisconnect(self.private_name))
+            except Exception:
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+
+    async def close(self) -> None:
+        """``disconnect`` plus letting the writer flush its goodbyes."""
+        self.disconnect()
+        writer = self._writer
+        if writer is not None:
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    # -- the SpreadClient sending surface ----------------------------------
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise ConnectionClosedError(f"{self.name} is not connected")
+
+    def _observe_rx(self, kind: int, total: int) -> None:
+        self.counters["frames_recv"] += 1
+        self.counters["bytes_recv"] += total
+
+    def _raw_send(self, op: Any) -> None:
+        data = encode_frame(op, self.max_frame)
+        self.counters["frames_sent"] += 1
+        self.counters["bytes_sent"] += len(data)
+        self._writer.write(data)
+
+    def join(self, group: str) -> None:
+        """Join a group (idempotent at the daemon)."""
+        self._require_connected()
+        self._my_groups.add(group)
+        self._raw_send(ClientJoin(self.pid, group))
+
+    def leave(self, group: str) -> None:
+        """Leave a group."""
+        self._require_connected()
+        if group not in self._my_groups:
+            raise NotMemberError(f"{self.name} never joined {group!r}")
+        self._my_groups.discard(group)
+        self._raw_send(ClientLeave(self.pid, group))
+
+    def multicast(self, service: ServiceType, group: str, payload: Any) -> int:
+        """Send to a group or private ``#name#daemon`` destination.
+
+        Same fragmentation contract as the sim client: byte payloads
+        over the daemon's ``max_message_size`` split into FIFO-or-
+        stronger fragment trains.
+        """
+        self._require_connected()
+        limit = self.max_message_size
+        if isinstance(payload, (bytes, bytearray)) and len(payload) > limit:
+            if service.ordering_rank < ServiceType.FIFO.ordering_rank:
+                raise IllegalServiceError(
+                    "fragmented payloads need FIFO or stronger ordering"
+                )
+            self._fragment_counter += 1
+            fragments = split_payload(payload, limit, self._fragment_counter)
+            seq = 0
+            for fragment in fragments:
+                self._send_seq += 1
+                seq = self._send_seq
+                self._raw_send(
+                    ClientMulticast(self.pid, service, group, fragment, seq)
+                )
+            return seq
+        self._send_seq += 1
+        seq = self._send_seq
+        self._raw_send(ClientMulticast(self.pid, service, group, payload, seq))
+        return seq
+
+    def unicast(self, service: ServiceType, target: ProcessId, payload: Any) -> int:
+        """Send to a single process via its private group."""
+        return self.multicast(service, str(target), payload)
+
+    async def flush_writes(self) -> None:
+        """Await the socket's write buffer draining (senders in tight
+        loops call this for backpressure; sync sends never block)."""
+        writer = self._writer
+        if writer is not None:
+            await writer.drain()
+
+    # -- the receive side --------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        while True:
+            try:
+                while True:
+                    data = await self._reader.read(READ_CHUNK)
+                    if not data:
+                        raise ConnectionClosedError("daemon closed connection")
+                    for op in self._decoder.feed(data):
+                        self._handle(op)
+            except asyncio.CancelledError:
+                return
+            except Exception as exc:
+                if self._closing:
+                    return
+                if not await self._reconnect(exc):
+                    return
+
+    def _handle(self, op: Any) -> None:
+        if isinstance(op, ClientDeliver):
+            self._deliver_event(op.event)
+        elif isinstance(op, ClientBye):
+            raise ConnectionClosedError(f"daemon said bye: {op.reason}")
+        else:
+            raise FrameError(f"unexpected frame {type(op).__name__}")
+
+    def _deliver_event(self, event: Any) -> None:
+        if isinstance(event, DataEvent):
+            if self._is_heartbeat(event):
+                self.counters["heartbeats_echoed"] += 1
+                self._hb_last_echo = self.kernel.now
+                return
+            if isinstance(event.payload, MessageFragment):
+                whole = self._reassembler.accept(
+                    str(event.sender), event.payload
+                )
+                if whole is None:
+                    return  # more fragments coming
+                event = DataEvent(
+                    group=event.group,
+                    sender=event.sender,
+                    service=event.service,
+                    payload=whole,
+                    seq=event.seq,
+                )
+        self._emit(event)
+
+    def _emit(self, event: Any) -> None:
+        self.queue.append(event)
+        for callback in list(self._callbacks):
+            callback(event)
+        for listener in list(self._listeners):
+            if isinstance(event, DataEvent):
+                listener.handle_data(self, event)
+            elif isinstance(event, MembershipEvent):
+                listener.handle_membership(self, event)
+            listener.handle_event(self, event)
+
+    def on_event(self, callback: EventCallback) -> None:
+        """Register a delivery callback (fires for every queued event)."""
+        self._callbacks.append(callback)
+
+    def add_listener(self, listener: SpreadListener) -> None:
+        """Attach an asyncspread-style listener object."""
+        self._listeners.append(listener)
+
+    def receive(self) -> Optional[Any]:
+        """Pop the next delivered event, or None when the queue is empty."""
+        if self.queue:
+            return self.queue.popleft()
+        return None
+
+    def drain(self) -> List[Any]:
+        """Pop everything currently queued."""
+        events = list(self.queue)
+        self.queue.clear()
+        return events
+
+    def data_events(self) -> List[DataEvent]:
+        return [e for e in self.queue if isinstance(e, DataEvent)]
+
+    def membership_events(self) -> List[MembershipEvent]:
+        return [e for e in self.queue if isinstance(e, MembershipEvent)]
+
+    # -- reconnect ---------------------------------------------------------
+
+    async def _reconnect(self, cause: BaseException) -> bool:
+        """Drop bookkeeping + backoff-retry loop.  True when the session
+        is re-established (groups re-joined), False when giving up."""
+        self.connected = False
+        self.counters["drops"] += 1
+        reason = f"{type(cause).__name__}: {cause}"
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._emit(ConnectionLostEvent(reason))
+        for listener in list(self._listeners):
+            listener.handle_dropped(self, reason)
+        if not self.auto_reconnect or self._closing:
+            return False
+        groups = sorted(self._my_groups)
+        delay = self.backoff_base
+        while not self._closing:
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, self.backoff_cap)
+            self.counters["reconnect_attempts"] += 1
+            try:
+                await self._connect_once()
+            except (OSError, TransportError, ConnectionClosedError):
+                # Includes the daemon still holding our old name: retry
+                # until its broken-socket detection runs client_gone.
+                continue
+            break
+        if self._closing:
+            return False
+        self.counters["reconnects"] += 1
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.record(
+                "transport.client_reconnect",
+                client=self.private_name,
+                attempts=self.counters["reconnect_attempts"],
+            )
+        # Session re-join: the daemon sees a fresh connection, so the
+        # groups re-install and every member (including us) gets the
+        # membership resync events.
+        for group in groups:
+            self._my_groups.add(group)
+            self._raw_send(ClientJoin(self.pid, group))
+        self._emit(ConnectionRestoredEvent())
+        for listener in list(self._listeners):
+            listener.handle_reconnected(self)
+        return True
+
+    # -- heartbeat liveness ------------------------------------------------
+
+    def _is_heartbeat(self, event: DataEvent) -> bool:
+        return (
+            self.heartbeat_group is not None
+            and event.group == self.heartbeat_group
+            and str(event.sender) == str(self.pid)
+        )
+
+    def _arm_heartbeat(self) -> None:
+        self._hb_timer = self.kernel.call_later(
+            self.heartbeat_interval,
+            self._heartbeat_tick,
+            label=f"{self.name}.heartbeat",
+        )
+
+    def _heartbeat_tick(self) -> None:
+        if self._closing:
+            return
+        if self.connected:
+            self._hb_seq += 1
+            try:
+                self._raw_send(
+                    ClientMulticast(
+                        self.pid,
+                        ServiceType.UNRELIABLE,
+                        self.heartbeat_group,
+                        ("hb", self._hb_seq),
+                        0,
+                    )
+                )
+                self.counters["heartbeats_sent"] += 1
+            except Exception:
+                pass
+            last = self._hb_last_echo
+            if last is not None and (
+                self.kernel.now - last > self.liveness_timeout
+            ):
+                # Echoes stopped: declare the connection dead.  Abort
+                # the socket; the read loop's error path reconnects.
+                self._hb_last_echo = None
+                writer = self._writer
+                if writer is not None:
+                    try:
+                        writer.transport.abort()
+                    except Exception:
+                        pass
+        self._arm_heartbeat()

@@ -1,0 +1,368 @@
+"""The asyncio TCP backend of the ``Transport`` seam.
+
+One :class:`TcpTransport` per hosted daemon.  Outbound, it keeps one
+:class:`_PeerChannel` per destination daemon — a background task owning
+a TCP connection that identifies itself with a
+:class:`~repro.transport.protocol.PeerHello` and then streams frames;
+the channel reconnects with capped exponential backoff and, because the
+seam is a *datagram* service (reliability lives in the daemon's
+NACK/retransmit machinery above), buffered frames beyond a bound are
+dropped oldest-first rather than held forever against a dead peer.
+Inbound, :meth:`TcpTransport.serve` accepts peer connections, attributes
+each stream to the daemon named in its ``PeerHello``, and hands decoded
+payloads straight to ``node.deliver(source, payload)`` — the same entry
+point the sim network calls.
+
+Addressing goes through a :class:`TransportMap` (daemon name →
+``(host, port)`` for the peer and client listeners), shared by every
+host and client in a deployment.  Binding to port 0 records the
+ephemeral port back into the map, which is how single-process loopback
+deployments (tests, benches) wire themselves without port collisions.
+
+Observability: the transport keeps always-on counters
+(``bytes_sent/recv``, ``frames_sent/recv``, ``connects``,
+``reconnects``, ``send_drops``, ``decode_errors``) plus power-of-two
+frame-size histograms, sampled by
+:func:`repro.obs.metrics.collect_transport`; connection-level events
+are traced under the ``transport.*`` namespace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from collections import deque
+
+from repro.errors import FrameError, TransportError
+from repro.transport.protocol import PeerHello
+from repro.transport.wire import FrameDecoder, encode_frame, max_frame_limit
+
+#: Reconnect backoff: first retry after BACKOFF_BASE, doubling to CAP.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+#: Outbound datagram buffer per peer channel, in frames.
+SEND_BUFFER_FRAMES = 8192
+
+READ_CHUNK = 65536
+
+
+class TransportMap:
+    """Shared name → address directory for one deployment.
+
+    Two address spaces per daemon: the *peer* listener (daemon-to-daemon
+    frames) and the *client* listener (the Spread client API).  Entries
+    appear either from configuration (``parse``) or when a listener
+    binds (ephemeral-port discovery).
+    """
+
+    def __init__(self) -> None:
+        self._peers: Dict[str, Tuple[str, int]] = {}
+        self._clients: Dict[str, Tuple[str, int]] = {}
+
+    def set_peer(self, name: str, host: str, port: int) -> None:
+        self._peers[name] = (host, port)
+
+    def set_client(self, name: str, host: str, port: int) -> None:
+        self._clients[name] = (host, port)
+
+    def peer(self, name: str) -> Optional[Tuple[str, int]]:
+        return self._peers.get(name)
+
+    def client(self, name: str) -> Optional[Tuple[str, int]]:
+        return self._clients.get(name)
+
+    def knows(self, name: str) -> bool:
+        return name in self._peers
+
+    @classmethod
+    def parse(cls, specs) -> "TransportMap":
+        """Build a map from ``name=host:peer_port:client_port`` strings
+        (the CLI's ``--peer`` format)."""
+        table = cls()
+        for spec in specs:
+            try:
+                name, address = spec.split("=", 1)
+                host, peer_port, client_port = address.rsplit(":", 2)
+                table.set_peer(name, host, int(peer_port))
+                table.set_client(name, host, int(client_port))
+            except ValueError:
+                raise TransportError(
+                    f"bad peer spec {spec!r} "
+                    "(want name=host:peer_port:client_port)"
+                )
+        return table
+
+
+async def drain_tasks(tasks: set, writers: set, timeout: float = 2.0) -> None:
+    """Wind down connection-handler tasks: close their sockets so the
+    handlers exit on EOF, then wait (cancelling only stragglers —
+    cancelling a parked stream handler outright makes asyncio's
+    connection bookkeeping log spurious CancelledErrors)."""
+    for writer in list(writers):
+        try:
+            writer.transport.abort()
+        except Exception:
+            pass
+    writers.clear()
+    pending = {task for task in tasks if not task.done()}
+    tasks.clear()
+    if not pending:
+        return
+    done, still = await asyncio.wait(pending, timeout=timeout)
+    for task in still:
+        task.cancel()
+    if still:
+        await asyncio.gather(*still, return_exceptions=True)
+
+
+def size_bucket(size: int) -> int:
+    """The power-of-two histogram bucket (its upper bound) for ``size``."""
+    bucket = 16
+    while bucket < size:
+        bucket <<= 1
+    return bucket
+
+
+class TcpTransport:
+    """Daemon-to-daemon datagram service over per-peer TCP connections.
+
+    Satisfies the ``Transport`` seam (``add_node`` / ``has_node`` /
+    ``send``) for exactly one local daemon.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock,
+        addresses: TransportMap,
+        max_frame: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.addresses = addresses
+        self.max_frame = max_frame if max_frame is not None else max_frame_limit()
+        self._node: Any = None
+        self._channels: Dict[str, _PeerChannel] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._serve_tasks: set = set()
+        self._serve_writers: set = set()
+        self._closing = False
+        self.counters: Dict[str, int] = {
+            "bytes_sent": 0,
+            "bytes_recv": 0,
+            "frames_sent": 0,
+            "frames_recv": 0,
+            "connects": 0,
+            "reconnects": 0,
+            "connect_failures": 0,
+            "send_drops": 0,
+            "decode_errors": 0,
+        }
+        #: Frame-size histograms: power-of-two bucket -> frame count.
+        self.tx_frame_sizes: Dict[int, int] = {}
+        self.rx_frame_sizes: Dict[int, int] = {}
+
+    # -- the Transport seam ------------------------------------------------
+
+    def add_node(self, node: Any) -> None:
+        """Register the local daemon (the seam's single-node degenerate
+        case: a TcpTransport carries exactly one daemon)."""
+        if self._node is not None and self._node is not node:
+            raise TransportError(f"transport {self.name} already has a node")
+        self._node = node
+
+    def has_node(self, name: str) -> bool:
+        """Reachability by configuration: self, or an address we know."""
+        return name == self.name or self.addresses.knows(name)
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        size: Optional[int] = None,
+    ) -> None:
+        """Queue one datagram for ``destination`` (never blocks)."""
+        if self._closing:
+            return
+        data = encode_frame(payload, self.max_frame)
+        self.counters["frames_sent"] += 1
+        self.counters["bytes_sent"] += len(data)
+        bucket = size_bucket(len(data))
+        self.tx_frame_sizes[bucket] = self.tx_frame_sizes.get(bucket, 0) + 1
+        if destination == self.name:
+            # Self-delivery loopback (the daemon never does this today,
+            # but the datagram contract allows it).
+            self.clock.loop.call_soon(self._deliver, source, payload)
+            return
+        channel = self._channels.get(destination)
+        if channel is None:
+            channel = self._channels[destination] = _PeerChannel(
+                self, destination
+            )
+        channel.send(data)
+
+    # -- inbound -----------------------------------------------------------
+
+    async def serve(self, host: str, port: int = 0) -> Tuple[str, int]:
+        """Start the peer listener; records the bound address into the
+        map and returns it."""
+        self._server = await asyncio.start_server(self._accept, host, port)
+        bound = self._server.sockets[0].getsockname()[:2]
+        self.addresses.set_peer(self.name, bound[0], bound[1])
+        return bound
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        def observe(kind: int, total: int) -> None:
+            self.counters["frames_recv"] += 1
+            self.counters["bytes_recv"] += total
+            bucket = size_bucket(total)
+            self.rx_frame_sizes[bucket] = self.rx_frame_sizes.get(bucket, 0) + 1
+
+        decoder = FrameDecoder(self.max_frame, observe=observe)
+        peer: Optional[str] = None
+        task = asyncio.current_task()
+        self._serve_tasks.add(task)
+        self._serve_writers.add(writer)
+        try:
+            while True:
+                data = await reader.read(READ_CHUNK)
+                if not data:
+                    break
+                for payload in decoder.feed(data):
+                    if peer is None:
+                        if not isinstance(payload, PeerHello):
+                            raise FrameError(
+                                "peer stream did not start with PeerHello"
+                            )
+                        peer = payload.sender
+                        tracer = self.clock.tracer
+                        if tracer.enabled:
+                            tracer.record(
+                                "transport.peer_accept",
+                                me=self.name,
+                                peer=peer,
+                            )
+                        continue
+                    self._deliver(peer, payload)
+        except FrameError:
+            self.counters["decode_errors"] += 1
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._serve_tasks.discard(task)
+            self._serve_writers.discard(writer)
+            writer.close()
+
+    def _deliver(self, source: str, payload: Any) -> None:
+        node = self._node
+        if node is not None:
+            node.deliver(source, payload)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop the listener and tear down every peer channel."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for channel in self._channels.values():
+            await channel.close()
+        self._channels.clear()
+        await drain_tasks(self._serve_tasks, self._serve_writers)
+
+
+class _PeerChannel:
+    """One outbound connection to a peer daemon, with reconnect."""
+
+    def __init__(self, transport: TcpTransport, peer: str) -> None:
+        self.transport = transport
+        self.peer = peer
+        self._queue: Deque[bytes] = deque()
+        self._wake = asyncio.Event()
+        self._closed = False
+        self._task = transport.clock.loop.create_task(
+            self._run(), name=f"peer:{transport.name}->{peer}"
+        )
+
+    def send(self, data: bytes) -> None:
+        if self._closed:
+            return
+        if len(self._queue) >= SEND_BUFFER_FRAMES:
+            self._queue.popleft()
+            self.transport.counters["send_drops"] += 1
+        self._queue.append(data)
+        self._wake.set()
+
+    async def _run(self) -> None:
+        transport = self.transport
+        counters = transport.counters
+        backoff = BACKOFF_BASE
+        connected_before = False
+        while not self._closed:
+            address = transport.addresses.peer(self.peer)
+            if address is None:
+                # Peer not registered (yet): wait and re-resolve.
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, BACKOFF_CAP)
+                continue
+            try:
+                reader, writer = await asyncio.open_connection(*address)
+            except OSError:
+                counters["connect_failures"] += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, BACKOFF_CAP)
+                continue
+            if connected_before:
+                counters["reconnects"] += 1
+            connected_before = True
+            counters["connects"] += 1
+            backoff = BACKOFF_BASE
+            tracer = transport.clock.tracer
+            if tracer.enabled:
+                tracer.record(
+                    "transport.peer_connect",
+                    me=transport.name,
+                    peer=self.peer,
+                )
+            try:
+                writer.write(
+                    encode_frame(
+                        PeerHello(transport.name), transport.max_frame
+                    )
+                )
+                while not self._closed:
+                    queue = self._queue
+                    while queue:
+                        writer.write(queue.popleft())
+                    await writer.drain()
+                    if not queue:
+                        self._wake.clear()
+                        await self._wake.wait()
+            except (ConnectionError, OSError):
+                if tracer.enabled:
+                    tracer.record(
+                        "transport.peer_drop",
+                        me=transport.name,
+                        peer=self.peer,
+                    )
+                continue
+            finally:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+    async def close(self) -> None:
+        self._closed = True
+        self._wake.set()
+        self._task.cancel()
+        try:
+            await self._task
+        except (asyncio.CancelledError, Exception):
+            pass

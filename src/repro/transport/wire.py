@@ -1,0 +1,252 @@
+"""Length-prefixed wire framing for the TCP backend.
+
+Every payload that crosses a socket — daemon-to-daemon envelopes from
+:mod:`repro.spread.messages`, client IPC verbs from
+:mod:`repro.transport.protocol`, fragments, sealed blobs — travels as
+one *frame*:
+
+=======  ====  =========================================================
+offset   size  field
+=======  ====  =========================================================
+0        1     magic, ``0xC5``
+1        1     wire version, currently ``1``
+2        2     kind code (big-endian) — see :data:`WIRE_KINDS`
+4        4     body length in bytes (big-endian)
+8        4     CRC-32 of the body (big-endian)
+12       n     body: the pickled payload object
+=======  ====  =========================================================
+
+The kind code lets a receiver classify a frame without unpickling it
+(frame-size histograms, dispatch counters) and cross-checks the decoded
+type; unknown payload types fall back to :data:`KIND_PYOBJ`.  Bodies
+are pickled because Spread payloads are arbitrary application objects
+(sealed envelopes, flush wrappers, key-agreement tokens) — the framing
+is therefore only safe between mutually-trusting endpoints, which
+matches the paper's deployment model (daemons are the trusted
+infrastructure; *clients* are protected by the secure-session layer,
+whose sealed payloads survive pickling unchanged).
+
+A frame longer than :func:`max_frame_limit` (default 16 MiB, env
+``REPRO_TRANSPORT_MAX_FRAME``) is refused on both ends — a stream
+desync otherwise turns into a multi-gigabyte allocation from attacker-
+or corruption-controlled length bytes.
+
+:class:`FrameDecoder` is incremental: feed it whatever ``read()``
+returned — any chunking, including mid-header splits — and it yields
+each payload exactly once, raising :class:`~repro.errors.FrameError`
+(connection-fatal) on malformed input.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.errors import FrameError
+
+MAGIC = 0xC5
+VERSION = 1
+
+#: Environment knob: maximum frame size (header + body) in bytes.
+MAX_FRAME_ENV = "REPRO_TRANSPORT_MAX_FRAME"
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+HEADER = struct.Struct(">BBHII")
+HEADER_SIZE = HEADER.size  # 12
+
+#: Fallback kind: any picklable object without a registered code.
+KIND_PYOBJ = 0
+
+
+def max_frame_limit() -> int:
+    """The configured frame-size ceiling (``REPRO_TRANSPORT_MAX_FRAME``)."""
+    raw = os.environ.get(MAX_FRAME_ENV, "")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise FrameError(f"{MAX_FRAME_ENV} is not an integer: {raw!r}")
+        if value <= HEADER_SIZE:
+            raise FrameError(f"{MAX_FRAME_ENV} too small: {value}")
+        return value
+    return DEFAULT_MAX_FRAME
+
+
+def _registry() -> Tuple[Dict[Type, int], Dict[int, Type]]:
+    # Imported lazily so ``repro.spread`` never has to exist at
+    # transport-module import time in stripped-down environments.
+    from repro.spread.fragments import MessageFragment
+    from repro.spread.messages import (
+        DataMessage,
+        GatherAnnounce,
+        Hello,
+        Install,
+        Nack,
+        Packed,
+        Propose,
+        SyncInfo,
+    )
+    from repro.spread.ring import RingToken
+    from repro.transport.protocol import (
+        ClientBye,
+        ClientConnect,
+        ClientDeliver,
+        ClientDisconnect,
+        ClientJoin,
+        ClientLeave,
+        ClientMulticast,
+        ClientRefused,
+        ClientWelcome,
+        PeerHello,
+    )
+
+    codes: Dict[Type, int] = {
+        DataMessage: 1,
+        Packed: 2,
+        Hello: 3,
+        Nack: 4,
+        GatherAnnounce: 5,
+        Propose: 6,
+        SyncInfo: 7,
+        Install: 8,
+        RingToken: 9,
+        MessageFragment: 10,
+        PeerHello: 16,
+        ClientConnect: 32,
+        ClientWelcome: 33,
+        ClientRefused: 34,
+        ClientJoin: 35,
+        ClientLeave: 36,
+        ClientMulticast: 37,
+        ClientDisconnect: 38,
+        ClientDeliver: 39,
+        ClientBye: 40,
+    }
+    return codes, {code: cls for cls, code in codes.items()}
+
+
+_CODES: Optional[Dict[Type, int]] = None
+_TYPES: Optional[Dict[int, Type]] = None
+
+
+def _tables() -> Tuple[Dict[Type, int], Dict[int, Type]]:
+    global _CODES, _TYPES
+    if _CODES is None:
+        _CODES, _TYPES = _registry()
+    return _CODES, _TYPES
+
+
+def kind_code(payload: Any) -> int:
+    """The wire kind code for a payload (``KIND_PYOBJ`` if unregistered)."""
+    codes, __ = _tables()
+    return codes.get(type(payload), KIND_PYOBJ)
+
+
+def kind_name(code: int) -> str:
+    """Human-readable name of a kind code (for histogram labels)."""
+    __, types = _tables()
+    cls = types.get(code)
+    return cls.__name__ if cls is not None else "pyobj"
+
+
+def encode_frame(payload: Any, max_frame: Optional[int] = None) -> bytes:
+    """Serialize one payload into a complete wire frame."""
+    limit = max_frame if max_frame is not None else max_frame_limit()
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    total = HEADER_SIZE + len(body)
+    if total > limit:
+        raise FrameError(
+            f"frame of {total} bytes exceeds the {limit}-byte limit "
+            f"({type(payload).__name__})"
+        )
+    header = HEADER.pack(
+        MAGIC, VERSION, kind_code(payload), len(body), zlib.crc32(body)
+    )
+    return header + body
+
+
+def decode_frame(data: bytes) -> Any:
+    """Decode exactly one complete frame (helper for tests and probes)."""
+    decoder = FrameDecoder()
+    frames = decoder.feed(data)
+    if len(frames) != 1 or decoder.pending:
+        raise FrameError(
+            f"expected exactly one complete frame, got {len(frames)} "
+            f"with {decoder.pending} bytes left over"
+        )
+    return frames[0]
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte-chunk stream.
+
+    ``observe`` (optional) is called once per decoded frame with
+    ``(kind_code, total_frame_bytes)`` — the hook the transport uses for
+    its frame-size histograms.  All :class:`~repro.errors.FrameError`\\ s
+    are connection-fatal: after one, the stream offset can no longer be
+    trusted and the caller must drop the connection.
+    """
+
+    def __init__(
+        self,
+        max_frame: Optional[int] = None,
+        observe: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.max_frame = max_frame if max_frame is not None else max_frame_limit()
+        self._observe = observe
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+        self.bytes_fed = 0
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet part of a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Any]:
+        """Absorb ``data`` and return every payload it completed."""
+        self._buffer += data
+        self.bytes_fed += len(data)
+        out: List[Any] = []
+        buffer = self._buffer
+        while True:
+            if len(buffer) < HEADER_SIZE:
+                return out
+            magic, version, kind, length, crc = HEADER.unpack_from(buffer)
+            if magic != MAGIC:
+                raise FrameError(f"bad magic byte 0x{magic:02X}")
+            if version != VERSION:
+                raise FrameError(f"unsupported wire version {version}")
+            total = HEADER_SIZE + length
+            if total > self.max_frame:
+                raise FrameError(
+                    f"declared frame of {total} bytes exceeds the "
+                    f"{self.max_frame}-byte limit"
+                )
+            if len(buffer) < total:
+                return out
+            body = bytes(buffer[HEADER_SIZE:total])
+            del buffer[:total]
+            if zlib.crc32(body) != crc:
+                raise FrameError("body CRC mismatch")
+            try:
+                payload = pickle.loads(body)
+            except Exception as exc:
+                raise FrameError(f"undecodable frame body: {exc}") from exc
+            if kind != KIND_PYOBJ:
+                __, types = _tables()
+                expected = types.get(kind)
+                if expected is None:
+                    raise FrameError(f"unknown kind code {kind}")
+                if type(payload) is not expected:
+                    raise FrameError(
+                        f"kind code {kind} ({expected.__name__}) does not "
+                        f"match decoded {type(payload).__name__}"
+                    )
+            self.frames_decoded += 1
+            if self._observe is not None:
+                self._observe(kind, total)
+            out.append(payload)

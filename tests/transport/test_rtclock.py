@@ -1,0 +1,89 @@
+"""RealtimeClock: the Kernel scheduling surface on an asyncio loop."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ClockError
+from repro.transport.rtclock import RealtimeClock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_now_starts_at_zero_and_advances():
+    async def main():
+        clock = RealtimeClock()
+        first = clock.now
+        assert first >= 0.0
+        await asyncio.sleep(0.02)
+        assert clock.now > first
+
+    run(main())
+
+
+def test_call_later_fires_and_counts():
+    async def main():
+        clock = RealtimeClock()
+        fired = []
+        clock.call_later(0.01, lambda: fired.append(clock.now))
+        assert clock.events_scheduled == 1
+        assert clock.pending_events == 1
+        await asyncio.sleep(0.05)
+        assert len(fired) == 1
+        assert fired[0] >= 0.01
+        assert clock.events_processed == 1
+        assert clock.pending_events == 0
+
+    run(main())
+
+
+def test_cancel_prevents_firing():
+    async def main():
+        clock = RealtimeClock()
+        fired = []
+        handle = clock.call_later(0.01, lambda: fired.append(1), label="x")
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled
+        handle.cancel()  # idempotent
+        await asyncio.sleep(0.03)
+        assert fired == []
+        assert clock.events_cancelled == 1
+        assert clock.pending_events == 0
+
+    run(main())
+
+
+def test_negative_delay_rejected():
+    async def main():
+        clock = RealtimeClock()
+        with pytest.raises(ClockError):
+            clock.call_later(-0.1, lambda: None)
+
+    run(main())
+
+
+def test_call_at_in_the_past_fires_immediately():
+    # Documented divergence from the sim kernel (which raises): wall
+    # clocks cannot rewind, so a past deadline fires as soon as possible.
+    async def main():
+        clock = RealtimeClock()
+        await asyncio.sleep(0.01)
+        fired = []
+        clock.call_at(0.0, lambda: fired.append(1))
+        await asyncio.sleep(0.02)
+        assert fired == [1]
+
+    run(main())
+
+
+def test_scheduler_tag_and_tracer_default():
+    async def main():
+        clock = RealtimeClock()
+        assert clock.scheduler == "realtime"
+        assert not clock.tracer.enabled
+        assert clock.rng is not None
+
+    run(main())
