@@ -31,6 +31,7 @@ from repro.obs.metrics import (
     collect_daemon,
     collect_exp_counter,
     collect_kernel,
+    collect_netem,
     collect_network,
     collect_session,
     collect_testbed,
@@ -64,6 +65,7 @@ __all__ = [
     "collect_daemon",
     "collect_exp_counter",
     "collect_kernel",
+    "collect_netem",
     "collect_network",
     "collect_session",
     "collect_testbed",

@@ -15,7 +15,7 @@ The catalogue (documented in ``docs/OBSERVABILITY.md``):
 layer      kind namespaces
 ========== =============================================================
 sim        ``kernel.*`` ``process.*``
-net        ``net.*`` ``transport.*``
+net        ``net.*`` ``transport.*`` ``netem.*``
 spread     ``daemon.*`` ``memb.*`` ``fragments.*`` ``daemon_security.*``
 secure     ``secure.*``
 keyagree   ``keyagree.*``
@@ -40,6 +40,7 @@ KIND_NAMESPACES: Dict[str, str] = {
     "process": "sim",
     "net": "net",
     "transport": "net",
+    "netem": "net",
     "daemon": "spread",
     "memb": "spread",
     "fragments": "spread",

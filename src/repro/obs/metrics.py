@@ -331,6 +331,18 @@ def collect_transport(registry: MetricsRegistry, transport) -> None:
             ).set(count)
 
 
+def collect_netem(registry: MetricsRegistry, world) -> None:
+    """Fault-injection totals for a :class:`repro.transport.netem
+    .NetemWorld`: per-link byte counters, connection churn, and injected
+    fault counts (loss penalties, corruptions, truncations, resets,
+    blackholed bytes), plus the count of schedule actions fired."""
+    for name, link in world.links.items():
+        for key, value in link.counters.items():
+            registry.gauge(f"netem.{key}", link=name).set(value)
+    registry.gauge("netem.actions_fired").set(len(world.fired))
+    registry.gauge("netem.links").set(len(world.links))
+
+
 def exp_counts_match(registry: MetricsRegistry, counter, **labels: Any) -> bool:
     """True when the registry's per-label exponentiation counts equal
     ``counter.snapshot()`` exactly (the Tables 2-4 conservation check)."""

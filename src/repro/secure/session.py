@@ -25,6 +25,7 @@ from repro.crypto.dh import DHKeyPair, DHParams
 from repro.crypto.kdf import derive_keys
 from repro.crypto.random_source import RandomSource, SystemSource
 from repro.errors import (
+    ConnectionClosedError,
     ControllerError,
     NoGroupKeyError,
     ReproError,
@@ -685,15 +686,18 @@ class SecureGroupSession:
                         envelope,
                         service=ServiceType.AGREED,
                     )
-            except SendBlockedError:
-                # A newer membership is flushing; this agreement is about
-                # to be superseded anyway.
+            except (SendBlockedError, ConnectionClosedError):
+                # Blocked: a newer membership is flushing, so this
+                # agreement is about to be superseded.  Closed: the
+                # transport client is mid-reconnect (real backend only)
+                # and its re-join will resync membership and restart
+                # agreement — either way, don't send, don't raise.
                 return
 
     def _safe_multicast(self, payload: Any) -> None:
         try:
             self.flush.multicast(self.group, payload)
-        except SendBlockedError:
+        except (SendBlockedError, ConnectionClosedError):
             pass
 
     # -- completion ----------------------------------------------------------------------

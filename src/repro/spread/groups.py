@@ -28,10 +28,12 @@ rather than a dict of ad-hoc objects:
   proportional to the process's own groups, not to every group in the
   daemon.
 
-``change_counter`` stays a plain dict on purpose: its quirky lifecycle
-(entries survive or reset at empty-group collection, and restart at
-view installation) is observable through ``GroupViewId`` counters, so
-it must behave byte-for-byte as the seed did.
+``change_counter`` stays a plain dict on purpose: its lifecycle is
+observable through ``GroupViewId`` counters.  Entries survive
+empty-group collection — within one daemon view the counter is the
+only thing keeping group-view ids totally ordered and unique, so a
+group that empties and re-forms keeps counting — and reset only at
+view installation, where the daemon-view half of the id changes.
 """
 
 from __future__ import annotations
@@ -150,7 +152,15 @@ class GroupTable:
         gid = self._gids.pop(group)
         self._slabs[gid] = None
         self._free.append(gid)
-        self.change_counter.pop(group, None)
+        # The change counter deliberately SURVIVES empty-group
+        # collection: GroupViewId promises a total order per group, and
+        # a counter restarting at 1 when a group empties and re-forms
+        # within one daemon view would alias new membership epochs onto
+        # old view ids (two different epochs both labelled "+4" — the
+        # transport crucible caught exactly this when every client of a
+        # group dropped and rejoined).  replace() still resets counters
+        # at view installation, where the daemon-view half of the id
+        # changes and keeps labels unique.
 
     def join(self, group: str, pid_string: str) -> bool:
         """Add a member; returns False when already present."""

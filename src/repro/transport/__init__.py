@@ -22,6 +22,10 @@ sockets (docs/TRANSPORT.md):
 * :mod:`repro.transport.client` — ``TcpSpreadClient``: the Spread
   client API over a socket, with listener callbacks, auto-reconnect
   and heartbeat liveness.
+* :mod:`repro.transport.netem` — WAN-shaped fault injection: a seeded
+  shaping TCP proxy (``NetemLink``/``NetemWorld``) plus declarative
+  ``NetemSchedule`` fault scripts; also a standalone CLI
+  (``python -m repro.transport.netem``).
 
 Submodules that need the Spread stack (``host``, ``client``) are
 re-exported lazily so importing :mod:`repro.transport` from low-level
@@ -42,6 +46,10 @@ __all__ = [
     "DaemonHost",
     "TcpSpreadClient",
     "SpreadListener",
+    "LinkShape",
+    "NetemLink",
+    "NetemSchedule",
+    "NetemWorld",
 ]
 
 
@@ -54,4 +62,8 @@ def __getattr__(name):
         import repro.transport.client as _client
 
         return getattr(_client, name)
+    if name in ("LinkShape", "NetemLink", "NetemSchedule", "NetemWorld"):
+        import repro.transport.netem as _netem
+
+        return getattr(_netem, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

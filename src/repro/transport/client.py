@@ -13,8 +13,11 @@ line changed.  Three things are new because the network is real:
   plus per-event ``handle_data`` / ``handle_membership``.
 
 * **Auto-reconnect**: when the connection drops, the client backs off
-  exponentially (base doubling to a cap), re-connects under the same
-  private name, and re-joins every group it was in.  The application
+  with decorrelated jitter (uniform in ``[base, 3 × previous]``, capped
+  — so a crowd of clients dropped by one daemon restart does not storm
+  back in lockstep), re-connects under the same private name with a
+  per-attempt connect timeout (a blackholed or half-open listener
+  cannot wedge the retry loop), and re-joins every group it was in.  The application
   sees exactly one :class:`ConnectionLostEvent` per outage, then the
   normal membership events as its re-joins install — a membership
   resync, not an event replay.  (A daemon that still holds the old
@@ -59,7 +62,7 @@ from repro.transport.protocol import (
     ClientWelcome,
 )
 from repro.transport.rtclock import RealtimeClock
-from repro.transport.tcp import READ_CHUNK
+from repro.transport.tcp import READ_CHUNK, decorrelated_jitter
 from repro.transport.wire import FrameDecoder, encode_frame, max_frame_limit
 from repro.types import ProcessId, ServiceType
 
@@ -130,6 +133,7 @@ class TcpSpreadClient:
         heartbeat_interval: float = 0.25,
         liveness_timeout: float = 2.0,
         max_frame: Optional[int] = None,
+        connect_timeout: float = 5.0,
     ) -> None:
         self.address = address
         self.private_name = private_name
@@ -137,6 +141,7 @@ class TcpSpreadClient:
         self.auto_reconnect = reconnect
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.connect_timeout = connect_timeout
         self.heartbeat_group = heartbeat_group
         self.heartbeat_interval = heartbeat_interval
         self.liveness_timeout = liveness_timeout
@@ -158,6 +163,7 @@ class TcpSpreadClient:
             "reconnect_attempts": 0,
             "heartbeats_sent": 0,
             "heartbeats_echoed": 0,
+            "liveness_aborts": 0,
         }
         self._callbacks: List[EventCallback] = []
         self._listeners: List[SpreadListener] = []
@@ -256,13 +262,14 @@ class TcpSpreadClient:
                 pass
 
     async def close(self) -> None:
-        """``disconnect`` plus letting the writer flush its goodbyes."""
+        """``disconnect`` plus letting the writer flush its goodbyes
+        (bounded: a dead daemon must not hang our shutdown)."""
         self.disconnect()
         writer = self._writer
         if writer is not None:
             try:
-                await writer.wait_closed()
-            except Exception:
+                await asyncio.wait_for(writer.wait_closed(), 2.0)
+            except (asyncio.TimeoutError, Exception):
                 pass
 
     # -- the SpreadClient sending surface ----------------------------------
@@ -439,14 +446,28 @@ class TcpSpreadClient:
         if not self.auto_reconnect or self._closing:
             return False
         groups = sorted(self._my_groups)
+        rng = self.kernel.rng.child(f"client-backoff/{self.private_name}")
         delay = self.backoff_base
         while not self._closing:
             await asyncio.sleep(delay)
-            delay = min(delay * 2, self.backoff_cap)
+            delay = decorrelated_jitter(
+                rng, delay, self.backoff_base, self.backoff_cap
+            )
             self.counters["reconnect_attempts"] += 1
             try:
-                await self._connect_once()
-            except (OSError, TransportError, ConnectionClosedError):
+                # The per-attempt timeout matters against a blackholed
+                # or half-open listener: the TCP connect (or handshake)
+                # would otherwise hang forever and the loop would never
+                # retry once the partition heals.
+                await asyncio.wait_for(
+                    self._connect_once(), self.connect_timeout
+                )
+            except (
+                OSError,
+                TransportError,
+                ConnectionClosedError,
+                asyncio.TimeoutError,
+            ):
                 # Includes the daemon still holding our old name: retry
                 # until its broken-socket detection runs client_gone.
                 continue
@@ -507,12 +528,24 @@ class TcpSpreadClient:
             except Exception:
                 pass
             last = self._hb_last_echo
-            if last is not None and (
-                self.kernel.now - last > self.liveness_timeout
-            ):
+            if last is None:
+                # Seed liveness at the first beacon of a (re)connected
+                # session: a socket that is half-open from the very
+                # start never produces an echo to set this, and must
+                # still trip the timeout.
+                self._hb_last_echo = self.kernel.now
+            elif self.kernel.now - last > self.liveness_timeout:
                 # Echoes stopped: declare the connection dead.  Abort
                 # the socket; the read loop's error path reconnects.
                 self._hb_last_echo = None
+                self.counters["liveness_aborts"] += 1
+                tracer = self.kernel.tracer
+                if tracer.enabled:
+                    tracer.record(
+                        "transport.client_liveness",
+                        client=self.private_name,
+                        idle=self.kernel.now - last,
+                    )
                 writer = self._writer
                 if writer is not None:
                     try:

@@ -50,6 +50,12 @@ from repro.transport.tcp import (
 )
 from repro.transport.wire import FrameDecoder, encode_frame, max_frame_limit
 
+#: Per-client outbound high-water mark, bytes.  A client socket whose
+#: OS write buffer stays above this for longer than the transport's
+#: send deadline is *stalled* — half-open or unreading — and gets
+#: kicked so the daemon's event stream never backs up behind it.
+CLIENT_WRITE_HIGH_WATER = 4 * 1024 * 1024
+
 
 class _ClientChannel:
     """Server side of one client connection (the daemon's 'client')."""
@@ -68,6 +74,7 @@ class _ClientChannel:
         self._private_name: Optional[str] = None
         self._closed = False
         self._disconnected = False
+        self._stall_since: Optional[float] = None
 
     # -- the surface the daemon expects of a client ------------------------
 
@@ -80,6 +87,46 @@ class _ClientChannel:
             )
         except Exception:
             self._drop()
+            return
+        self._check_backpressure()
+
+    def _check_backpressure(self) -> None:
+        """Deliveries are fire-and-forget (the daemon cannot await a
+        slow client), so backpressure is detected after the fact: a
+        write buffer continuously above the high-water mark past the
+        send deadline means a stalled-but-open socket, and the client
+        is kicked exactly like a crashed one."""
+        try:
+            buffered = self._writer.transport.get_write_buffer_size()
+        except Exception:
+            return
+        clock = self.host.clock
+        if buffered <= CLIENT_WRITE_HIGH_WATER:
+            self._stall_since = None
+            return
+        if self._stall_since is None:
+            self._stall_since = clock.now
+            return
+        stalled_for = clock.now - self._stall_since
+        transport = self.host.transports.get(self.daemon.name)
+        deadline = (
+            transport.send_deadline if transport is not None else 5.0
+        )
+        if stalled_for <= deadline:
+            return
+        if transport is not None:
+            transport.counters["client_stall_kicks"] += 1
+        tracer = clock.tracer
+        if tracer.enabled:
+            tracer.record(
+                "transport.client_stall_kick",
+                daemon=self.daemon.name,
+                client=self._private_name,
+                buffered=buffered,
+                stalled_for=stalled_for,
+            )
+        # Abort → run() ends → client_gone: same path as a crash.
+        self.kick()
 
     def daemon_down(self) -> None:
         if self._closed:
@@ -250,13 +297,17 @@ class DaemonHost:
             self.daemons[name].start()
 
     async def stop(self) -> None:
-        """Close client connections, listeners and peer channels."""
+        """Close client connections, listeners and peer channels.
+        Bounded: remote ends that never detach must not hang us."""
         for channels in self._channels.values():
             for channel in list(channels):
                 channel._drop()
         for server in self._client_servers:
             server.close()
-            await server.wait_closed()
+            try:
+                await asyncio.wait_for(server.wait_closed(), 2.0)
+            except asyncio.TimeoutError:
+                pass
         self._client_servers.clear()
         await drain_tasks(self._accept_tasks, set())
         for transport in self.transports.values():

@@ -30,6 +30,7 @@ are traced under the ``transport.*`` namespace.
 from __future__ import annotations
 
 import asyncio
+import os
 from typing import Any, Deque, Dict, Optional, Tuple
 
 from collections import deque
@@ -38,7 +39,8 @@ from repro.errors import FrameError, TransportError
 from repro.transport.protocol import PeerHello
 from repro.transport.wire import FrameDecoder, encode_frame, max_frame_limit
 
-#: Reconnect backoff: first retry after BACKOFF_BASE, doubling to CAP.
+#: Reconnect backoff bounds; retries use *decorrelated jitter* between
+#: them (see :func:`decorrelated_jitter`), not a bare doubling.
 BACKOFF_BASE = 0.05
 BACKOFF_CAP = 2.0
 
@@ -46,6 +48,38 @@ BACKOFF_CAP = 2.0
 SEND_BUFFER_FRAMES = 8192
 
 READ_CHUNK = 65536
+
+SEND_DEADLINE_ENV = "REPRO_TRANSPORT_SEND_DEADLINE"
+DEFAULT_SEND_DEADLINE = 5.0
+
+
+def send_deadline_limit() -> float:
+    """The per-peer write-progress deadline in seconds
+    (``REPRO_TRANSPORT_SEND_DEADLINE``): if a connected peer accepts no
+    bytes for this long the connection is aborted and rebuilt rather
+    than letting a zero-window/half-open socket wedge the channel."""
+    raw = os.environ.get(SEND_DEADLINE_ENV, "")
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise TransportError(
+                f"{SEND_DEADLINE_ENV} is not a number: {raw!r}"
+            )
+        if value <= 0:
+            raise TransportError(f"{SEND_DEADLINE_ENV} must be > 0")
+        return value
+    return DEFAULT_SEND_DEADLINE
+
+
+def decorrelated_jitter(rng, previous: float,
+                        base: float = BACKOFF_BASE,
+                        cap: float = BACKOFF_CAP) -> float:
+    """Next reconnect delay, decorrelated-jitter style: uniform in
+    ``[base, previous * 3]``, capped.  Unlike pure exponential doubling,
+    peers that lost the same daemon at the same instant spread their
+    retries instead of storming back in lockstep."""
+    return min(cap, rng.uniform(base, max(base, previous * 3.0)))
 
 
 class TransportMap:
@@ -159,7 +193,13 @@ class TcpTransport:
             "connect_failures": 0,
             "send_drops": 0,
             "decode_errors": 0,
+            "send_deadline_aborts": 0,
+            "peer_eof_closes": 0,
+            "client_stall_kicks": 0,
+            "send_buffer_peak_frames": 0,
+            "send_buffer_peak_bytes": 0,
         }
+        self.send_deadline = send_deadline_limit()
         #: Frame-size histograms: power-of-two bucket -> frame count.
         self.tx_frame_sizes: Dict[int, int] = {}
         self.rx_frame_sizes: Dict[int, int] = {}
@@ -266,11 +306,19 @@ class TcpTransport:
     # -- lifecycle ---------------------------------------------------------
 
     async def close(self) -> None:
-        """Stop the listener and tear down every peer channel."""
+        """Stop the listener and tear down every peer channel.
+
+        Every wait is bounded: a peer that holds its end of a
+        connection open (alive, blackholed, or wedged) must not be able
+        to hang our shutdown — ``Server.wait_closed`` otherwise waits
+        for *remote* ends to detach."""
         self._closing = True
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), 2.0)
+            except asyncio.TimeoutError:
+                pass
         for channel in self._channels.values():
             await channel.close()
         self._channels.clear()
@@ -278,14 +326,26 @@ class TcpTransport:
 
 
 class _PeerChannel:
-    """One outbound connection to a peer daemon, with reconnect."""
+    """One outbound connection to a peer daemon, with reconnect.
+
+    Hardened against WAN failure modes the netem crucible manufactures:
+    reconnect delays use decorrelated jitter (no thundering herd after a
+    daemon restart), writes must make progress within the transport's
+    ``send_deadline`` (a stalled/zero-window peer gets aborted and
+    rebuilt instead of wedging the channel), and a read-side watchdog
+    notices remote EOF/reset even while the write loop is parked with
+    nothing to send — the half-open case a pure writer can never see.
+    """
 
     def __init__(self, transport: TcpTransport, peer: str) -> None:
         self.transport = transport
         self.peer = peer
         self._queue: Deque[bytes] = deque()
+        self._queue_bytes = 0
         self._wake = asyncio.Event()
         self._closed = False
+        self._conn_broken = False
+        self._rng = transport.clock.rng.child(f"backoff/{peer}")
         self._task = transport.clock.loop.create_task(
             self._run(), name=f"peer:{transport.name}->{peer}"
         )
@@ -293,10 +353,41 @@ class _PeerChannel:
     def send(self, data: bytes) -> None:
         if self._closed:
             return
+        counters = self.transport.counters
         if len(self._queue) >= SEND_BUFFER_FRAMES:
-            self._queue.popleft()
-            self.transport.counters["send_drops"] += 1
+            dropped = self._queue.popleft()
+            self._queue_bytes -= len(dropped)
+            counters["send_drops"] += 1
         self._queue.append(data)
+        self._queue_bytes += len(data)
+        if len(self._queue) > counters["send_buffer_peak_frames"]:
+            counters["send_buffer_peak_frames"] = len(self._queue)
+        if self._queue_bytes > counters["send_buffer_peak_bytes"]:
+            counters["send_buffer_peak_bytes"] = self._queue_bytes
+        self._wake.set()
+
+    async def _watch_eof(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Detect remote close while the write loop is parked: peers
+        never send us bytes on an outbound channel, so any read result
+        — EOF, reset, or unexpected data — means the connection is
+        done.  Abort it and wake the writer so reconnect starts now,
+        not at the next send attempt."""
+        try:
+            await reader.read(READ_CHUNK)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            pass
+        if self._closed:
+            return
+        self._conn_broken = True
+        self.transport.counters["peer_eof_closes"] += 1
+        try:
+            writer.transport.abort()
+        except Exception:
+            pass
         self._wake.set()
 
     async def _run(self) -> None:
@@ -309,20 +400,21 @@ class _PeerChannel:
             if address is None:
                 # Peer not registered (yet): wait and re-resolve.
                 await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, BACKOFF_CAP)
+                backoff = decorrelated_jitter(self._rng, backoff)
                 continue
             try:
                 reader, writer = await asyncio.open_connection(*address)
             except OSError:
                 counters["connect_failures"] += 1
                 await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, BACKOFF_CAP)
+                backoff = decorrelated_jitter(self._rng, backoff)
                 continue
             if connected_before:
                 counters["reconnects"] += 1
             connected_before = True
             counters["connects"] += 1
             backoff = BACKOFF_BASE
+            self._conn_broken = False
             tracer = transport.clock.tracer
             if tracer.enabled:
                 tracer.record(
@@ -330,6 +422,10 @@ class _PeerChannel:
                     me=transport.name,
                     peer=self.peer,
                 )
+            watchdog = transport.clock.loop.create_task(
+                self._watch_eof(reader, writer),
+                name=f"peer-eof:{transport.name}->{self.peer}",
+            )
             try:
                 writer.write(
                     encode_frame(
@@ -339,11 +435,45 @@ class _PeerChannel:
                 while not self._closed:
                     queue = self._queue
                     while queue:
-                        writer.write(queue.popleft())
-                    await writer.drain()
+                        data = queue.popleft()
+                        self._queue_bytes -= len(data)
+                        writer.write(data)
+                    try:
+                        await asyncio.wait_for(
+                            writer.drain(), transport.send_deadline
+                        )
+                    except asyncio.TimeoutError:
+                        counters["send_deadline_aborts"] += 1
+                        if tracer.enabled:
+                            tracer.record(
+                                "transport.send_stall",
+                                me=transport.name,
+                                peer=self.peer,
+                                buffered=self._queue_bytes,
+                            )
+                        try:
+                            writer.transport.abort()
+                        except Exception:
+                            pass
+                        raise ConnectionResetError("send deadline expired")
+                    if self._closed:
+                        # wait_for on 3.11 swallows our cancellation
+                        # when the drain future finishes in the same
+                        # loop iteration (returns the result instead of
+                        # re-raising).  close() sets _closed before it
+                        # cancels, so re-check here — otherwise we would
+                        # clear close()'s wake below and park on
+                        # _wake.wait() forever, past its bounded wait.
+                        break
+                    if self._conn_broken:
+                        raise ConnectionResetError("peer closed connection")
                     if not queue:
                         self._wake.clear()
                         await self._wake.wait()
+                        if self._conn_broken:
+                            raise ConnectionResetError(
+                                "peer closed connection"
+                            )
             except (ConnectionError, OSError):
                 if tracer.enabled:
                     tracer.record(
@@ -353,16 +483,29 @@ class _PeerChannel:
                     )
                 continue
             finally:
+                watchdog.cancel()
                 try:
                     writer.close()
                 except Exception:
                     pass
+                # Reap the watchdog without shielding ourselves from our
+                # own cancellation: wait() never re-raises the watchdog's
+                # error, while a pending cancel of *this* task is
+                # delivered at the await and propagates — a cancelled
+                # channel must die here, not survive into the reconnect
+                # backoff sleep past close()'s bounded wait.
+                await asyncio.wait({watchdog})
+                if watchdog.done() and not watchdog.cancelled():
+                    watchdog.exception()
 
     async def close(self) -> None:
         self._closed = True
         self._wake.set()
         self._task.cancel()
-        try:
-            await self._task
-        except (asyncio.CancelledError, Exception):
-            pass
+        # Bounded wait (asyncio.wait never re-raises and never blocks
+        # past its timeout): cancellation can race connection teardown
+        # in ways that leave the task parked; a wedged channel must not
+        # wedge transport shutdown with it.
+        await asyncio.wait({self._task}, timeout=2.0)
+        if self._task.done() and not self._task.cancelled():
+            self._task.exception()  # retrieved: no "never retrieved" noise

@@ -1,0 +1,58 @@
+"""Decorrelated-jitter reconnect backoff: bounds and spread.
+
+A reconnect storm after a daemon restart must not arrive in lockstep;
+``decorrelated_jitter`` (AWS-style: ``min(cap, uniform(base, prev*3))``)
+keeps every delay inside [base, cap] while decorrelating clients from
+each other and from their own previous delay.
+"""
+
+from repro.sim.rng import DeterministicRng
+from repro.transport.tcp import BACKOFF_BASE, BACKOFF_CAP, decorrelated_jitter
+
+
+def walk(rng, steps, base=BACKOFF_BASE, cap=BACKOFF_CAP):
+    delays = []
+    previous = base
+    for __ in range(steps):
+        previous = decorrelated_jitter(rng, previous, base, cap)
+        delays.append(previous)
+    return delays
+
+
+def test_delays_stay_inside_base_and_cap():
+    rng = DeterministicRng(7, label="backoff")
+    for delay in walk(rng, 500):
+        assert BACKOFF_BASE <= delay <= BACKOFF_CAP
+
+
+def test_first_step_bounded_by_three_times_base():
+    rng = DeterministicRng(11, label="backoff")
+    for __ in range(100):
+        first = decorrelated_jitter(rng, BACKOFF_BASE)
+        assert BACKOFF_BASE <= first <= 3.0 * BACKOFF_BASE
+
+
+def test_zero_previous_never_collapses_below_base():
+    rng = DeterministicRng(13, label="backoff")
+    assert decorrelated_jitter(rng, 0.0) >= BACKOFF_BASE
+
+
+def test_streams_with_different_seeds_decorrelate():
+    a = walk(DeterministicRng(1, label="backoff"), 50)
+    b = walk(DeterministicRng(2, label="backoff"), 50)
+    assert a != b
+    # Not a constant schedule either: a decorrelated walk must vary.
+    assert len(set(round(d, 9) for d in a)) > 10
+
+
+def test_same_seed_replays_the_same_walk():
+    a = walk(DeterministicRng(3, label="backoff"), 50)
+    b = walk(DeterministicRng(3, label="backoff"), 50)
+    assert a == b
+
+
+def test_cap_clamps_growth():
+    rng = DeterministicRng(5, label="backoff")
+    # From a previous delay at the cap, growth cannot exceed the cap.
+    for __ in range(100):
+        assert decorrelated_jitter(rng, BACKOFF_CAP) <= BACKOFF_CAP

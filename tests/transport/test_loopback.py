@@ -15,58 +15,13 @@ from repro.cliques.directory import KeyDirectory
 from repro.secure.events import SecureDataEvent
 from repro.secure.session import SecureClient
 from repro.sim.rng import stable_seed
-from repro.spread.config import SpreadConfig
 from repro.spread.events import DataEvent
 from repro.spread.flush import FlushClient
 from repro.transport.client import TcpSpreadClient
-from repro.transport.host import DaemonHost, wait_for_condition
+from repro.transport.host import wait_for_condition
 from repro.types import ServiceType
 
-
-def loopback_config(names=("d0", "d1", "d2")):
-    return SpreadConfig(
-        daemons=names,
-        hello_interval=0.25,
-        fail_timeout=1.5,
-        gather_timeout=3.0,
-        sync_timeout=6.0,
-    )
-
-
-def run(coro, timeout=60.0):
-    async def bounded():
-        return await asyncio.wait_for(coro, timeout)
-
-    try:
-        return asyncio.run(bounded())
-    except OSError as exc:  # pragma: no cover - sandboxed platforms
-        pytest.skip(f"loopback sockets unavailable: {exc}")
-
-
-async def start_host(names=("d0", "d1", "d2")):
-    host = DaemonHost(loopback_config(names), names)
-    await host.start()
-    await host.settle()
-    return host
-
-
-async def join_all(clients, group):
-    for client in clients:
-        client.join(group)
-    expected = {str(c.pid) for c in clients}
-
-    def settled():
-        for client in clients:
-            views = [
-                e for e in client.queue
-                if getattr(e, "is_membership", False)
-                and str(getattr(e, "group", "")) == group
-            ]
-            if not views or {str(m) for m in views[-1].members} != expected:
-                return False
-        return True
-
-    await wait_for_condition(settled, timeout=30.0)
+from tests.transport.conftest import join_all, run, start_host
 
 
 def test_multicast_crosses_real_sockets():

@@ -9,9 +9,6 @@ membership resync — never an event replay.
 
 import asyncio
 
-import pytest
-
-from repro.spread.config import SpreadConfig
 from repro.spread.events import DataEvent
 from repro.transport.client import (
     ConnectionLostEvent,
@@ -21,6 +18,9 @@ from repro.transport.client import (
 )
 from repro.transport.host import DaemonHost, wait_for_condition
 from repro.types import ServiceType
+
+from tests.transport.conftest import loopback_config
+from tests.transport.conftest import run as conftest_run
 
 
 class Recorder(SpreadListener):
@@ -40,25 +40,12 @@ class Recorder(SpreadListener):
 
 
 def run(coro, timeout=90.0):
-    async def bounded():
-        return await asyncio.wait_for(coro, timeout)
-
-    try:
-        return asyncio.run(bounded())
-    except OSError as exc:  # pragma: no cover - sandboxed platforms
-        pytest.skip(f"loopback sockets unavailable: {exc}")
+    return conftest_run(coro, timeout)
 
 
 def test_kill_socket_backoff_reconnect_rejoin():
     async def main():
-        config = SpreadConfig(
-            daemons=("d0",),
-            hello_interval=0.25,
-            fail_timeout=1.5,
-            gather_timeout=3.0,
-            sync_timeout=6.0,
-        )
-        host = DaemonHost(config, ("d0",))
+        host = DaemonHost(loopback_config(("d0",)), ("d0",))
         await host.start()
         await host.settle()
         try:
@@ -125,14 +112,7 @@ def test_kill_socket_backoff_reconnect_rejoin():
 
 def test_voluntary_disconnect_does_not_reconnect():
     async def main():
-        config = SpreadConfig(
-            daemons=("d0",),
-            hello_interval=0.25,
-            fail_timeout=1.5,
-            gather_timeout=3.0,
-            sync_timeout=6.0,
-        )
-        host = DaemonHost(config, ("d0",))
+        host = DaemonHost(loopback_config(("d0",)), ("d0",))
         await host.start()
         await host.settle()
         try:

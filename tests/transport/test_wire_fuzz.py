@@ -1,0 +1,149 @@
+"""Hypothesis fuzz over the wire framing (`repro.transport.wire`).
+
+The FrameDecoder sits directly on attacker-adjacent bytes: whatever the
+kernel's ``read()`` returns — arbitrarily chunked, truncated by a dying
+peer, or corrupted by a hostile middlebox — must come out as either the
+exact sent payload stream or a clean :class:`~repro.errors.FrameError`
+(connection-fatal, caller reconnects and resyncs).  Nothing else may
+escape — not a pickle error, not a struct error, not an unbounded
+buffer.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FrameError
+from repro.transport.wire import (
+    HEADER,
+    HEADER_SIZE,
+    MAGIC,
+    VERSION,
+    FrameDecoder,
+    encode_frame,
+)
+
+#: Small picklable payloads of the shapes the stack actually ships:
+#: raw bytes, tagged tuples, tiny dicts.
+payloads = st.lists(
+    st.one_of(
+        st.binary(max_size=200),
+        st.tuples(st.integers(-1000, 1000), st.binary(max_size=50)),
+        st.dictionaries(st.text(max_size=4), st.integers(), max_size=3),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+FUZZ_LIMIT = 1 << 16
+
+
+def feed_chunked(decoder, stream, data):
+    """Feed ``stream`` in draw-sized chunks; returns decoded payloads."""
+    out = []
+    offset = 0
+    while offset < len(stream):
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(stream) - offset),
+            label="chunk",
+        )
+        out.extend(decoder.feed(stream[offset : offset + size]))
+        offset += size
+    return out
+
+
+@given(items=payloads, data=st.data())
+@settings(max_examples=75, deadline=None)
+def test_any_chunking_decodes_the_exact_stream(items, data):
+    stream = b"".join(encode_frame(item) for item in items)
+    decoder = FrameDecoder(max_frame=FUZZ_LIMIT)
+    out = feed_chunked(decoder, stream, data)
+    assert out == items
+    assert decoder.pending == 0
+    assert decoder.frames_decoded == len(items)
+
+
+@given(items=payloads, data=st.data())
+@settings(max_examples=75, deadline=None)
+def test_truncation_yields_a_clean_prefix(items, data):
+    encoded = [encode_frame(item) for item in items]
+    stream = b"".join(encoded)
+    cut = data.draw(st.integers(min_value=0, max_value=len(stream) - 1))
+    decoder = FrameDecoder(max_frame=FUZZ_LIMIT)
+    out = feed_chunked(decoder, stream[:cut], data) if cut else []
+    # Exactly the frames that fit whole before the cut, in order.
+    boundary = 0
+    expected = []
+    for item, blob in zip(items, encoded):
+        boundary += len(blob)
+        if boundary <= cut:
+            expected.append(item)
+    assert out == expected
+    assert decoder.pending < FUZZ_LIMIT
+
+
+@given(items=payloads, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_single_byte_corruption_never_escapes_frameerror(items, data):
+    stream = bytearray(b"".join(encode_frame(item) for item in items))
+    position = data.draw(
+        st.integers(min_value=0, max_value=len(stream) - 1), label="pos"
+    )
+    mask = data.draw(st.integers(min_value=1, max_value=255), label="mask")
+    stream[position] ^= mask
+    decoder = FrameDecoder(max_frame=FUZZ_LIMIT)
+    out = []
+    try:
+        out = feed_chunked(decoder, bytes(stream), data)
+    except FrameError:
+        pass  # the only exception allowed out
+    # Whatever decoded is an exact prefix of what was sent: corruption
+    # may cost the tail of the stream, never invent or reorder data.
+    assert out == items[: len(out)]
+    assert decoder.pending <= FUZZ_LIMIT
+
+
+@given(junk=st.binary(min_size=1, max_size=4096), data=st.data())
+@settings(max_examples=75, deadline=None)
+def test_garbage_is_rejected_or_left_pending(junk, data):
+    decoder = FrameDecoder(max_frame=FUZZ_LIMIT)
+    try:
+        out = feed_chunked(decoder, junk, data)
+    except FrameError:
+        return
+    # No error: the bytes could not have formed a bogus payload — junk
+    # must survive magic, version, CRC *and* unpickle to decode, and a
+    # stalled partial header stays bounded in the buffer.
+    assert out == []
+    assert decoder.pending <= FUZZ_LIMIT
+
+
+def test_oversized_declared_length_is_refused_before_buffering():
+    header = HEADER.pack(MAGIC, VERSION, 0, FUZZ_LIMIT * 16, 0)
+    decoder = FrameDecoder(max_frame=FUZZ_LIMIT)
+    with pytest.raises(FrameError):
+        decoder.feed(header)
+
+
+def test_decoder_resyncs_on_a_fresh_connection_after_error():
+    blob = encode_frame(b"payload")
+    corrupted = bytearray(blob)
+    corrupted[-1] ^= 0xFF
+    stale = FrameDecoder(max_frame=FUZZ_LIMIT)
+    with pytest.raises(FrameError):
+        stale.feed(bytes(corrupted))
+    # Connection-fatal means the *caller* reconnects; the replacement
+    # decoder starts at a frame boundary and decodes cleanly.
+    fresh = FrameDecoder(max_frame=FUZZ_LIMIT)
+    assert fresh.feed(blob) == [b"payload"]
+    assert fresh.pending == 0
+
+
+def test_header_split_at_every_byte_boundary():
+    blob = encode_frame((1, b"x"))
+    for split in range(1, HEADER_SIZE + 1):
+        decoder = FrameDecoder(max_frame=FUZZ_LIMIT)
+        assert decoder.feed(blob[:split]) == []
+        assert decoder.feed(blob[split:]) == [(1, b"x")]
