@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run the multi-process deployment bench (one real daemon process per
+# daemon, frame auth on, launched from generated deployment files) and
+# record BENCH_multihost.json at the repo root.  Pass --smoke for the
+# CI-sized run with structural gates only, --check to gate, and
+# --dump-dir DIR to keep the scale phase's obs dump.  Exits 0 with a
+# note on platforms without loopback sockets or subprocesses.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+case " $* " in
+*" --output "*) set -- "$@" ;;
+*) set -- "$@" --output "$repo_root/BENCH_multihost.json" ;;
+esac
+
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.bench.multihost "$@"

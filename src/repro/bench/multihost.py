@@ -1,0 +1,584 @@
+"""The multi-process deployment benchmark behind ``BENCH_multihost.json``.
+
+Where :mod:`repro.bench.transport` hosts every daemon inside the bench
+process, this bench runs the *deployment layer* honestly: it writes a
+:mod:`repro.transport.deploy` config file, has
+:class:`~repro.transport.launch.LaunchedDeployment` spawn one real
+``python -m repro.transport.daemon`` process per daemon on loopback,
+and talks to them only through sockets — the same shape a multi-host
+run has, minus the wire between machines.  Frame authentication
+(:mod:`repro.transport.auth`) is on for every honest phase: daemons and
+clients share a generated deployment key.
+
+1. **Scale** — for each daemon-process count, a fixed trio of
+   :class:`~repro.secure.session.SecureClient` members joins one group
+   across the daemons, floods sealed payloads (headline: sealed
+   deliveries per wall-clock second vs process count), then a fourth
+   member churns join/leave so the trace carries
+   ``secure.rekey_started`` → ``secure.confirmed`` spans; the re-key
+   tail (p50/p95/max) is reported per count.  The largest count's trace
+   is dumped for ``python -m repro.obs.inspect --check``.
+2. **Auth overhead** — the same sealed flood against a three-process
+   deployment, once with frame auth on and once off; reports both rates
+   and the on/off ratio (the cost of HMAC-SHA256 per frame).
+3. **Wrong key** — misconfigured clients against the authenticated
+   deployment: a wrong-key client, a keyless client, and a keyed client
+   against a keyless deployment.  All three must be *rejected at the
+   transport* (the daemon never unpickles a frame that fails
+   verification); the honest members' counters must show zero
+   auth rejects.
+
+Run ``PYTHONPATH=src python -m repro.bench.multihost`` for the full
+document, ``--smoke --check`` for the CI ``multihost-smoke`` shape.  On
+platforms without loopback sockets (or where subprocess spawning is
+unavailable) the bench prints a skip note and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.crypto.dh import DHKeyPair, DHParams
+from repro.crypto.random_source import DeterministicSource
+from repro.cliques.directory import KeyDirectory
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry, TraceBus, collect_session, collect_transport
+from repro.obs.dump import dump_run
+from repro.obs.spans import rekey_latency_table
+from repro.secure.events import SecureDataEvent, SecureMembershipEvent
+from repro.secure.session import SecureClient
+from repro.sim.rng import stable_seed
+from repro.spread.flush import FlushClient
+from repro.transport.auth import AUTH_DISABLED, generate_keyfile
+from repro.transport.client import TcpSpreadClient
+from repro.transport.deploy import Deployment, load_deployment
+from repro.transport.host import wait_for_condition
+from repro.transport.launch import LaunchedDeployment
+from repro.transport.rtclock import RealtimeClock
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_multihost.json"
+
+GROUP = "mh"
+MEMBERS = 3
+SEALED_PAYLOAD = b"sealed-multihost"
+
+#: Real-process daemons keep the CLI's default timers; the bench's
+#: failure detector must ride out scheduler noise from N processes.
+HELLO_INTERVAL = 0.25
+FAIL_TIMEOUT = 1.5
+
+FLOOD_BATCH = 64
+
+
+def _write_config(
+    workdir: Path,
+    daemons: int,
+    ports: Sequence[int],
+    keyfile: Optional[Path],
+    tag: str,
+) -> Path:
+    """Write a loopback deployment TOML (one process per daemon)."""
+    lines = ["[deployment]"]
+    if keyfile is not None:
+        lines.append(f'keyfile = "{keyfile}"')
+    lines += [
+        'bind = "127.0.0.1"',
+        f"hello_interval = {HELLO_INTERVAL}",
+        f"fail_timeout = {FAIL_TIMEOUT}",
+        "",
+    ]
+    for index in range(daemons):
+        lines += [
+            "[[daemon]]",
+            f'name = "d{index}"',
+            'host = "127.0.0.1"',
+            f"peer_port = {ports[2 * index]}",
+            f"client_port = {ports[2 * index + 1]}",
+            "",
+        ]
+    path = workdir / f"deploy_{tag}.toml"
+    path.write_text("\n".join(lines))
+    return path
+
+
+def _free_ports(count: int) -> List[int]:
+    """Grab ``count`` currently-free loopback ports (bind 0, record,
+    close).  Racy in principle; in practice fine for a bench that opens
+    them again within milliseconds."""
+    import socket
+
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class _Member:
+    """One SecureClient riding a TcpSpreadClient to a daemon process."""
+
+    def __init__(self, name: str, client: TcpSpreadClient, secure: SecureClient):
+        self.name = name
+        self.client = client
+        self.secure = secure
+
+    def view_of(self, group: str) -> set:
+        events = [
+            e for e in self.secure.queue
+            if isinstance(e, SecureMembershipEvent) and str(e.group) == group
+        ]
+        return {str(m) for m in events[-1].members} if events else set()
+
+    def sealed_count(self, prefix: bytes) -> int:
+        return sum(
+            1
+            for e in self.secure.queue
+            if isinstance(e, SecureDataEvent)
+            and str(e.group) == GROUP
+            and e.payload.startswith(prefix)
+        )
+
+
+async def _join_members(
+    deployment: Deployment,
+    names: Sequence[str],
+    clock: RealtimeClock,
+    auth,
+    directory: KeyDirectory,
+    existing: Optional[List[_Member]] = None,
+) -> List[_Member]:
+    """Connect + secure-join ``names`` round-robin over the daemons."""
+    params = DHParams.tiny_test()
+    members: List[_Member] = list(existing) if existing else []
+    daemons = [spec.name for spec in deployment.daemons]
+    for index, name in enumerate(names):
+        spec = deployment.spec(daemons[index % len(daemons)])
+        client = TcpSpreadClient(
+            spec.client_address, name, clock=clock, auth=auth
+        )
+        await client.connect()
+        source = DeterministicSource(stable_seed(7, name))
+        secure = SecureClient(
+            flush=FlushClient(client, auto_flush=False),
+            params=params,
+            long_term=DHKeyPair.generate(params, source),
+            directory=directory,
+            random_source=source,
+        )
+        secure.publish_key()
+        secure.join(GROUP, module="cliques")
+        members.append(_Member(name, client, secure))
+        expected = {str(m.client.pid) for m in members}
+
+        def keyed() -> bool:
+            return all(
+                m.view_of(GROUP) == expected and m.secure.has_key(GROUP)
+                for m in members
+            )
+
+        await wait_for_condition(keyed, timeout=90.0)
+    return members
+
+
+async def _sealed_flood(
+    members: List[_Member], per_sender: int, prefix: bytes
+) -> Dict[str, Any]:
+    """Every member sends ``per_sender`` sealed payloads; returns the
+    delivered-throughput figures once every member saw every payload."""
+    expected_each = per_sender * len(members)
+    started = time.perf_counter()
+    remaining = [per_sender] * len(members)
+    sequence = 0
+    while any(remaining):
+        for index, member in enumerate(members):
+            burst = min(FLOOD_BATCH, remaining[index])
+            for _ in range(burst):
+                sequence += 1
+                member.secure.send(GROUP, prefix + str(sequence).encode())
+            remaining[index] -= burst
+        for member in members:
+            await member.client.flush_writes()
+        await asyncio.sleep(0)
+
+    def all_delivered() -> bool:
+        return all(
+            m.sealed_count(prefix) >= expected_each for m in members
+        )
+
+    await wait_for_condition(all_delivered, timeout=180.0)
+    elapsed = time.perf_counter() - started
+    delivered = sum(m.sealed_count(prefix) for m in members)
+    return {
+        "messages_sent": per_sender * len(members),
+        "deliveries": delivered,
+        "expected_deliveries": expected_each * len(members),
+        "elapsed_s": elapsed,
+        "sealed_delivered_per_s": delivered / elapsed,
+    }
+
+
+def _client_rejects(members: List[_Member]) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for member in members:
+        for key in (
+            "auth_bad_mac",
+            "auth_missing_tag",
+            "auth_unexpected_tag",
+            "stale_version_rejects",
+            "restricted_unpickle_rejects",
+        ):
+            totals[key] = totals.get(key, 0) + member.client.counters[key]
+    return totals
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _rekey_tail(events) -> Dict[str, Any]:
+    latencies = [
+        row["latency"]
+        for row in rekey_latency_table(events)
+        if row["group"] == GROUP and row["latency"] is not None
+    ]
+    return {
+        "count": len(latencies),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1000, 3),
+        "max_ms": round(max(latencies, default=0.0) * 1000, 3),
+    }
+
+
+async def _close_members(members: List[_Member]) -> None:
+    for member in members:
+        await member.client.close()
+
+
+# -- phase 1: sealed throughput + rekey tails vs process count ---------------
+
+
+async def phase_scale(
+    counts: Sequence[int],
+    per_sender: int,
+    churns: int,
+    workdir: Path,
+    keyfile: Path,
+    dump_dir: Optional[Path],
+) -> Dict[str, Any]:
+    results: List[Dict[str, Any]] = []
+    for daemons in counts:
+        bus = TraceBus(max_events=500_000)
+        registry = MetricsRegistry()
+        bus.attach_metrics(registry)
+        ports = _free_ports(2 * daemons)
+        config = _write_config(workdir, daemons, ports, keyfile, f"s{daemons}")
+        deployment = load_deployment(config)
+        directory = KeyDirectory()
+        with LaunchedDeployment(deployment, log_dir=workdir / "logs") as launched:
+            launched.wait_ready()
+            clock = RealtimeClock(asyncio.get_running_loop(), tracer=bus)
+            members = await _join_members(
+                deployment,
+                [f"m{i}" for i in range(MEMBERS)],
+                clock,
+                str(keyfile),
+                directory,
+            )
+            flood = await _sealed_flood(members, per_sender, b"scale:")
+            # Join/leave churn: each cycle forces a full group re-key,
+            # giving the trace its rekey_started -> confirmed spans.
+            for cycle in range(churns):
+                joined = await _join_members(
+                    deployment, [f"c{cycle}"], clock, str(keyfile),
+                    directory, existing=members,
+                )
+                churner = joined[-1]
+                members_only = joined[:-1]
+                churner.secure.leave(GROUP)
+                expected = {str(m.client.pid) for m in members_only}
+
+                def rekeyed() -> bool:
+                    return all(
+                        m.view_of(GROUP) == expected
+                        and m.secure.has_key(GROUP)
+                        for m in members_only
+                    )
+
+                await wait_for_condition(rekeyed, timeout=90.0)
+                await churner.client.close()
+            rejects = _client_rejects(members)
+            for member in members:
+                collect_session(
+                    registry, member.name, GROUP,
+                    member.secure.sessions[GROUP],
+                )
+                collect_transport(registry, member.client)
+            if dump_dir is not None and daemons == max(counts):
+                dump_run(
+                    dump_dir / "multihost_secure",
+                    bus.events,
+                    metrics=registry,
+                    meta={
+                        "bench": "multihost",
+                        "phase": "scale",
+                        "daemon_processes": daemons,
+                        "members": MEMBERS,
+                        "auth": "hmac-sha256",
+                    },
+                )
+            await _close_members(members)
+            exit_codes = launched.stop()
+        results.append(
+            {
+                "daemon_processes": daemons,
+                "members": MEMBERS,
+                "flood": flood,
+                "rekey_tail": _rekey_tail(bus.events),
+                "client_rejects": rejects,
+                "daemon_exit_codes": sorted(
+                    code for code in exit_codes.values() if code is not None
+                ),
+            }
+        )
+    return {
+        "counts": list(counts),
+        "per_count": results,
+        "dump": str(dump_dir / "multihost_secure") if dump_dir else None,
+    }
+
+
+# -- phase 2: frame-auth overhead --------------------------------------------
+
+
+async def phase_auth_overhead(
+    per_sender: int, workdir: Path, keyfile: Path
+) -> Dict[str, Any]:
+    rates: Dict[str, Dict[str, Any]] = {}
+    for label, used_keyfile in (("auth_on", keyfile), ("auth_off", None)):
+        ports = _free_ports(6)
+        config = _write_config(workdir, 3, ports, used_keyfile, label)
+        deployment = load_deployment(config)
+        auth = str(used_keyfile) if used_keyfile else AUTH_DISABLED
+        with LaunchedDeployment(deployment, log_dir=workdir / "logs") as launched:
+            launched.wait_ready()
+            clock = RealtimeClock(asyncio.get_running_loop())
+            members = await _join_members(
+                deployment,
+                [f"o{i}" for i in range(MEMBERS)],
+                clock,
+                auth,
+                KeyDirectory(),
+            )
+            flood = await _sealed_flood(members, per_sender, b"ovh:")
+            flood["client_rejects"] = _client_rejects(members)
+            await _close_members(members)
+        rates[label] = flood
+    on = rates["auth_on"]["sealed_delivered_per_s"]
+    off = rates["auth_off"]["sealed_delivered_per_s"]
+    return {
+        **rates,
+        "overhead_ratio": round(off / on, 4) if on else None,
+    }
+
+
+# -- phase 3: misconfigured keys are rejected at the transport ---------------
+
+
+async def _expect_rejected(
+    deployment: Deployment, name: str, auth
+) -> Dict[str, Any]:
+    spec = deployment.daemons[0]
+    client = TcpSpreadClient(
+        spec.client_address,
+        name,
+        clock=RealtimeClock(asyncio.get_running_loop()),
+        auth=auth,
+        reconnect=False,
+    )
+    try:
+        await asyncio.wait_for(client.connect(timeout=5.0), 10.0)
+    except (ReproError, OSError, asyncio.TimeoutError) as exc:
+        return {
+            "rejected": True,
+            "error": type(exc).__name__,
+            "client_rejects": {
+                key: client.counters[key]
+                for key in ("auth_bad_mac", "auth_missing_tag",
+                            "auth_unexpected_tag")
+            },
+        }
+    finally:
+        await client.close()
+    return {"rejected": False, "error": None}
+
+
+async def phase_wrong_key(workdir: Path, keyfile: Path) -> Dict[str, Any]:
+    wrong_key = workdir / "wrong.key"
+    generate_keyfile(wrong_key)
+    results: Dict[str, Any] = {}
+
+    ports = _free_ports(2)
+    config = _write_config(workdir, 1, ports, keyfile, "wk")
+    deployment = load_deployment(config)
+    with LaunchedDeployment(deployment, log_dir=workdir / "logs") as launched:
+        launched.wait_ready()
+        results["wrong_key_client"] = await _expect_rejected(
+            deployment, "wk0", str(wrong_key)
+        )
+        results["keyless_client"] = await _expect_rejected(
+            deployment, "wk1", AUTH_DISABLED
+        )
+        # The honest path still works while the imposters are refused.
+        clock = RealtimeClock(asyncio.get_running_loop())
+        members = await _join_members(
+            deployment, ["wkok"], clock, str(keyfile), KeyDirectory()
+        )
+        results["honest_client_ok"] = members[0].secure.has_key(GROUP)
+        await _close_members(members)
+
+    ports = _free_ports(2)
+    config = _write_config(workdir, 1, ports, None, "nk")
+    deployment = load_deployment(config)
+    with LaunchedDeployment(deployment, log_dir=workdir / "logs") as launched:
+        launched.wait_ready()
+        results["keyed_client_vs_keyless_daemon"] = await _expect_rejected(
+            deployment, "nk0", str(keyfile)
+        )
+    return results
+
+
+# -- assembly ----------------------------------------------------------------
+
+
+async def run_multihost(
+    smoke: bool, dump_dir: Optional[Path], workdir: Path
+) -> Dict[str, Any]:
+    counts = [1, 3] if smoke else [1, 2, 3, 5]
+    per_sender = 100 if smoke else 600
+    churns = 1 if smoke else 3
+    keyfile = workdir / "deploy.key"
+    generate_keyfile(keyfile)
+    document: Dict[str, Any] = {
+        "bench": "multihost",
+        "backend": "multi-process-loopback",
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": await phase_scale(
+            counts, per_sender, churns, workdir, keyfile, dump_dir
+        ),
+        "auth_overhead": await phase_auth_overhead(
+            per_sender, workdir, keyfile
+        ),
+        "wrong_key": await phase_wrong_key(workdir, keyfile),
+    }
+    return document
+
+
+def check_document(document: Dict[str, Any], smoke: bool) -> List[str]:
+    """Gate failures (empty = pass).  Structural gates always apply;
+    wall-clock rates stay informational."""
+    failures: List[str] = []
+    for entry in document["scale"]["per_count"]:
+        tag = f"scale[{entry['daemon_processes']}]"
+        flood = entry["flood"]
+        if flood["deliveries"] < flood["expected_deliveries"]:
+            failures.append(f"{tag}: sealed deliveries incomplete")
+        if entry["rekey_tail"]["count"] < 1:
+            failures.append(f"{tag}: no completed re-key span in the trace")
+        if any(entry["client_rejects"].values()):
+            failures.append(
+                f"{tag}: honest clients saw auth rejects "
+                f"{entry['client_rejects']}"
+            )
+    overhead = document["auth_overhead"]
+    for label in ("auth_on", "auth_off"):
+        flood = overhead[label]
+        if flood["deliveries"] < flood["expected_deliveries"]:
+            failures.append(f"auth_overhead/{label}: deliveries incomplete")
+    if overhead["overhead_ratio"] is None:
+        failures.append("auth_overhead: no throughput measured")
+    wrong = document["wrong_key"]
+    for scenario in (
+        "wrong_key_client",
+        "keyless_client",
+        "keyed_client_vs_keyless_daemon",
+    ):
+        if not wrong[scenario]["rejected"]:
+            failures.append(f"wrong_key: {scenario} was NOT rejected")
+    if not wrong["honest_client_ok"]:
+        failures.append("wrong_key: honest client failed alongside imposters")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="multi-process deployment benchmark (BENCH_multihost.json)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + structural gates only (the CI shape)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every gate passes",
+    )
+    parser.add_argument(
+        "--dump-dir", type=Path, default=None,
+        help="write the scale phase's obs dump under this directory",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=_DEFAULT_OUTPUT,
+        help="where to write the JSON document",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with tempfile.TemporaryDirectory(prefix="multihost-") as tmp:
+            document = asyncio.run(
+                run_multihost(args.smoke, args.dump_dir, Path(tmp))
+            )
+    except TimeoutError:
+        # TimeoutError subclasses OSError but means the deployment came
+        # up and then stalled — that is a failure, not a missing
+        # environment.
+        raise
+    except OSError as exc:
+        # No loopback sockets / no subprocess: skip, don't fail.
+        print(f"multihost bench skipped: environment unavailable ({exc})")
+        return 0
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    biggest = document["scale"]["per_count"][-1]
+    print(
+        f"scale[{biggest['daemon_processes']} procs]: "
+        f"{biggest['flood']['sealed_delivered_per_s']:.0f} sealed msgs/s, "
+        f"rekey p95 {biggest['rekey_tail']['p95_ms']:.0f} ms; "
+        f"auth overhead x{document['auth_overhead']['overhead_ratio']}"
+    )
+    if args.check:
+        failures = check_document(document, args.smoke)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

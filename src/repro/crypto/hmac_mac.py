@@ -14,6 +14,7 @@ member auth) and route through the same construction.
 
 from __future__ import annotations
 
+import hashlib as _hashlib
 import hmac as _stdlib_hmac  # only for compare_digest (constant time)
 
 from repro.crypto.sha1 import BLOCK_SIZE, SHA1, sha1
@@ -57,3 +58,53 @@ def hmac_digest(key: bytes, message: bytes) -> bytes:
 def hmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
     """Constant-time verification of an HMAC tag (one-shot)."""
     return _stdlib_hmac.compare_digest(hmac_digest(key, message), tag)
+
+
+# ---------------------------------------------------------------------------
+# HMAC-SHA256 (transport frame authentication)
+# ---------------------------------------------------------------------------
+
+_SHA256_BLOCK_SIZE = 64
+
+SHA256_DIGEST_SIZE = 32
+
+
+class HmacSha256Key:
+    """A prepared HMAC-SHA256 key, mirroring :class:`HmacKey`.
+
+    Used by the transport's frame-auth layer, which wants a modern hash
+    on the hot path; ``hashlib`` backs it rather than the from-scratch
+    SHA-1 because frame tags are an engineering concern, not part of the
+    paper's protocol reproduction.
+    """
+
+    __slots__ = ("_inner", "_outer")
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) > _SHA256_BLOCK_SIZE:
+            key = _hashlib.sha256(key).digest()
+        key = key.ljust(_SHA256_BLOCK_SIZE, b"\x00")
+        self._inner = _hashlib.sha256(bytes(byte ^ _IPAD for byte in key))
+        self._outer = _hashlib.sha256(bytes(byte ^ _OPAD for byte in key))
+
+    def digest(self, message: bytes) -> bytes:
+        """HMAC-SHA256 of ``message`` under this key."""
+        inner = self._inner.copy()
+        inner.update(message)
+        outer = self._outer.copy()
+        outer.update(inner.digest())
+        return outer.digest()
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Constant-time verification of an HMAC-SHA256 tag."""
+        return _stdlib_hmac.compare_digest(self.digest(message), tag)
+
+
+def hmac_sha256_digest(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 of ``message`` under ``key`` (one-shot)."""
+    return HmacSha256Key(key).digest(message)
+
+
+def hmac_sha256_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time verification of an HMAC-SHA256 tag (one-shot)."""
+    return _stdlib_hmac.compare_digest(hmac_sha256_digest(key, message), tag)

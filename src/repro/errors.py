@@ -191,3 +191,22 @@ class TransportError(ReproError):
 class FrameError(TransportError):
     """A wire frame was malformed: bad magic/version, an oversized or
     truncated body, a checksum mismatch, or a kind/type disagreement."""
+
+
+class WireVersionError(FrameError):
+    """A frame carried a wire version this build does not speak (e.g. a
+    replayed pre-auth VERSION=1 frame against a VERSION=2 endpoint)."""
+
+
+class FrameAuthError(FrameError):
+    """Frame authentication failed: missing or unexpected HMAC tag, or a
+    tag that does not verify under the deployment key."""
+
+
+class RestrictedUnpickleError(FrameError):
+    """A frame body referenced a class outside the registered wire-kind
+    allowlist while being unpickled."""
+
+
+class DeployError(TransportError):
+    """A deployment config file is malformed or internally inconsistent."""

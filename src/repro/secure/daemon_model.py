@@ -45,6 +45,7 @@ from repro.errors import ReproError
 from repro.secure.dataprotect import DataProtector, SealedMessage
 from repro.sim.rng import stable_seed
 from repro.spread.messages import DataMessage, Packed
+from repro.transport.auth import restricted_loads
 from repro.types import ViewId
 
 
@@ -298,7 +299,9 @@ class DaemonSecurity:
                     "daemon_security.reject_control", me=self.me, source=source
                 )
                 return True, None
-            return True, pickle.loads(raw)
+            # Unsealed bytes still only resolve wire-kind classes: a
+            # compromised daemon key must not become code execution.
+            return True, restricted_loads(raw)
         return False, None
 
     def _on_offer(self, source: str, offer: DaemonKeyOffer) -> None:
@@ -340,7 +343,7 @@ class DaemonSecurity:
                 "daemon_security.reject", me=self.me, source=source
             )
             return None
-        message = pickle.loads(raw)
+        message = restricted_loads(raw)
         # Coalesced envelopes travel the sealed channel whole: one seal,
         # one unseal for the entire batch.
         return message if isinstance(message, (DataMessage, Packed)) else None

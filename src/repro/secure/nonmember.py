@@ -49,6 +49,7 @@ from repro.secure.events import SecureDataEvent
 from repro.secure.session import SecureClient
 from repro.spread.client import SpreadClient
 from repro.spread.events import DataEvent
+from repro.transport.auth import restricted_loads
 from repro.types import GroupId, ProcessId, ServiceType
 
 _RELAY_MARKER = b"gateway-relay:"
@@ -181,7 +182,10 @@ class GroupGateway:
                 return
         if isinstance(event, SecureDataEvent) and str(event.group) == self.group:
             if event.payload.startswith(_RELAY_MARKER):
-                outsider, message = pickle.loads(
+                # Relay bodies are (name, bytes) tuples; the restricted
+                # unpickler keeps even a forged relay from resolving
+                # classes outside the wire allowlist.
+                outsider, message = restricted_loads(
                     event.payload[len(_RELAY_MARKER):]
                 )
                 delivered = OutsiderDataEvent(

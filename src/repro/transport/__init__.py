@@ -26,12 +26,21 @@ sockets (docs/TRANSPORT.md):
   shaping TCP proxy (``NetemLink``/``NetemWorld``) plus declarative
   ``NetemSchedule`` fault scripts; also a standalone CLI
   (``python -m repro.transport.netem``).
+* :mod:`repro.transport.auth` — frame authentication: HMAC-SHA256 tags
+  under a pre-shared deployment key (``FrameAuth``, key-file CLI) plus
+  the restricted unpickler wire bodies decode through.
+* :mod:`repro.transport.deploy` — deployment config files (TOML/JSON:
+  daemon names, hosts, ports, key file) parsed to a ``Deployment``.
+* :mod:`repro.transport.launch` — ``python -m repro.transport.launch``:
+  spawn the daemon processes of a deployment, wait for readiness,
+  tear down cleanly.
 
 Submodules that need the Spread stack (``host``, ``client``) are
 re-exported lazily so importing :mod:`repro.transport` from low-level
 code can never create an import cycle with :mod:`repro.spread`.
 """
 
+from repro.transport.auth import AUTH_DISABLED, FrameAuth, restricted_loads
 from repro.transport.rtclock import RealtimeClock
 from repro.transport.tcp import TcpTransport, TransportMap
 from repro.transport.wire import FrameDecoder, decode_frame, encode_frame
@@ -43,6 +52,12 @@ __all__ = [
     "FrameDecoder",
     "decode_frame",
     "encode_frame",
+    "AUTH_DISABLED",
+    "FrameAuth",
+    "restricted_loads",
+    "Deployment",
+    "DaemonSpec",
+    "load_deployment",
     "DaemonHost",
     "TcpSpreadClient",
     "SpreadListener",
@@ -66,4 +81,8 @@ def __getattr__(name):
         import repro.transport.netem as _netem
 
         return getattr(_netem, name)
+    if name in ("Deployment", "DaemonSpec", "load_deployment"):
+        import repro.transport.deploy as _deploy
+
+        return getattr(_deploy, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -61,9 +61,15 @@ from repro.transport.protocol import (
     ClientRefused,
     ClientWelcome,
 )
+from repro.transport.auth import AuthSpec, resolve_auth
 from repro.transport.rtclock import RealtimeClock
 from repro.transport.tcp import READ_CHUNK, decorrelated_jitter
-from repro.transport.wire import FrameDecoder, encode_frame, max_frame_limit
+from repro.transport.wire import (
+    REJECT_COUNTERS,
+    FrameDecoder,
+    encode_frame,
+    max_frame_limit,
+)
 from repro.types import ProcessId, ServiceType
 
 EventCallback = Callable[[Any], None]
@@ -134,6 +140,7 @@ class TcpSpreadClient:
         liveness_timeout: float = 2.0,
         max_frame: Optional[int] = None,
         connect_timeout: float = 5.0,
+        auth: AuthSpec = None,
     ) -> None:
         self.address = address
         self.private_name = private_name
@@ -146,6 +153,7 @@ class TcpSpreadClient:
         self.heartbeat_interval = heartbeat_interval
         self.liveness_timeout = liveness_timeout
         self.max_frame = max_frame if max_frame is not None else max_frame_limit()
+        self.auth = resolve_auth(auth)
 
         self.pid: Optional[ProcessId] = None
         self.name = f"#{private_name}#?"
@@ -165,6 +173,8 @@ class TcpSpreadClient:
             "heartbeats_echoed": 0,
             "liveness_aborts": 0,
         }
+        for key in REJECT_COUNTERS:
+            self.counters[key] = 0
         self._callbacks: List[EventCallback] = []
         self._listeners: List[SpreadListener] = []
         self._send_seq = 0
@@ -202,10 +212,17 @@ class TcpSpreadClient:
 
     async def _connect_once(self) -> None:
         reader, writer = await asyncio.open_connection(*self.address)
-        decoder = FrameDecoder(self.max_frame, observe=self._observe_rx)
+        decoder = FrameDecoder(
+            self.max_frame,
+            observe=self._observe_rx,
+            auth=self.auth,
+            counters=self.counters,
+        )
         try:
             writer.write(
-                encode_frame(ClientConnect(self.private_name), self.max_frame)
+                encode_frame(
+                    ClientConnect(self.private_name), self.max_frame, self.auth
+                )
             )
             await writer.drain()
             welcome: Optional[ClientWelcome] = None
@@ -283,7 +300,7 @@ class TcpSpreadClient:
         self.counters["bytes_recv"] += total
 
     def _raw_send(self, op: Any) -> None:
-        data = encode_frame(op, self.max_frame)
+        data = encode_frame(op, self.max_frame, self.auth)
         self.counters["frames_sent"] += 1
         self.counters["bytes_sent"] += len(data)
         self._writer.write(data)

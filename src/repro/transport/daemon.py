@@ -32,6 +32,7 @@ import asyncio
 import signal
 import sys
 
+from repro.errors import TransportError
 from repro.spread.config import SpreadConfig
 from repro.transport.host import DaemonHost
 from repro.transport.tcp import TransportMap
@@ -74,7 +75,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="rng seed for the clock"
     )
+    parser.add_argument(
+        "--keyfile", default=None, metavar="PATH",
+        help="pre-shared deployment key file enabling frame "
+        "authentication (default: $REPRO_TRANSPORT_KEYFILE if set)",
+    )
     return parser
+
+
+def parse_addresses(parser: argparse.ArgumentParser, args) -> TransportMap:
+    """Validate ``--peer``/``--host`` into a :class:`TransportMap`,
+    turning malformed specs (missing ``=``, bad ports, duplicate names)
+    into argparse usage errors instead of tracebacks."""
+    try:
+        addresses = TransportMap.parse(args.peer)
+    except TransportError as exc:
+        parser.error(str(exc))
+    known = {spec.split("=", 1)[0].strip() for spec in args.peer}
+    for name in args.host or ():
+        if name not in known:
+            parser.error(f"--host {name!r} has no matching --peer entry")
+    return addresses
 
 
 def make_config(args) -> SpreadConfig:
@@ -89,12 +110,16 @@ def make_config(args) -> SpreadConfig:
     )
 
 
-async def run(args) -> None:
-    addresses = TransportMap.parse(args.peer)
+async def run(args, addresses: TransportMap) -> None:
     config = make_config(args)
     hosted = tuple(args.host) if args.host else config.daemons
     host = DaemonHost(
-        config, hosted, addresses, bind=args.bind, seed=args.seed
+        config,
+        hosted,
+        addresses,
+        bind=args.bind,
+        seed=args.seed,
+        auth=args.keyfile,
     )
     await host.start()
     names = ", ".join(hosted)
@@ -113,9 +138,11 @@ async def run(args) -> None:
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    addresses = parse_addresses(parser, args)
     try:
-        asyncio.run(run(args))
+        asyncio.run(run(args, addresses))
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     return 0

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import FrameError, SpreadError
 from repro.spread.config import SpreadConfig
 from repro.spread.daemon import SpreadDaemon
+from repro.transport.auth import AUTH_DISABLED, AuthSpec, resolve_auth
 from repro.transport.protocol import (
     ClientBye,
     ClientConnect,
@@ -71,6 +72,9 @@ class _ClientChannel:
         self.daemon = daemon
         self._reader = reader
         self._writer = writer
+        self._auth = host.auth
+        transport = host.transports.get(daemon.name)
+        self._counters = transport.counters if transport is not None else None
         self._private_name: Optional[str] = None
         self._closed = False
         self._disconnected = False
@@ -83,7 +87,9 @@ class _ClientChannel:
             return
         try:
             self._writer.write(
-                encode_frame(ClientDeliver(event), self.host.max_frame)
+                encode_frame(
+                    ClientDeliver(event), self.host.max_frame, self._auth
+                )
             )
         except Exception:
             self._drop()
@@ -133,7 +139,9 @@ class _ClientChannel:
             return
         try:
             self._writer.write(
-                encode_frame(ClientBye("daemon_down"), self.host.max_frame)
+                encode_frame(
+                    ClientBye("daemon_down"), self.host.max_frame, self._auth
+                )
             )
         except Exception:
             pass
@@ -142,7 +150,9 @@ class _ClientChannel:
     # -- connection driving ------------------------------------------------
 
     async def run(self) -> None:
-        decoder = FrameDecoder(self.host.max_frame)
+        decoder = FrameDecoder(
+            self.host.max_frame, auth=self._auth, counters=self._counters
+        )
         try:
             while True:
                 data = await self._reader.read(READ_CHUNK)
@@ -208,7 +218,9 @@ class _ClientChannel:
 
     def _write(self, op: Any) -> None:
         try:
-            self._writer.write(encode_frame(op, self.host.max_frame))
+            self._writer.write(
+                encode_frame(op, self.host.max_frame, self._auth)
+            )
         except Exception:
             self._drop()
 
@@ -243,6 +255,7 @@ class DaemonHost:
         tracer=None,
         seed: int = 0,
         max_frame: Optional[int] = None,
+        auth: AuthSpec = None,
     ) -> None:
         self.config = config
         self.hosted = tuple(hosted)
@@ -251,6 +264,7 @@ class DaemonHost:
         self.tracer = tracer
         self.seed = seed
         self.max_frame = max_frame if max_frame is not None else max_frame_limit()
+        self.auth = resolve_auth(auth)
         self.clock: Optional[RealtimeClock] = None
         self.daemons: Dict[str, SpreadDaemon] = {}
         self.transports: Dict[str, TcpTransport] = {}
@@ -263,8 +277,15 @@ class DaemonHost:
         loop = asyncio.get_running_loop()
         self.clock = RealtimeClock(loop, tracer=self.tracer, seed=self.seed)
         for name in self.hosted:
+            # Already-resolved auth is handed down as-is; AUTH_DISABLED
+            # (not None) when off, so the transport does not re-consult
+            # the environment and override an explicit opt-out.
             transport = TcpTransport(
-                name, self.clock, self.addresses, max_frame=self.max_frame
+                name,
+                self.clock,
+                self.addresses,
+                max_frame=self.max_frame,
+                auth=self.auth if self.auth is not None else AUTH_DISABLED,
             )
             peer_addr = self.addresses.peer(name)
             await transport.serve(self.bind, peer_addr[1] if peer_addr else 0)

@@ -28,7 +28,7 @@ class PeerHello:
     """
 
     sender: str
-    wire_version: int = 1
+    wire_version: int = 2
 
 
 @dataclass(frozen=True, slots=True)

@@ -36,8 +36,14 @@ from typing import Any, Deque, Dict, Optional, Tuple
 from collections import deque
 
 from repro.errors import FrameError, TransportError
+from repro.transport.auth import AuthSpec, resolve_auth
 from repro.transport.protocol import PeerHello
-from repro.transport.wire import FrameDecoder, encode_frame, max_frame_limit
+from repro.transport.wire import (
+    REJECT_COUNTERS,
+    FrameDecoder,
+    encode_frame,
+    max_frame_limit,
+)
 
 #: Reconnect backoff bounds; retries use *decorrelated jitter* between
 #: them (see :func:`decorrelated_jitter`), not a bare doubling.
@@ -113,18 +119,39 @@ class TransportMap:
     @classmethod
     def parse(cls, specs) -> "TransportMap":
         """Build a map from ``name=host:peer_port:client_port`` strings
-        (the CLI's ``--peer`` format)."""
+        (the CLI's ``--peer`` format).  Raises
+        :class:`~repro.errors.TransportError` naming the exact defect —
+        missing ``=``, malformed address, non-integer port, duplicate
+        daemon name — so CLIs can surface it as a usage error."""
         table = cls()
         for spec in specs:
+            if "=" not in spec:
+                raise TransportError(
+                    f"bad peer spec {spec!r}: missing '=' "
+                    "(want name=host:peer_port:client_port)"
+                )
+            name, address = spec.split("=", 1)
+            name = name.strip()
+            if not name:
+                raise TransportError(f"bad peer spec {spec!r}: empty name")
+            if table.knows(name):
+                raise TransportError(
+                    f"bad peer spec {spec!r}: duplicate daemon name {name!r}"
+                )
+            parts = address.rsplit(":", 2)
+            if len(parts) != 3 or not parts[0]:
+                raise TransportError(
+                    f"bad peer spec {spec!r}: address must be "
+                    "host:peer_port:client_port"
+                )
+            host, peer_port, client_port = parts
             try:
-                name, address = spec.split("=", 1)
-                host, peer_port, client_port = address.rsplit(":", 2)
                 table.set_peer(name, host, int(peer_port))
                 table.set_client(name, host, int(client_port))
             except ValueError:
                 raise TransportError(
-                    f"bad peer spec {spec!r} "
-                    "(want name=host:peer_port:client_port)"
+                    f"bad peer spec {spec!r}: ports must be integers, "
+                    f"got {peer_port!r} and {client_port!r}"
                 )
         return table
 
@@ -172,11 +199,15 @@ class TcpTransport:
         clock,
         addresses: TransportMap,
         max_frame: Optional[int] = None,
+        auth: AuthSpec = None,
     ) -> None:
         self.name = name
         self.clock = clock
         self.addresses = addresses
         self.max_frame = max_frame if max_frame is not None else max_frame_limit()
+        # Resolved once here (None consults REPRO_TRANSPORT_KEYFILE);
+        # the send/receive hot paths never touch the environment.
+        self.auth = resolve_auth(auth)
         self._node: Any = None
         self._channels: Dict[str, _PeerChannel] = {}
         self._server: Optional[asyncio.base_events.Server] = None
@@ -199,6 +230,8 @@ class TcpTransport:
             "send_buffer_peak_frames": 0,
             "send_buffer_peak_bytes": 0,
         }
+        for key in REJECT_COUNTERS:
+            self.counters[key] = 0
         self.send_deadline = send_deadline_limit()
         #: Frame-size histograms: power-of-two bucket -> frame count.
         self.tx_frame_sizes: Dict[int, int] = {}
@@ -227,7 +260,7 @@ class TcpTransport:
         """Queue one datagram for ``destination`` (never blocks)."""
         if self._closing:
             return
-        data = encode_frame(payload, self.max_frame)
+        data = encode_frame(payload, self.max_frame, self.auth)
         self.counters["frames_sent"] += 1
         self.counters["bytes_sent"] += len(data)
         bucket = size_bucket(len(data))
@@ -263,7 +296,12 @@ class TcpTransport:
             bucket = size_bucket(total)
             self.rx_frame_sizes[bucket] = self.rx_frame_sizes.get(bucket, 0) + 1
 
-        decoder = FrameDecoder(self.max_frame, observe=observe)
+        decoder = FrameDecoder(
+            self.max_frame,
+            observe=observe,
+            auth=self.auth,
+            counters=self.counters,
+        )
         peer: Optional[str] = None
         task = asyncio.current_task()
         self._serve_tasks.add(task)
@@ -429,7 +467,9 @@ class _PeerChannel:
             try:
                 writer.write(
                     encode_frame(
-                        PeerHello(transport.name), transport.max_frame
+                        PeerHello(transport.name),
+                        transport.max_frame,
+                        transport.auth,
                     )
                 )
                 while not self._closed:

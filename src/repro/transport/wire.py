@@ -9,22 +9,32 @@ one *frame*:
 offset   size  field
 =======  ====  =========================================================
 0        1     magic, ``0xC5``
-1        1     wire version, currently ``1``
-2        2     kind code (big-endian) — see :data:`WIRE_KINDS`
-4        4     body length in bytes (big-endian)
-8        4     CRC-32 of the body (big-endian)
-12       n     body: the pickled payload object
+1        1     wire version, currently ``2``
+2        1     flags — bit 0 (:data:`FLAG_AUTH`): frame carries a tag
+3        2     kind code (big-endian) — see :data:`WIRE_KINDS`
+5        4     body length in bytes (big-endian; excludes the tag)
+9        4     CRC-32 of the body (big-endian)
+13       32    HMAC-SHA256 tag over ``header || body`` — only when
+               :data:`FLAG_AUTH` is set
+13|45    n     body: the pickled payload object
 =======  ====  =========================================================
 
 The kind code lets a receiver classify a frame without unpickling it
 (frame-size histograms, dispatch counters) and cross-checks the decoded
-type; unknown payload types fall back to :data:`KIND_PYOBJ`.  Bodies
-are pickled because Spread payloads are arbitrary application objects
-(sealed envelopes, flush wrappers, key-agreement tokens) — the framing
-is therefore only safe between mutually-trusting endpoints, which
-matches the paper's deployment model (daemons are the trusted
-infrastructure; *clients* are protected by the secure-session layer,
-whose sealed payloads survive pickling unchanged).
+type; unknown payload types fall back to :data:`KIND_PYOBJ`.
+
+Version 2 closes the unauthenticated-pickle hole of version 1: when a
+deployment key is configured (see :mod:`repro.transport.auth`), every
+frame carries an HMAC-SHA256 tag verified — in constant time — *before*
+the body is deserialized, and bodies always go through
+:func:`~repro.transport.auth.restricted_loads`, which resolves only the
+registered wire-kind classes, never bare ``pickle.loads``.  Version-1
+frames (and any other version mismatch) are rejected before any other
+header field is interpreted, so the 12-byte v1 layout can never be
+misparsed as v2.  Auth-config mismatches fail loudly in both
+directions: an untagged frame at an authenticating endpoint and a
+tagged frame at a non-authenticating endpoint are both connection-fatal
+:class:`~repro.errors.FrameAuthError`\\ s, counted separately.
 
 A frame longer than :func:`max_frame_limit` (default 16 MiB, env
 ``REPRO_TRANSPORT_MAX_FRAME``) is refused on both ends — a stream
@@ -45,20 +55,42 @@ import struct
 import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
-from repro.errors import FrameError
+from repro.errors import (
+    FrameAuthError,
+    FrameError,
+    RestrictedUnpickleError,
+    WireVersionError,
+)
+from repro.transport.auth import TAG_SIZE, FrameAuth, restricted_loads
 
 MAGIC = 0xC5
-VERSION = 1
+VERSION = 2
 
-#: Environment knob: maximum frame size (header + body) in bytes.
+#: Flags bit 0: the frame carries an HMAC-SHA256 tag after the header.
+FLAG_AUTH = 0x01
+
+_KNOWN_FLAGS = FLAG_AUTH
+
+#: Environment knob: maximum frame size (header + tag + body) in bytes.
 MAX_FRAME_ENV = "REPRO_TRANSPORT_MAX_FRAME"
 DEFAULT_MAX_FRAME = 16 * 1024 * 1024
 
-HEADER = struct.Struct(">BBHII")
-HEADER_SIZE = HEADER.size  # 12
+HEADER = struct.Struct(">BBBHII")
+HEADER_SIZE = HEADER.size  # 13
 
 #: Fallback kind: any picklable object without a registered code.
 KIND_PYOBJ = 0
+
+#: Counter keys a :class:`FrameDecoder` bumps on rejected frames.  The
+#: transports pre-initialize these in their ``counters`` dicts so the
+#: obs layer exports them (as ``transport.<key>``) even when zero.
+REJECT_COUNTERS = (
+    "stale_version_rejects",
+    "auth_bad_mac",
+    "auth_missing_tag",
+    "auth_unexpected_tag",
+    "restricted_unpickle_rejects",
+)
 
 
 def max_frame_limit() -> int:
@@ -152,25 +184,37 @@ def kind_name(code: int) -> str:
     return cls.__name__ if cls is not None else "pyobj"
 
 
-def encode_frame(payload: Any, max_frame: Optional[int] = None) -> bytes:
-    """Serialize one payload into a complete wire frame."""
+def encode_frame(
+    payload: Any,
+    max_frame: Optional[int] = None,
+    auth: Optional[FrameAuth] = None,
+) -> bytes:
+    """Serialize one payload into a complete wire frame.
+
+    With ``auth`` the frame carries :data:`FLAG_AUTH` and an
+    HMAC-SHA256 tag over ``header || body`` between header and body.
+    """
     limit = max_frame if max_frame is not None else max_frame_limit()
     body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    total = HEADER_SIZE + len(body)
+    flags = FLAG_AUTH if auth is not None else 0
+    tag_size = TAG_SIZE if auth is not None else 0
+    total = HEADER_SIZE + tag_size + len(body)
     if total > limit:
         raise FrameError(
             f"frame of {total} bytes exceeds the {limit}-byte limit "
             f"({type(payload).__name__})"
         )
     header = HEADER.pack(
-        MAGIC, VERSION, kind_code(payload), len(body), zlib.crc32(body)
+        MAGIC, VERSION, flags, kind_code(payload), len(body), zlib.crc32(body)
     )
-    return header + body
+    if auth is None:
+        return header + body
+    return header + auth.tag(header, body) + body
 
 
-def decode_frame(data: bytes) -> Any:
+def decode_frame(data: bytes, auth: Optional[FrameAuth] = None) -> Any:
     """Decode exactly one complete frame (helper for tests and probes)."""
-    decoder = FrameDecoder()
+    decoder = FrameDecoder(auth=auth)
     frames = decoder.feed(data)
     if len(frames) != 1 or decoder.pending:
         raise FrameError(
@@ -185,18 +229,27 @@ class FrameDecoder:
 
     ``observe`` (optional) is called once per decoded frame with
     ``(kind_code, total_frame_bytes)`` — the hook the transport uses for
-    its frame-size histograms.  All :class:`~repro.errors.FrameError`\\ s
-    are connection-fatal: after one, the stream offset can no longer be
-    trusted and the caller must drop the connection.
+    its frame-size histograms.  ``auth`` (optional) requires and
+    verifies a frame tag under the deployment key; without it, tagged
+    frames are rejected.  ``counters`` (optional) is a dict the decoder
+    bumps by :data:`REJECT_COUNTERS` key when it refuses a frame, so
+    rejects surface in the obs ``transport.*`` metrics.  All
+    :class:`~repro.errors.FrameError`\\ s are connection-fatal: after
+    one, the stream offset can no longer be trusted and the caller must
+    drop the connection.
     """
 
     def __init__(
         self,
         max_frame: Optional[int] = None,
         observe: Optional[Callable[[int, int], None]] = None,
+        auth: Optional[FrameAuth] = None,
+        counters: Optional[Dict[str, int]] = None,
     ) -> None:
         self.max_frame = max_frame if max_frame is not None else max_frame_limit()
         self._observe = observe
+        self._auth = auth
+        self._counters = counters
         self._buffer = bytearray()
         self.frames_decoded = 0
         self.bytes_fed = 0
@@ -205,6 +258,10 @@ class FrameDecoder:
     def pending(self) -> int:
         """Bytes buffered but not yet part of a complete frame."""
         return len(self._buffer)
+
+    def _count(self, key: str) -> None:
+        if self._counters is not None:
+            self._counters[key] = self._counters.get(key, 0) + 1
 
     def feed(self, data: bytes) -> List[Any]:
         """Absorb ``data`` and return every payload it completed."""
@@ -215,12 +272,33 @@ class FrameDecoder:
         while True:
             if len(buffer) < HEADER_SIZE:
                 return out
-            magic, version, kind, length, crc = HEADER.unpack_from(buffer)
+            magic, version, flags, kind, length, crc = HEADER.unpack_from(buffer)
             if magic != MAGIC:
                 raise FrameError(f"bad magic byte 0x{magic:02X}")
+            # Version gates every other field: layouts differ across
+            # versions, so nothing past byte 1 is interpreted until the
+            # version matches.
             if version != VERSION:
-                raise FrameError(f"unsupported wire version {version}")
-            total = HEADER_SIZE + length
+                self._count("stale_version_rejects")
+                raise WireVersionError(
+                    f"unsupported wire version {version} (this build "
+                    f"speaks {VERSION})"
+                )
+            if flags & ~_KNOWN_FLAGS:
+                raise FrameError(f"unknown flag bits 0x{flags:02X}")
+            tagged = bool(flags & FLAG_AUTH)
+            if self._auth is not None and not tagged:
+                self._count("auth_missing_tag")
+                raise FrameAuthError(
+                    "unauthenticated frame on an authenticating endpoint"
+                )
+            if self._auth is None and tagged:
+                self._count("auth_unexpected_tag")
+                raise FrameAuthError(
+                    "authenticated frame on an endpoint with no deployment key"
+                )
+            tag_size = TAG_SIZE if tagged else 0
+            total = HEADER_SIZE + tag_size + length
             if total > self.max_frame:
                 raise FrameError(
                     f"declared frame of {total} bytes exceeds the "
@@ -228,12 +306,27 @@ class FrameDecoder:
                 )
             if len(buffer) < total:
                 return out
-            body = bytes(buffer[HEADER_SIZE:total])
+            header = bytes(buffer[:HEADER_SIZE])
+            tag = bytes(buffer[HEADER_SIZE : HEADER_SIZE + tag_size])
+            body = bytes(buffer[HEADER_SIZE + tag_size : total])
             del buffer[:total]
+            # Authenticate before the CRC and long before unpickling:
+            # nothing downstream may touch unverified bytes.
+            if self._auth is not None and not self._auth.verify(
+                header, body, tag
+            ):
+                self._count("auth_bad_mac")
+                raise FrameAuthError(
+                    f"frame tag verification failed "
+                    f"(key_id={self._auth.key_id})"
+                )
             if zlib.crc32(body) != crc:
                 raise FrameError("body CRC mismatch")
             try:
-                payload = pickle.loads(body)
+                payload = restricted_loads(body)
+            except RestrictedUnpickleError:
+                self._count("restricted_unpickle_rejects")
+                raise
             except Exception as exc:
                 raise FrameError(f"undecodable frame body: {exc}") from exc
             if kind != KIND_PYOBJ:

@@ -1,0 +1,80 @@
+"""The daemon CLI's ``--peer`` validation (:mod:`repro.transport.daemon`).
+
+A malformed peer spec used to surface as a traceback (or worse, a
+half-parsed address map); now every malformed entry is an argparse
+usage error that names the offending spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.daemon import build_parser, make_config, parse_addresses
+from repro.transport.tcp import TransportMap
+
+GOOD = ["d0=127.0.0.1:4803:4813", "d1=127.0.0.1:4804:4814"]
+
+
+def parse_cli(peers, hosts=()):
+    parser = build_parser()
+    argv = []
+    for peer in peers:
+        argv += ["--peer", peer]
+    for host in hosts:
+        argv += ["--host", host]
+    args = parser.parse_args(argv)
+    return parse_addresses(parser, args)
+
+
+def test_good_specs_parse():
+    addresses = parse_cli(GOOD)
+    assert addresses.peer("d0") == ("127.0.0.1", 4803)
+    assert addresses.client("d1") == ("127.0.0.1", 4814)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "d0",                          # missing '='
+        "=127.0.0.1:4803:4813",        # empty name
+        "d0=127.0.0.1",                # missing ports
+        "d0=127.0.0.1:4803",           # missing client port
+        "d0=127.0.0.1:x:4813",         # non-integer peer port
+        "d0=127.0.0.1:4803:y",         # non-integer client port
+    ],
+)
+def test_malformed_peer_specs_are_usage_errors(bad, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        parse_cli([GOOD[0], bad])
+    assert excinfo.value.code == 2  # argparse usage error, not a traceback
+    assert bad.split("=", 1)[0] in capsys.readouterr().err
+
+
+def test_duplicate_daemon_names_are_usage_errors(capsys):
+    with pytest.raises(SystemExit):
+        parse_cli(["d0=127.0.0.1:4803:4813", "d0=127.0.0.1:4804:4814"])
+    assert "duplicate" in capsys.readouterr().err
+
+
+def test_unknown_host_selection_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit):
+        parse_cli(GOOD, hosts=["d9"])
+    assert "no matching --peer" in capsys.readouterr().err
+
+
+def test_transport_map_parse_errors_name_the_spec():
+    with pytest.raises(TransportError, match="missing '='"):
+        TransportMap.parse(["d0:127.0.0.1:4803:4813"])
+    with pytest.raises(TransportError, match="port"):
+        TransportMap.parse(["d0=127.0.0.1:bad:4813"])
+
+
+def test_make_config_lists_every_peer():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["--peer", GOOD[0], "--peer", GOOD[1], "--fail-timeout", "2.0"]
+    )
+    config = make_config(args)
+    assert config.daemons == ("d0", "d1")
+    assert config.gather_timeout == 4.0

@@ -1,0 +1,58 @@
+"""Lint: no bare ``pickle.loads`` outside the restricted choke point.
+
+The unauthenticated-pickle hole was closed by routing every wire (and
+wire-adjacent) deserialization through
+:func:`repro.transport.auth.restricted_loads`.  This grep gate keeps it
+closed: a new ``pickle.loads(...)`` call site anywhere in the library
+fails CI with a pointer to the offender instead of silently reopening
+arbitrary-object deserialization.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: The single module allowed to call the raw unpickler machinery: the
+#: restricted-unpickler implementation itself.
+CHOKE_POINT = Path("transport") / "auth.py"
+
+_BARE_LOADS = re.compile(r"\bpickle\.loads\s*\(")
+_BARE_UNPICKLER = re.compile(r"\bpickle\.Unpickler\b")
+
+
+def _offenders(pattern: re.Pattern) -> list:
+    found = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = path.relative_to(SRC_ROOT)
+        if relative == CHOKE_POINT:
+            continue
+        text = path.read_text(encoding="utf-8")
+        for match in pattern.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            found.append(f"{relative}:{line}")
+    return found
+
+
+def test_no_bare_pickle_loads_outside_the_choke_point():
+    offenders = _offenders(_BARE_LOADS)
+    assert not offenders, (
+        "bare pickle.loads outside repro.transport.auth — route through"
+        " restricted_loads instead:\n" + "\n".join(offenders)
+    )
+
+
+def test_no_unpickler_subclasses_outside_the_choke_point():
+    offenders = _offenders(_BARE_UNPICKLER)
+    assert not offenders, (
+        "pickle.Unpickler used outside repro.transport.auth:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_the_choke_point_still_exists():
+    text = (SRC_ROOT / CHOKE_POINT).read_text(encoding="utf-8")
+    assert "class _RestrictedUnpickler" in text
+    assert "def restricted_loads" in text

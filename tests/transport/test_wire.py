@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import FrameError
+from repro.errors import FrameError, WireVersionError
 from repro.spread.fragments import MessageFragment
 from repro.spread.messages import DataMessage, Hello, Nack, Packed
 from repro.transport.protocol import (
@@ -147,6 +147,13 @@ def test_bad_magic_rejected():
 def test_bad_version_rejected():
     frame = bytearray(encode_frame(PeerHello("d0")))
     frame[1] += 1
+    with pytest.raises(WireVersionError):
+        FrameDecoder().feed(bytes(frame))
+
+
+def test_unknown_flag_bits_rejected():
+    frame = bytearray(encode_frame(PeerHello("d0")))
+    frame[2] |= 0x80
     with pytest.raises(FrameError):
         FrameDecoder().feed(bytes(frame))
 
@@ -164,7 +171,7 @@ def test_kind_type_disagreement_rejected():
     # type does not match the declared kind.
     frame = bytearray(encode_frame(PeerHello("d0")))
     wrong = kind_code(ClientConnect("x"))
-    frame[2:4] = wrong.to_bytes(2, "big")
+    frame[3:5] = wrong.to_bytes(2, "big")
     with pytest.raises(FrameError):
         FrameDecoder().feed(bytes(frame))
 

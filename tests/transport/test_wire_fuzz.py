@@ -121,7 +121,7 @@ def test_garbage_is_rejected_or_left_pending(junk, data):
 
 
 def test_oversized_declared_length_is_refused_before_buffering():
-    header = HEADER.pack(MAGIC, VERSION, 0, FUZZ_LIMIT * 16, 0)
+    header = HEADER.pack(MAGIC, VERSION, 0, 0, FUZZ_LIMIT * 16, 0)
     decoder = FrameDecoder(max_frame=FUZZ_LIMIT)
     with pytest.raises(FrameError):
         decoder.feed(header)
